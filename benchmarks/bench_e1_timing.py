@@ -1,0 +1,110 @@
+"""E1 — Appendix D timing experiment.
+
+Paper artifact: the timing narrative — GibbsLooper iterations of
+156/124/134/122/115 s with a mid-run replenishment, ~11 minutes total for
+MCDB-R vs ~18 hours for naive MCDB (a ~98x reduction).
+
+Shape targets at our (scaled, Python) setting:
+* per-iteration times roughly flat;
+* replenishment re-runs occur once the 1000-value windows drain;
+* MCDB-R total work is orders of magnitude below naive MCDB's expected
+  ``l / p`` repetitions for the same tail sample count.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.gibbs_looper import GibbsLooper
+from repro.core.params import TailParams
+from repro.experiments import format_table, print_experiment
+from repro.sql.parser import parse
+from repro.sql.planner import compile_select
+from repro.workloads import TPCHWorkload
+
+# Paper parameters: m = 5, p^(1/m) = 0.25, N = 500, l = 100, 1000
+# values per TS-seed per run.
+PAPER_PARAMS = TailParams(p=0.25 ** 5, m=5, n_steps=(100,) * 5,
+                          p_steps=(0.25,) * 5)
+SAMPLES = 100
+WINDOW = 1000
+
+WORKLOAD = TPCHWorkload(orders=250, lineitems=1200, variant="timing", seed=0)
+
+
+def _build_looper(session):
+    statement = parse(WORKLOAD.total_loss_query(samples=SAMPLES))
+    compiled = compile_select(statement, session.catalog, tail_mode=True)
+    aggregate = compiled.aggregates[0]
+    return GibbsLooper(
+        compiled.plan, session.catalog, PAPER_PARAMS, SAMPLES,
+        aggregate_kind=aggregate.kind, aggregate_expr=aggregate.expr,
+        final_predicate=compiled.pulled_up_predicate,
+        window=WINDOW, base_seed=42)
+
+
+def test_e1_iteration_timing_and_speedup(benchmark):
+    session = WORKLOAD.build_session(base_seed=42)
+    looper = _build_looper(session)
+    result = benchmark.pedantic(looper.run, rounds=1, iterations=1)
+
+    # Naive-MCDB cost: measure real per-repetition cost, then extrapolate
+    # the expected repetitions to collect the same number of tail samples
+    # (the paper's own 18-hour figure is an extrapolation too).
+    mc_session = WORKLOAD.build_session(base_seed=42)
+    calibration_reps = 200
+    started = time.perf_counter()
+    mc_session.execute(WORKLOAD.total_loss_query(samples=calibration_reps))
+    per_rep = (time.perf_counter() - started) / calibration_reps
+    expected_reps = SAMPLES / PAPER_PARAMS.p
+    naive_seconds = per_rep * expected_reps
+
+    mcdbr_seconds = sum(step.seconds for step in result.trace)
+    # Scale-free comparison: Monte Carlo *work* (random values consumed).
+    # Naive MCDB must instantiate every stream once per repetition; MCDB-R
+    # consumes the initial assignment plus the rejection proposals.
+    stats = result.total_stats
+    naive_values = expected_reps * result.num_seeds
+    mcdbr_values = (PAPER_PARAMS.n_steps[0] * result.num_seeds
+                    + stats.proposals)
+    work_ratio = naive_values / mcdbr_values
+
+    rows = [[step.step, f"{step.seconds:.2f}", step.replenish_runs,
+             f"{step.cutoff:.4g}",
+             f"{step.stats.acceptance_rate:.3f}"]
+            for step in result.trace]
+    body = format_table(
+        ["iter", "seconds", "replenish runs", "cutoff", "accept rate"], rows)
+    body += (
+        f"\n\nMCDB-R total             : {mcdbr_seconds:8.1f} s"
+        f" ({result.plan_runs} plan runs, {result.num_seeds} TS-seeds)"
+        f"\nnaive MCDB (measured/rep) : {per_rep * 1e3:8.3f} ms x"
+        f" {expected_reps:.3g} expected reps"
+        f"\nnaive MCDB extrapolated   : {naive_seconds:8.1f} s"
+        f"\nwall-clock speedup        : {naive_seconds / mcdbr_seconds:8.1f}x"
+        f"   (paper: 18 h vs 11 min ~ 98x on disk-based C++)"
+        f"\nMonte Carlo work: naive {naive_values:.3g} values vs MCDB-R "
+        f"{mcdbr_values:.3g} -> {work_ratio:.0f}x reduction"
+        f"\n(note: our in-memory numpy MCDB amortizes repetitions far more"
+        f"\n aggressively than the paper's disk-based prototype, so the"
+        f"\n wall-clock gap is smaller at this scale; the work reduction is"
+        f"\n the scale-free quantity.)")
+    print_experiment("E1: Appendix D timing (scaled TPC-H, timing variant)",
+                     body)
+
+    times = [step.seconds for step in result.trace]
+    assert max(times) < 10 * max(min(times), 1e-3), "iteration times not flat"
+    assert sum(step.replenish_runs for step in result.trace) >= 1
+    assert naive_seconds / mcdbr_seconds > 1.0, "MCDB-R must win wall-clock"
+    assert work_ratio > 50, "expected >50x Monte Carlo work reduction"
+
+
+def test_e1_samples_are_valid_tail_samples():
+    session = WORKLOAD.build_session(base_seed=7)
+    result = _build_looper(session).run()
+    assert len(result.samples) == SAMPLES
+    assert np.all(result.samples >= result.quantile_estimate)
+    truth = WORKLOAD.analytic_distribution()
+    true_q = truth.quantile(1.0 - PAPER_PARAMS.p)
+    assert abs(result.quantile_estimate - true_q) / true_q < 0.05

@@ -1,0 +1,82 @@
+"""E6 — the Sec. 4.3 plan-execution-count argument.
+
+Paper artifact: the operation-count motivation for tuple-bundle processing.
+A naive Gibbs implementation re-runs the whole query plan once per
+(DB version x stream x iteration x rejection retry) — the paper's example
+works out to 10^10 plan executions.  The GibbsLooper instead runs the plan
+``1 + #replenishments`` times, touching tuples through the priority queue.
+
+We run the salary-inversion workload and compare the actual number of plan
+executions against what the naive scheme would have needed (one per
+proposal), plus the deterministic-subtree caching effect (Sec. 9).
+"""
+
+import pytest
+
+from repro.core.gibbs_looper import GibbsLooper
+from repro.core.params import TailParams
+from repro.experiments import format_table, print_experiment
+from repro.sql.parser import parse
+from repro.sql.planner import compile_select
+from repro.workloads import SalaryWorkload
+
+PARAMS = TailParams(p=0.5 ** 5, m=5, n_steps=(60,) * 5, p_steps=(0.5,) * 5)
+SAMPLES = 40
+
+WORKLOAD = SalaryWorkload(employees=40, supervision_edges=50, seed=1)
+
+
+def test_e6_plan_run_counts(benchmark):
+    session = WORKLOAD.build_session(base_seed=13)
+    statement = parse(WORKLOAD.inversion_query(samples=SAMPLES, quantile=0.9))
+    compiled = compile_select(statement, session.catalog, tail_mode=True)
+    aggregate = compiled.aggregates[0]
+    looper = GibbsLooper(
+        compiled.plan, session.catalog, PARAMS, SAMPLES,
+        aggregate_kind=aggregate.kind, aggregate_expr=aggregate.expr,
+        final_predicate=compiled.pulled_up_predicate,
+        window=500, base_seed=13)
+    result = benchmark.pedantic(looper.run, rounds=1, iterations=1)
+
+    stats = result.total_stats
+    naive_plan_runs = stats.proposals  # one full query re-run per proposal
+    actual = result.plan_runs
+    rows = [
+        ["Gibbs proposals (total)", stats.proposals],
+        ["acceptances", stats.acceptances],
+        ["naive scheme plan runs (= proposals)", naive_plan_runs],
+        ["GibbsLooper plan runs (1 + replenishes)", actual],
+        ["reduction", f"{naive_plan_runs / max(actual, 1):.0f}x"],
+    ]
+    body = format_table(["quantity", "value"], rows)
+    body += ("\n\npaper example (Sec. 4.3): 100 versions x 1e6 streams x 10 "
+             "iters x 10 rejections = 1e10 naive plan runs")
+    print_experiment("E6: plan-execution counts (salary-inversion workload)",
+                     body)
+
+    assert actual <= 1 + sum(step.replenish_runs for step in result.trace)
+    assert naive_plan_runs / max(actual, 1) > 100
+
+
+def test_e6_deterministic_caching_effect():
+    """Replenishment re-runs must skip cached deterministic subtrees."""
+    session = WORKLOAD.build_session(base_seed=29)
+    statement = parse(WORKLOAD.inversion_query(samples=20, quantile=0.9))
+    compiled = compile_select(statement, session.catalog, tail_mode=True)
+    aggregate = compiled.aggregates[0]
+    params = TailParams(p=0.25, m=1, n_steps=(80,), p_steps=(0.25,))
+    looper = GibbsLooper(
+        compiled.plan, session.catalog, params, 20,
+        aggregate_kind=aggregate.kind, aggregate_expr=aggregate.expr,
+        final_predicate=compiled.pulled_up_predicate,
+        window=100, base_seed=29)  # tiny window to force replenishes
+    result = looper.run()
+    context = looper._context
+    assert result.plan_runs >= 2
+    # Deterministic nodes executed once; only random nodes repeat.
+    total_nodes = _count_nodes(compiled.plan)
+    assert context.node_executions < total_nodes * result.plan_runs
+
+
+def _count_nodes(plan) -> int:
+    return 1 + sum(_count_nodes(child) for child in plan.children)

@@ -1,0 +1,215 @@
+"""Algorithm 3: the basic tail-sampling algorithm ("Gibbs cloner").
+
+Given a target upper-tail probability ``p`` and a desired number ``l`` of
+tail samples, the algorithm "bootstraps" its way into the tail over ``m``
+steps.  Step ``i`` (Sec. 3.3):
+
+1. **Purge** — keep only the top ``100 p_i %`` "elite" states by query
+   result; the smallest retained result becomes the running cutoff
+   ``kappa_i`` (an estimate of the ``1 - p^(i/m)`` quantile).
+2. **Clone** — duplicate elites until the population is back to ``n_{i+1}``
+   states.
+3. **Perturb** — apply ``k`` systematic Gibbs sweeps (Algorithms 1-2) with
+   cutoff ``kappa_i`` to every state, restoring approximate independence
+   while keeping every state inside the current tail.
+
+After step ``m`` the population is a set of ``l`` approximately independent
+samples from ``h(.; kappa_m)`` — the possible-worlds distribution
+conditioned on the query result exceeding the estimated ``(1-p)``-quantile
+``kappa_m``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.gibbs import GibbsStats, gibbs_sweep
+from repro.core.model import IndependentBlockModel, Query, SeparableSumQuery
+from repro.core.params import TailParams, choose_parameters
+
+__all__ = ["StepTrace", "TailSampleResult", "clone_indices", "tail_sample"]
+
+
+@dataclass
+class StepTrace:
+    """Per-bootstrapping-step record (feeds the E1/E4 experiment tables)."""
+
+    step: int
+    cutoff: float
+    elite_count: int
+    cloned_to: int
+    stats: GibbsStats
+    seconds: float
+
+
+@dataclass
+class TailSampleResult:
+    """Output of Algorithm 3.
+
+    Attributes
+    ----------
+    quantile_estimate:
+        ``kappa_hat = kappa_m``, the estimate of the ``(1-p)``-quantile.
+    samples:
+        Query results of the ``l`` final states (all ``>= kappa_hat``).
+    states:
+        The final states themselves, shape ``(l, r)`` — the sampled
+        "database instances" restricted to their uncertain values.
+    trace:
+        One :class:`StepTrace` per bootstrapping step.
+    """
+
+    quantile_estimate: float
+    samples: np.ndarray
+    states: np.ndarray
+    trace: list[StepTrace]
+    params: TailParams
+
+    @property
+    def total_stats(self) -> GibbsStats:
+        merged = GibbsStats()
+        for step in self.trace:
+            merged.merge(step.stats)
+        return merged
+
+    def frequency_table(self) -> list[tuple[float, float]]:
+        """The paper's ``FTABLE(value, FRAC)`` over the tail samples."""
+        values, counts = np.unique(self.samples, return_counts=True)
+        return [(float(v), float(c) / len(self.samples))
+                for v, c in zip(values, counts)]
+
+
+def clone_indices(population: int, target: int, rng: np.random.Generator) -> np.ndarray:
+    """Indices implementing ``CLONE(S, n)``.
+
+    Each member is duplicated ``floor(n/|S|)`` times and the remainder is
+    assigned one extra clone each (the paper's "approximately ``n/|S|``
+    times").  If the population must *shrink* (only possible when the
+    requested final sample count is below the elite count), an unbiased
+    random subset is kept.
+    """
+    if population < 1:
+        raise ValueError("cannot clone an empty population")
+    if target < 1:
+        raise ValueError(f"target population must be >= 1, got {target}")
+    if target < population:
+        return rng.choice(population, size=target, replace=False)
+    base, extra = divmod(target, population)
+    counts = np.full(population, base, dtype=np.int64)
+    if extra:
+        counts[rng.choice(population, size=extra, replace=False)] += 1
+    return np.repeat(np.arange(population), counts)
+
+
+def _perturb_separable(states: np.ndarray, totals: np.ndarray, cutoff: float,
+                       model: IndependentBlockModel, query: SeparableSumQuery,
+                       k: int, rng: np.random.Generator, max_proposals: int,
+                       stats: GibbsStats) -> None:
+    """Vectorized Gibbs perturbation of all states for separable queries.
+
+    Mirrors the GibbsLooper's loop inversion (Sec. 7): the outer loop runs
+    over blocks (data values), the inner over database versions, so one
+    block's candidate draws for every version happen in a single vectorized
+    rejection round.
+    """
+    count = states.shape[0]
+    for _ in range(k):
+        for i in range(model.num_blocks):
+            current_contrib = np.asarray(query.contribution(i, states[:, i]))
+            base = totals - current_contrib
+            pending = np.nonzero(np.ones(count, dtype=bool))[0]
+            rounds = 0
+            while pending.size and rounds < max_proposals:
+                candidates = model.draw_block(i, rng, pending.size)
+                contrib = np.asarray(query.contribution(i, candidates))
+                stats.proposals += pending.size
+                accepted = base[pending] + contrib >= cutoff
+                hit = pending[accepted]
+                states[hit, i] = candidates[accepted]
+                totals[hit] = base[hit] + contrib[accepted]
+                stats.acceptances += int(accepted.sum())
+                pending = pending[~accepted]
+                rounds += 1
+            stats.stalls += int(pending.size)  # keep current values on stall
+
+
+def _perturb_general(states: np.ndarray, totals: np.ndarray, cutoff: float,
+                     model: IndependentBlockModel, query: Query, k: int,
+                     rng: np.random.Generator, max_proposals: int,
+                     stats: GibbsStats) -> None:
+    """Reference perturbation path: per-version systematic sweeps."""
+    for v in range(states.shape[0]):
+        totals[v] = gibbs_sweep(
+            states[v], k, cutoff, model, query, rng,
+            current_total=float(totals[v]), max_proposals=max_proposals,
+            stats=stats)
+
+
+def tail_sample(model: IndependentBlockModel, query: Query,
+                p: float, num_samples: int,
+                params: TailParams | None = None,
+                total_budget: int | None = None,
+                k: int = 1,
+                rng: np.random.Generator | None = None,
+                max_proposals: int = 10_000) -> TailSampleResult:
+    """Run Algorithm 3 and return the quantile estimate plus tail samples.
+
+    Parameters
+    ----------
+    p:
+        Target upper-tail probability (e.g. ``0.001`` for the 0.999-quantile).
+    num_samples:
+        ``l``, the number of tail samples to return.
+    params:
+        Explicit :class:`TailParams`; if omitted they are chosen by the
+        Appendix C procedure from ``total_budget`` (default ``max(1000,
+        20/p**0.5)`` — enough for a stable estimate at moderate ``p``).
+    k:
+        Gibbs sweeps per bootstrapping step (the paper found ``k = 1``
+        sufficient in all experiments).
+    """
+    if rng is None:
+        rng = np.random.default_rng()
+    if num_samples < 1:
+        raise ValueError(f"need at least one tail sample, got {num_samples}")
+    if params is None:
+        if total_budget is None:
+            total_budget = max(1000, int(20 / p ** 0.5))
+        params = choose_parameters(p, total_budget)
+    elif abs(params.p - p) > 1e-12:
+        raise ValueError(f"params.p = {params.p} does not match p = {p}")
+
+    perturb = (_perturb_separable if isinstance(query, SeparableSumQuery)
+               else _perturb_general)
+
+    states = model.draw_states(rng, params.n_steps[0])
+    totals = np.asarray(query.totals(states), dtype=np.float64)
+    next_sizes = list(params.n_steps[1:]) + [num_samples]
+
+    trace: list[StepTrace] = []
+    cutoff = -np.inf
+    for step, (p_i, next_n) in enumerate(zip(params.p_steps, next_sizes), start=1):
+        started = time.perf_counter()
+        # Purge: keep the top 100*p_i% elite states (Algorithm 3 line 19-20).
+        elite = max(1, int(round(p_i * len(totals))))
+        order = np.argsort(totals, kind="stable")
+        cutoff = float(totals[order[-elite]])
+        keep = np.nonzero(totals >= cutoff)[0]
+        states, totals = states[keep], totals[keep]
+        # Clone back up to the next population size (line 21).
+        indices = clone_indices(len(totals), next_n, rng)
+        states = np.array(states[indices], copy=True)
+        totals = np.array(totals[indices], copy=True)
+        # Perturb every state with the current cutoff (lines 22-24).
+        stats = GibbsStats()
+        perturb(states, totals, cutoff, model, query, k, rng, max_proposals, stats)
+        trace.append(StepTrace(
+            step=step, cutoff=cutoff, elite_count=len(keep), cloned_to=next_n,
+            stats=stats, seconds=time.perf_counter() - started))
+
+    return TailSampleResult(
+        quantile_estimate=cutoff, samples=totals, states=states,
+        trace=trace, params=params)

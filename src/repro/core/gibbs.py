@@ -1,0 +1,129 @@
+"""Algorithms 1 and 2: the systematic Gibbs sampler with rejection updates.
+
+Target distribution (Sec. 3.1): ``h(x; c) = h(x) I(Q(x) >= c) / p_c`` — the
+possible-worlds distribution conditioned on the query result lying in the
+upper tail at cutoff ``c``.  Because the blocks of ``x`` are independent
+under ``h``, the full conditional of block ``i`` is its marginal ``h_i``
+truncated to the acceptance region ``{u : Q(u (+)_i x_{-i}) >= c}``, and
+Algorithm 2 samples it by rejection: propose ``u ~ h_i``, accept when the
+updated query result still meets the cutoff.
+
+If the chain starts at a state already distributed according to
+``h(.; c)``, every subsequent state has the same law (stationarity), and
+states ``k`` sweeps apart become approximately independent exponentially
+fast — the property Algorithm 3 exploits after cloning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.model import IndependentBlockModel, Query
+
+__all__ = ["GibbsStats", "gencond", "gibbs_update", "gibbs_sweep"]
+
+#: Candidates drawn per rejection batch; purely a vectorization knob.
+PROPOSAL_BATCH = 32
+
+
+@dataclass
+class GibbsStats:
+    """Acceptance accounting for Appendix B diagnostics.
+
+    ``stalls`` counts updates abandoned after ``max_proposals`` rejected
+    candidates (the block keeps its current value — always a valid state
+    since the current state already satisfies the cutoff).  A high stall or
+    proposal rate is the fingerprint of the heavy-tailed regime where the
+    paper says the method degrades (Appendix B).
+    """
+
+    proposals: int = 0
+    acceptances: int = 0
+    stalls: int = 0
+
+    @property
+    def proposals_per_acceptance(self) -> float:
+        if self.acceptances == 0:
+            return float("inf") if self.proposals else 0.0
+        return self.proposals / self.acceptances
+
+    @property
+    def acceptance_rate(self) -> float:
+        return self.acceptances / self.proposals if self.proposals else 1.0
+
+    def merge(self, other: "GibbsStats") -> None:
+        self.proposals += other.proposals
+        self.acceptances += other.acceptances
+        self.stalls += other.stalls
+
+
+def gencond(state: np.ndarray, i: int, cutoff: float, model: IndependentBlockModel,
+            query: Query, current_total: float, rng: np.random.Generator,
+            max_proposals: int = 10_000, stats: GibbsStats | None = None,
+            ) -> tuple[float, float]:
+    """Algorithm 2: sample block ``i`` from ``h*_i(. | x_{-i})`` by rejection.
+
+    Returns ``(new_value, new_total)``.  On stall (``max_proposals``
+    candidates all rejected) the current value is kept, which leaves the
+    chain at a valid state of the conditioned distribution.
+    """
+    if stats is None:
+        stats = GibbsStats()
+    tried = 0
+    while tried < max_proposals:
+        batch = min(PROPOSAL_BATCH, max_proposals - tried)
+        candidates = model.draw_block(i, rng, batch)
+        totals = query.candidate_totals(state, current_total, i, candidates)
+        accepted = np.nonzero(totals >= cutoff)[0]
+        if accepted.size:
+            j = int(accepted[0])
+            stats.proposals += j + 1
+            stats.acceptances += 1
+            return float(candidates[j]), float(totals[j])
+        tried += batch
+        stats.proposals += batch
+    stats.stalls += 1
+    return float(state[i]), float(current_total)
+
+
+def gibbs_update(state: np.ndarray, cutoff: float, model: IndependentBlockModel,
+                 query: Query, current_total: float, rng: np.random.Generator,
+                 max_proposals: int = 10_000, stats: GibbsStats | None = None,
+                 ) -> float:
+    """One systematic updating step ``X^(j-1) -> X^(j)`` (Algorithm 1, lines
+    11-13): update every block once, in index order, in place.
+
+    Returns the new query total.
+    """
+    for i in range(model.num_blocks):
+        state[i], current_total = gencond(
+            state, i, cutoff, model, query, current_total, rng,
+            max_proposals=max_proposals, stats=stats)
+    return current_total
+
+
+def gibbs_sweep(state: np.ndarray, k: int, cutoff: float, model: IndependentBlockModel,
+                query: Query, rng: np.random.Generator,
+                current_total: float | None = None, max_proposals: int = 10_000,
+                stats: GibbsStats | None = None) -> float:
+    """Algorithm 1: ``GIBBS(X^(0), k, c)`` — ``k`` systematic steps in place.
+
+    ``state`` must already satisfy ``Q(state) >= cutoff`` (the stationarity
+    precondition); a ``ValueError`` flags the programming error otherwise.
+    Returns the final query total.
+    """
+    if k < 0:
+        raise ValueError(f"number of Gibbs steps must be >= 0, got {k}")
+    if current_total is None:
+        current_total = query.total(state)
+    if current_total < cutoff:
+        raise ValueError(
+            f"initial state has Q = {current_total} < cutoff {cutoff}; "
+            "the Gibbs sampler requires a valid starting state")
+    for _ in range(k):
+        current_total = gibbs_update(
+            state, cutoff, model, query, current_total, rng,
+            max_proposals=max_proposals, stats=stats)
+    return current_total

@@ -1,0 +1,556 @@
+"""The GibbsLooper operator (Sec. 7, Appendix A) with replenishment (Sec. 9).
+
+The looper consumes the Gibbs tuples produced by a query plan and runs
+Algorithm 3 over *database versions* — assignments of stream positions to
+versions, tracked per TS-seed — rather than over materialized databases.
+Key fidelity points, each mapped to the paper:
+
+* **Loop inversion** — "it switches the inner and outer for loops of
+  Algorithm 3 ... perturbs data values one at a time, looping through the
+  DB versions, thereby amortizing expensive data scans" (Sec. 7).  The
+  outer loop here runs over TS-seed handles in ascending order.
+* **Priority queue** — Gibbs tuples live in a priority queue keyed by their
+  smallest unprocessed TS-seed handle; after a seed is processed its tuples
+  are reinserted keyed by their next-largest handle, or pushed to the tail
+  (``infinity``) when no handles remain (Appendix A.2, Fig. 3).
+* **Global consumption pointer** — rejection proposals always take the next
+  *unused* stream value for the seed; rejected values are consumed and
+  never reconsidered (TS-seed item 4; the 3.24 in Fig. 1 and the 21K in
+  Fig. 3 are skipped permanently).
+* **Cloning as a single pass** — elite-to-version overwriting copies one
+  assignment column onto another in every TS-seed (Appendix A, Fig. 4b).
+* **Replenishment** — when a seed's window runs dry mid-perturbation, all
+  Gibbs tuples are discarded and the plan re-runs, materializing only new
+  or currently assigned positions; deterministic sub-plans come from cache
+  (Sec. 9).
+
+One deliberate implementation difference: per-version *current* attribute
+values and presence bits are cached in dense arrays instead of being looked
+up through (position -> window index) indirection on every delta
+evaluation.  The cache is rebuilt from TS-seed assignments on every
+replenishment, so it is behaviorally identical to the paper's scheme and is
+validated against it in the test suite.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.cloner import clone_indices
+from repro.core.gibbs import GibbsStats
+from repro.core.gibbs_tuple import GibbsTuple, tuples_from_relation
+from repro.core.params import TailParams
+from repro.core.ts_seed import TSSeed
+from repro.engine.bundles import BundleRelation
+from repro.engine.errors import EngineError, PlanError
+from repro.engine.expressions import DictContext, Expr
+from repro.engine.operators import ExecutionContext, PlanNode
+from repro.engine.table import Catalog
+
+__all__ = ["LooperStepTrace", "LooperResult", "GibbsLooper"]
+
+_SUPPORTED_AGGREGATES = ("sum", "count", "avg")
+_PROPOSAL_BATCH = 64
+_INFINITY_KEY = (1 << 62)
+
+
+@dataclass
+class LooperStepTrace:
+    """Per-bootstrapping-iteration record (feeds E1's timing table)."""
+
+    step: int
+    cutoff: float
+    elite_count: int
+    cloned_to: int
+    stats: GibbsStats
+    replenish_runs: int
+    seconds: float
+
+
+@dataclass
+class LooperResult:
+    """Output of the GibbsLooper: quantile estimate + tail samples."""
+
+    quantile_estimate: float
+    samples: np.ndarray
+    trace: list[LooperStepTrace]
+    params: TailParams
+    plan_runs: int
+    num_seeds: int
+    num_tuples: int
+    #: One dict per final version: TS-seed handle -> assigned stream position
+    #: (the compact representation of the sampled database instance).
+    assignments: list[dict[int, int]]
+
+    @property
+    def total_stats(self) -> GibbsStats:
+        merged = GibbsStats()
+        for step in self.trace:
+            merged.merge(step.stats)
+        return merged
+
+    def frequency_table(self) -> list[tuple[float, float]]:
+        """Sec. 2's ``FTABLE(value, FRAC)`` over the tail samples."""
+        values, counts = np.unique(self.samples, return_counts=True)
+        return [(float(v), float(c) / len(self.samples))
+                for v, c in zip(values, counts)]
+
+
+class _TupleState:
+    """Per-version cached state for one Gibbs tuple.
+
+    ``values[col]`` and ``presence[j]`` hold the tuple's current attribute
+    values / isPres bits under each version's assignment; ``value``/
+    ``present`` are the resulting aggregate-argument contribution.
+    """
+
+    __slots__ = ("values", "presence", "value", "present")
+
+    def __init__(self):
+        self.values: dict[str, np.ndarray] = {}
+        self.presence: list[np.ndarray] = []
+        self.value: np.ndarray | None = None
+        self.present: np.ndarray | None = None
+
+
+class GibbsLooper:
+    """Tail sampling over a tuple-bundle query plan.
+
+    Parameters
+    ----------
+    plan:
+        Physical plan producing the final pre-aggregation Gibbs tuples.
+    aggregate_kind / aggregate_expr:
+        The final aggregate (``sum``/``avg`` with an expression, ``count``
+        with ``None``) from whose result distribution we sample.
+    final_predicate:
+        The pulled-up selection predicate applied per tuple before
+        aggregation (e.g. ``sal2 > sal1`` in Fig. 2); may reference random
+        columns from any number of seeds.
+    params / num_samples / k:
+        Algorithm 3 parameters (Appendix C) and the Gibbs step count.
+    window:
+        Stream values materialized per TS-seed per plan run (the paper uses
+        1000 in Appendix D); also the replenishment granularity.
+    """
+
+    def __init__(self, plan: PlanNode, catalog: Catalog, params: TailParams,
+                 num_samples: int, aggregate_kind: str = "sum",
+                 aggregate_expr: Expr | None = None,
+                 final_predicate: Expr | None = None,
+                 k: int = 1, window: int = 1000, base_seed: int = 0,
+                 max_proposals: int = 100_000):
+        if aggregate_kind not in _SUPPORTED_AGGREGATES:
+            raise PlanError(
+                f"GibbsLooper supports {_SUPPORTED_AGGREGATES}, got "
+                f"{aggregate_kind!r} (Appendix B: only insensitive "
+                "aggregates admit efficient Gibbs updates)")
+        if aggregate_kind != "count" and aggregate_expr is None:
+            raise PlanError(f"{aggregate_kind.upper()} needs an expression")
+        if num_samples < 1:
+            raise ValueError(f"need >= 1 tail samples, got {num_samples}")
+        if k < 1:
+            raise ValueError(f"need >= 1 Gibbs step per iteration, got {k}")
+        if window < max(params.n_steps):
+            raise ValueError(
+                f"window ({window}) must cover the largest step size "
+                f"({max(params.n_steps)}) for the initial assignment")
+        self.plan = plan
+        self.catalog = catalog
+        self.params = params
+        self.num_samples = num_samples
+        self.aggregate_kind = aggregate_kind
+        self.aggregate_expr = aggregate_expr
+        self.final_predicate = final_predicate
+        self.k = k
+        self.window = window
+        self.base_seed = base_seed
+        self.max_proposals = max_proposals
+
+        # Run-time state (populated by run()).
+        self._context: ExecutionContext | None = None
+        self._seeds: dict[int, TSSeed] = {}
+        self._tuples: list[GibbsTuple] = []
+        self._states: list[_TupleState] = []
+        self._tuples_of_seed: dict[int, list[int]] = {}
+        self._sums: np.ndarray | None = None
+        self._counts: np.ndarray | None = None
+        self._versions = 0
+        self._replenish_runs = 0
+        self._replenished_flag = False
+
+    # -- public entry ---------------------------------------------------------
+
+    def run(self) -> LooperResult:
+        """Execute the full tail-sampling pipeline and return the result."""
+        versions = self.params.n_steps[0]
+        self._context = ExecutionContext(
+            self.catalog, positions=self.window, aligned=False,
+            base_seed=self.base_seed)
+        relation = self.plan.execute(self._context)
+        self._context.plan_runs += 1
+        self._ingest(relation, versions, initial=True)
+
+        next_sizes = list(self.params.n_steps[1:]) + [self.num_samples]
+        clone_rng = np.random.default_rng(
+            np.random.SeedSequence((self.base_seed, 0xC10E)))
+        trace: list[LooperStepTrace] = []
+        cutoff = -np.inf
+        for step, (p_i, next_n) in enumerate(
+                zip(self.params.p_steps, next_sizes), start=1):
+            started = time.perf_counter()
+            replenish_before = self._replenish_runs
+            totals = self._totals()
+            elite = max(1, int(round(p_i * totals.size)))
+            order = np.argsort(totals, kind="stable")
+            cutoff = float(totals[order[-elite]])
+            keep = np.nonzero(totals >= cutoff)[0]
+            sources = keep[clone_indices(keep.size, next_n, clone_rng)]
+            self._clone(sources)
+            stats = GibbsStats()
+            for _ in range(self.k):
+                self._perturb_all_seeds(cutoff, stats)
+            trace.append(LooperStepTrace(
+                step=step, cutoff=cutoff, elite_count=int(keep.size),
+                cloned_to=next_n, stats=stats,
+                replenish_runs=self._replenish_runs - replenish_before,
+                seconds=time.perf_counter() - started))
+
+        samples = self._totals()
+        assignments = [
+            {handle: int(ts.assignment[v]) for handle, ts in self._seeds.items()}
+            for v in range(samples.size)]
+        return LooperResult(
+            quantile_estimate=cutoff, samples=samples, trace=trace,
+            params=self.params, plan_runs=self._context.plan_runs,
+            num_seeds=len(self._seeds), num_tuples=len(self._tuples),
+            assignments=assignments)
+
+    # -- ingestion and caches ---------------------------------------------------
+
+    def _ingest(self, relation: BundleRelation, versions: int,
+                initial: bool) -> None:
+        """(Re)build tuples, TS-seeds and per-version caches from a plan run."""
+        self._versions = versions
+        self._tuples = tuples_from_relation(relation)
+        self._validate_columns(relation)
+        handles_in_play = set()
+        for gibbs_tuple in self._tuples:
+            handles_in_play.update(gibbs_tuple.handles)
+
+        if initial:
+            self._seeds = {}
+            for handle in sorted(handles_in_play):
+                info = self._context.seed_info(handle)
+                self._seeds[handle] = TSSeed.initial(
+                    info, self._context.positions_for(handle), versions)
+        else:
+            # Replenishment: seeds persist; refresh their materialized lists.
+            for handle in sorted(handles_in_play):
+                if handle not in self._seeds:
+                    # A tuple resurfaced whose seed never mattered before.
+                    info = self._context.seed_info(handle)
+                    self._seeds[handle] = TSSeed.initial(
+                        info, self._context.positions_for(handle), versions)
+                else:
+                    self._seeds[handle].positions = (
+                        self._context.positions_for(handle))
+
+        self._tuples_of_seed = {}
+        for index, gibbs_tuple in enumerate(self._tuples):
+            for handle in gibbs_tuple.handles:
+                self._tuples_of_seed.setdefault(handle, []).append(index)
+
+        self._rebuild_states()
+
+    def _validate_columns(self, relation: BundleRelation) -> None:
+        known = set(relation.det_columns) | set(relation.rand_columns)
+        wanted = set()
+        if self.aggregate_expr is not None:
+            wanted |= self.aggregate_expr.columns()
+        if self.final_predicate is not None:
+            wanted |= self.final_predicate.columns()
+        missing = wanted - known
+        if missing:
+            raise PlanError(
+                f"aggregate/predicate reference unknown columns "
+                f"{sorted(missing)}; plan provides {sorted(known)}")
+
+    def _rebuild_states(self) -> None:
+        """Recompute per-version caches and accumulators from assignments."""
+        version_count = self._versions
+        index_of = {
+            handle: np.searchsorted(ts.positions, ts.assignment)
+            for handle, ts in self._seeds.items()}
+        self._states = []
+        sums = np.zeros(version_count)
+        counts = np.zeros(version_count)
+        for gibbs_tuple in self._tuples:
+            state = _TupleState()
+            for name, rand_field in gibbs_tuple.rand.items():
+                state.values[name] = rand_field.values[index_of[rand_field.handle]]
+            for presence_field in gibbs_tuple.presences:
+                state.presence.append(
+                    presence_field.flags[index_of[presence_field.handle]])
+            value, present = self._evaluate_tuple(gibbs_tuple, state)
+            state.value, state.present = value, present
+            sums += np.where(present, value, 0.0)
+            counts += present
+            self._states.append(state)
+        self._sums, self._counts = sums, counts
+
+    def _evaluate_tuple(self, gibbs_tuple: GibbsTuple, state: _TupleState
+                        ) -> tuple[np.ndarray, np.ndarray]:
+        """Aggregate argument + presence for one tuple, per version."""
+        columns: dict[str, np.ndarray] = dict(state.values)
+        for name, det_value in gibbs_tuple.det.items():
+            columns[name] = np.asarray(det_value)
+        context = DictContext(columns)
+        version_count = self._version_count()
+        if self.aggregate_expr is None:
+            value = np.ones(version_count)
+        else:
+            value = np.broadcast_to(
+                np.asarray(self.aggregate_expr.evaluate(context), dtype=np.float64),
+                (version_count,)).copy()
+        present = np.ones(version_count, dtype=bool)
+        for flags in state.presence:
+            present &= flags
+        if self.final_predicate is not None:
+            present &= np.broadcast_to(
+                np.asarray(self.final_predicate.evaluate(context), dtype=bool),
+                (version_count,))
+        return value, present
+
+    def _version_count(self) -> int:
+        return self._versions
+
+    def _totals(self) -> np.ndarray:
+        if self.aggregate_kind == "sum":
+            return self._sums.copy()
+        if self.aggregate_kind == "count":
+            return self._counts.copy()
+        with np.errstate(invalid="ignore"):
+            return np.where(self._counts > 0, self._sums /
+                            np.maximum(self._counts, 1), -np.inf)
+
+    # -- cloning ---------------------------------------------------------------
+
+    def _clone(self, sources: np.ndarray) -> None:
+        """Overwrite versions from elite sources (single pass, Appendix A)."""
+        sources = np.asarray(sources, dtype=np.int64)
+        self._versions = sources.size
+        for ts in self._seeds.values():
+            ts.clone_versions(sources)
+        for state in self._states:
+            state.values = {name: values[sources]
+                            for name, values in state.values.items()}
+            state.presence = [flags[sources] for flags in state.presence]
+            state.value = state.value[sources]
+            state.present = state.present[sources]
+        self._sums = self._sums[sources]
+        self._counts = self._counts[sources]
+
+    # -- perturbation ------------------------------------------------------------
+
+    def _build_queue(self, resume_after: int | None) -> list[tuple[int, int]]:
+        """Priority queue of (smallest unprocessed handle, tuple id).
+
+        ``resume_after`` skips handles already processed in the current
+        sweep — used when the queue is rebuilt after a replenishment
+        discarded all Gibbs tuples mid-sweep (Sec. 9).
+        """
+        queue: list[tuple[int, int]] = []
+        for index, gibbs_tuple in enumerate(self._tuples):
+            key = _INFINITY_KEY
+            for handle in gibbs_tuple.handles:
+                if resume_after is None or handle > resume_after:
+                    key = handle
+                    break
+            heapq.heappush(queue, (key, index))
+        return queue
+
+    def _perturb_all_seeds(self, cutoff: float, stats: GibbsStats) -> None:
+        """One systematic Gibbs step over every seed, seed-major (Sec. 7)."""
+        queue = self._build_queue(resume_after=None)
+        while queue and queue[0][0] != _INFINITY_KEY:
+            handle = queue[0][0]
+            members = []
+            while queue and queue[0][0] == handle:
+                members.append(heapq.heappop(queue)[1])
+            self._replenished_flag = False
+            self._perturb_seed(handle, cutoff, stats)
+            if self._replenished_flag:
+                # All Gibbs tuples were discarded and recreated; empty the
+                # queue and rebuild it for the remaining handles (Sec. 9).
+                queue = self._build_queue(resume_after=handle)
+                continue
+            for index in members:
+                next_handle = self._tuples[index].next_handle_after(handle)
+                heapq.heappush(
+                    queue,
+                    (next_handle if next_handle is not None else _INFINITY_KEY,
+                     index))
+
+    def _perturb_seed(self, handle: int, cutoff: float,
+                      stats: GibbsStats) -> None:
+        """Gibbs-update every version's value for one TS-seed."""
+        ts = self._seeds[handle]
+        for version in range(self._version_count()):
+            # Re-fetch per version: a replenishment rebuilds the tuple list.
+            affected = self._tuples_of_seed.get(handle, ())
+            if not affected:
+                return
+            self._update_version(ts, affected, version, cutoff, stats)
+
+    def _update_version(self, ts: TSSeed, affected, version: int,
+                        cutoff: float, stats: GibbsStats) -> None:
+        """Rejection-sample a new stream position for one (seed, version)."""
+        proposals_used = 0
+        while proposals_used < self.max_proposals:
+            start, stop = ts.fresh_index_range()
+            if start >= stop:
+                self._replenish()
+                affected = self._tuples_of_seed.get(ts.handle, ())
+                if not affected:
+                    return
+                start, stop = ts.fresh_index_range()
+                if start >= stop:
+                    raise EngineError(
+                        f"replenishment produced no fresh values for seed "
+                        f"{ts.handle}")
+            batch = min(_PROPOSAL_BATCH, stop - start,
+                        self.max_proposals - proposals_used)
+            delta_sum, delta_count, cand_values, cand_present = \
+                self._candidate_deltas(ts, affected, version, start,
+                                       start + batch)
+            new_sums = self._sums[version] + delta_sum
+            new_counts = self._counts[version] + delta_count
+            new_totals = self._combine(new_sums, new_counts)
+            acceptable = np.nonzero(new_totals >= cutoff)[0]
+            if acceptable.size:
+                hit = int(acceptable[0])
+                stats.proposals += hit + 1
+                stats.acceptances += 1
+                position = int(ts.positions[start + hit])
+                ts.consume_through(position)
+                ts.assign(version, position)
+                self._apply_acceptance(ts, affected, version, start + hit,
+                                       cand_values, cand_present, hit)
+                return
+            stats.proposals += batch
+            proposals_used += batch
+            ts.consume_through(int(ts.positions[start + batch - 1]))
+        stats.stalls += 1  # keep the current (valid) value
+
+    def _combine(self, sums: np.ndarray, counts: np.ndarray) -> np.ndarray:
+        if self.aggregate_kind == "sum":
+            return sums
+        if self.aggregate_kind == "count":
+            return counts
+        with np.errstate(invalid="ignore"):
+            return np.where(counts > 0, sums / np.maximum(counts, 1), -np.inf)
+
+    def _candidate_deltas(self, ts: TSSeed, affected, version: int,
+                          start: int, stop: int):
+        """Aggregate deltas if seed ``ts`` moved to window slots [start, stop).
+
+        Returns ``(delta_sum (B,), delta_count (B,), per-tuple candidate
+        values, per-tuple candidate presence)`` where the per-tuple lists
+        align with ``affected``.
+        """
+        width = stop - start
+        delta_sum = np.zeros(width)
+        delta_count = np.zeros(width)
+        cand_values, cand_present = [], []
+        for index in affected:
+            gibbs_tuple = self._tuples[index]
+            state = self._states[index]
+            columns: dict[str, np.ndarray] = {}
+            for name, det_value in gibbs_tuple.det.items():
+                columns[name] = np.asarray(det_value)
+            for name, rand_field in gibbs_tuple.rand.items():
+                if rand_field.handle == ts.handle:
+                    columns[name] = rand_field.values[start:stop]
+                else:
+                    columns[name] = np.asarray(state.values[name][version])
+            context = DictContext(columns)
+            if self.aggregate_expr is None:
+                value = np.ones(width)
+            else:
+                value = np.broadcast_to(
+                    np.asarray(self.aggregate_expr.evaluate(context),
+                               dtype=np.float64), (width,))
+            present = np.ones(width, dtype=bool)
+            for presence_field, cached in zip(gibbs_tuple.presences,
+                                              state.presence):
+                if presence_field.handle == ts.handle:
+                    present = present & presence_field.flags[start:stop]
+                else:
+                    present = present & bool(cached[version])
+            if self.final_predicate is not None:
+                present = present & np.broadcast_to(
+                    np.asarray(self.final_predicate.evaluate(context),
+                               dtype=bool), (width,))
+            old_contribution = (state.value[version]
+                                if state.present[version] else 0.0)
+            delta_sum += np.where(present, value, 0.0) - old_contribution
+            delta_count += present.astype(np.float64) - float(
+                state.present[version])
+            cand_values.append(value)
+            cand_present.append(present)
+        return delta_sum, delta_count, cand_values, cand_present
+
+    def _apply_acceptance(self, ts: TSSeed, affected, version: int,
+                          window_index: int, cand_values, cand_present,
+                          hit: int) -> None:
+        """Commit an accepted proposal: caches, accumulators, assignments."""
+        for list_pos, index in enumerate(affected):
+            gibbs_tuple = self._tuples[index]
+            state = self._states[index]
+            old = state.value[version] if state.present[version] else 0.0
+            new_value = float(cand_values[list_pos][hit])
+            new_present = bool(cand_present[list_pos][hit])
+            self._sums[version] += (new_value if new_present else 0.0) - old
+            self._counts[version] += float(new_present) - float(
+                state.present[version])
+            state.value[version] = new_value
+            state.present[version] = new_present
+            for name, rand_field in gibbs_tuple.rand.items():
+                if rand_field.handle == ts.handle:
+                    state.values[name][version] = rand_field.values[window_index]
+            for presence_field, cached in zip(gibbs_tuple.presences,
+                                              state.presence):
+                if presence_field.handle == ts.handle:
+                    cached[version] = presence_field.flags[window_index]
+
+    # -- replenishment ------------------------------------------------------------
+
+    def _replenish(self) -> None:
+        """Sec. 9: re-run the plan to refuel every seed's stream window."""
+        plans = {handle: ts.replenish_plan(self.window)
+                 for handle, ts in self._seeds.items()}
+        width = max(len(plan) for plan in plans.values())
+        context = self._context
+        context.positions = width
+        context.position_plan = {
+            handle: self._seeds[handle].pad_plan(plan, width)
+            for handle, plan in plans.items()}
+        relation = self.plan.execute(context)
+        context.plan_runs += 1
+        self._replenish_runs += 1
+        self._replenished_flag = True
+        versions = self._version_count()
+        old_sums, old_counts = self._sums, self._counts
+        self._ingest(relation, versions, initial=False)
+        # Invariant: rebuilding from assignments must reproduce the same
+        # query results — the caches and the streams cannot disagree.
+        if not (np.allclose(old_sums, self._sums, atol=1e-9)
+                and np.allclose(old_counts, self._counts)):
+            raise EngineError(
+                "replenishment changed query results; stream/cache "
+                "inconsistency (this is a bug)")

@@ -1,0 +1,27 @@
+"""Exception types for the engine and planner."""
+
+__all__ = ["EngineError", "PlanError", "AlignmentError"]
+
+
+class EngineError(Exception):
+    """Base class for execution-time engine failures."""
+
+
+class PlanError(EngineError):
+    """A plan is structurally invalid for the requested execution mode.
+
+    The canonical case is the Appendix A rule: in tail mode, any predicate
+    or projection that combines random attributes from more than one PRNG
+    seed cannot be evaluated inside the plan and must be pulled up into the
+    GibbsLooper.
+    """
+
+
+class AlignmentError(EngineError):
+    """A positional operation required repetition-aligned random columns.
+
+    Random columns are only position-aligned in Monte Carlo mode (position
+    = repetition index).  In tail mode each seed's positions are assigned
+    to database versions independently by the Gibbs sampler, so cross-seed
+    positional arithmetic is meaningless.
+    """

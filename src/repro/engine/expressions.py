@@ -1,0 +1,210 @@
+"""Scalar expressions and predicates, vectorized over bundle columns.
+
+Expressions are small immutable trees (column references, literals, binary
+operations, negation).  They evaluate against any *context* exposing
+``column(name) -> np.ndarray``; numpy broadcasting makes the same tree work
+over deterministic columns (shape ``(T,)``), random columns (shape
+``(T, W)``), or the per-tuple candidate vectors the GibbsLooper evaluates
+during rejection sampling (shape ``(B,)``).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Mapping, Protocol, Sequence
+
+import numpy as np
+
+__all__ = [
+    "Expr", "Col", "Lit", "BinOp", "Not", "col", "lit", "and_all",
+    "DictContext", "COMPARISONS", "ARITHMETIC", "BOOLEAN",
+]
+
+ARITHMETIC = {"+", "-", "*", "/"}
+COMPARISONS = {"<", "<=", ">", ">=", "=", "!="}
+BOOLEAN = {"and", "or"}
+
+
+class Context(Protocol):
+    def column(self, name: str) -> np.ndarray: ...
+
+
+class DictContext:
+    """Evaluation context over a plain ``{name: array}`` mapping."""
+
+    def __init__(self, columns: Mapping[str, np.ndarray]):
+        self._columns = columns
+
+    def column(self, name: str) -> np.ndarray:
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown column {name!r}; available: {sorted(self._columns)}"
+            ) from None
+
+
+class Expr(ABC):
+    """Base class for expression nodes."""
+
+    @abstractmethod
+    def evaluate(self, context: Context) -> np.ndarray:
+        """Evaluate against a context; result broadcasts over column shapes."""
+
+    @abstractmethod
+    def columns(self) -> set[str]:
+        """Names of all columns referenced by this expression."""
+
+    # Operator sugar so that plans read naturally in Python:
+    #   (col("sal2") - col("sal1")) and col("sal2") > lit(25_000)
+    def __add__(self, other):
+        return BinOp("+", self, _wrap(other))
+
+    def __sub__(self, other):
+        return BinOp("-", self, _wrap(other))
+
+    def __mul__(self, other):
+        return BinOp("*", self, _wrap(other))
+
+    def __truediv__(self, other):
+        return BinOp("/", self, _wrap(other))
+
+    def __lt__(self, other):
+        return BinOp("<", self, _wrap(other))
+
+    def __le__(self, other):
+        return BinOp("<=", self, _wrap(other))
+
+    def __gt__(self, other):
+        return BinOp(">", self, _wrap(other))
+
+    def __ge__(self, other):
+        return BinOp(">=", self, _wrap(other))
+
+    def eq(self, other):
+        """Equality predicate (named method: ``==`` keeps object identity)."""
+        return BinOp("=", self, _wrap(other))
+
+    def ne(self, other):
+        return BinOp("!=", self, _wrap(other))
+
+    def and_(self, other):
+        return BinOp("and", self, _wrap(other))
+
+    def or_(self, other):
+        return BinOp("or", self, _wrap(other))
+
+
+def _wrap(value) -> "Expr":
+    return value if isinstance(value, Expr) else Lit(value)
+
+
+class Col(Expr):
+    """Reference to a column by name."""
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def evaluate(self, context):
+        return context.column(self.name)
+
+    def columns(self):
+        return {self.name}
+
+    def __repr__(self):
+        return f"Col({self.name!r})"
+
+
+class Lit(Expr):
+    """A literal constant (number or string)."""
+
+    def __init__(self, value):
+        self.value = value
+
+    def evaluate(self, context):
+        return np.asarray(self.value)
+
+    def columns(self):
+        return set()
+
+    def __repr__(self):
+        return f"Lit({self.value!r})"
+
+
+class BinOp(Expr):
+    """Binary operation; comparisons and booleans return bool arrays."""
+
+    def __init__(self, op: str, left: Expr, right: Expr):
+        if op not in ARITHMETIC | COMPARISONS | BOOLEAN:
+            raise ValueError(f"unknown operator {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def evaluate(self, context):
+        lhs = self.left.evaluate(context)
+        rhs = self.right.evaluate(context)
+        op = self.op
+        if op == "+":
+            return lhs + rhs
+        if op == "-":
+            return lhs - rhs
+        if op == "*":
+            return lhs * rhs
+        if op == "/":
+            return lhs / rhs
+        if op == "<":
+            return lhs < rhs
+        if op == "<=":
+            return lhs <= rhs
+        if op == ">":
+            return lhs > rhs
+        if op == ">=":
+            return lhs >= rhs
+        if op == "=":
+            return lhs == rhs
+        if op == "!=":
+            return lhs != rhs
+        if op == "and":
+            return np.logical_and(lhs, rhs)
+        return np.logical_or(lhs, rhs)
+
+    def columns(self):
+        return self.left.columns() | self.right.columns()
+
+    def __repr__(self):
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+class Not(Expr):
+    """Boolean negation."""
+
+    def __init__(self, operand: Expr):
+        self.operand = operand
+
+    def evaluate(self, context):
+        return np.logical_not(self.operand.evaluate(context))
+
+    def columns(self):
+        return self.operand.columns()
+
+    def __repr__(self):
+        return f"Not({self.operand!r})"
+
+
+def col(name: str) -> Col:
+    """Shorthand constructor for a column reference."""
+    return Col(name)
+
+
+def lit(value) -> Lit:
+    """Shorthand constructor for a literal."""
+    return Lit(value)
+
+
+def and_all(predicates: Sequence[Expr]) -> Expr | None:
+    """Conjunction of a predicate list; ``None`` for an empty list."""
+    result = None
+    for predicate in predicates:
+        result = predicate if result is None else result.and_(predicate)
+    return result

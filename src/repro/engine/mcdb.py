@@ -1,0 +1,158 @@
+"""The naive-MCDB Monte Carlo executor — the paper's baseline system.
+
+Runs a tuple-bundle plan once with ``n`` repetitions materialized per
+random value (position axis = repetition index), then evaluates grouped
+aggregates per repetition.  This is exactly the original MCDB execution
+model the paper starts from: great for central moments, hopeless for deep
+tails (Sec. 1's motivating arithmetic), which is what MCDB-R fixes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.engine.bundles import BundleRelation
+from repro.engine.errors import EngineError, PlanError
+from repro.engine.expressions import Expr
+from repro.engine.operators import ExecutionContext, PlanNode
+from repro.engine.result import ResultDistribution
+from repro.engine.table import Catalog
+
+__all__ = ["AggregateSpec", "MonteCarloExecutor", "MonteCarloResult"]
+
+_AGGREGATE_KINDS = ("sum", "count", "avg", "min", "max")
+
+
+@dataclass(frozen=True)
+class AggregateSpec:
+    """One output aggregate: ``kind(expr) AS name`` (expr None = COUNT(*))."""
+
+    name: str
+    kind: str
+    expr: Expr | None = None
+
+    def __post_init__(self):
+        if self.kind not in _AGGREGATE_KINDS:
+            raise ValueError(
+                f"unknown aggregate {self.kind!r}; supported: {_AGGREGATE_KINDS}")
+        if self.expr is None and self.kind != "count":
+            raise ValueError(f"{self.kind.upper()} requires an argument expression")
+
+
+class MonteCarloResult:
+    """Per-group result distributions for each requested aggregate."""
+
+    def __init__(self, group_by: Sequence[str],
+                 groups: Mapping[tuple, Mapping[str, ResultDistribution]],
+                 repetitions: int):
+        self.group_by = list(group_by)
+        self._groups = dict(groups)
+        self.repetitions = repetitions
+
+    @property
+    def group_keys(self) -> list[tuple]:
+        return sorted(self._groups, key=repr)
+
+    def distribution(self, aggregate: str, group: tuple = ()) -> ResultDistribution:
+        try:
+            by_name = self._groups[tuple(group)]
+        except KeyError:
+            raise KeyError(
+                f"no group {group!r}; groups: {self.group_keys}") from None
+        try:
+            return by_name[aggregate]
+        except KeyError:
+            raise KeyError(
+                f"no aggregate {aggregate!r}; have {sorted(by_name)}") from None
+
+    def scalar(self, aggregate: str, group: tuple = ()) -> float:
+        """Convenience for deterministic queries (n = 1): the single value."""
+        distribution = self.distribution(aggregate, group)
+        return float(distribution.samples[0])
+
+    def __repr__(self):
+        return (f"MonteCarloResult(reps={self.repetitions}, "
+                f"groups={len(self._groups)}, group_by={self.group_by})")
+
+
+class MonteCarloExecutor:
+    """Execute a plan in Monte Carlo mode and aggregate per repetition."""
+
+    def __init__(self, plan: PlanNode, aggregates: Sequence[AggregateSpec],
+                 catalog: Catalog, group_by: Sequence[str] = (),
+                 base_seed: int = 0):
+        if not aggregates:
+            raise PlanError("at least one aggregate is required")
+        names = [aggregate.name for aggregate in aggregates]
+        if len(set(names)) != len(names):
+            raise PlanError(f"duplicate aggregate names: {names}")
+        self.plan = plan
+        self.aggregates = list(aggregates)
+        self.catalog = catalog
+        self.group_by = list(group_by)
+        self.base_seed = base_seed
+
+    def run(self, repetitions: int) -> MonteCarloResult:
+        context = ExecutionContext(
+            self.catalog, positions=repetitions, aligned=True,
+            base_seed=self.base_seed)
+        relation = self.plan.execute(context)
+        context.plan_runs += 1
+        return self.aggregate(relation, repetitions)
+
+    def aggregate(self, relation: BundleRelation, repetitions: int
+                  ) -> MonteCarloResult:
+        presence = relation.combined_presence()
+        group_rows = self._group_rows(relation)
+        groups: dict[tuple, dict[str, ResultDistribution]] = {}
+        for key, rows in group_rows.items():
+            by_name: dict[str, ResultDistribution] = {}
+            for aggregate in self.aggregates:
+                samples = self._evaluate(relation, presence, rows, aggregate)
+                by_name[aggregate.name] = ResultDistribution(samples)
+            groups[key] = by_name
+        return MonteCarloResult(self.group_by, groups, repetitions)
+
+    def _group_rows(self, relation: BundleRelation) -> dict[tuple, np.ndarray]:
+        if not self.group_by:
+            return {(): np.arange(relation.length)}
+        for name in self.group_by:
+            if not relation.is_deterministic_column(name):
+                raise PlanError(
+                    f"GROUP BY column {name!r} is random; Split it first")
+        key_columns = [relation.det_columns[name] for name in self.group_by]
+        grouped: dict[tuple, list[int]] = {}
+        for row in range(relation.length):
+            key = tuple(column[row] for column in key_columns)
+            grouped.setdefault(key, []).append(row)
+        return {key: np.asarray(rows) for key, rows in grouped.items()}
+
+    def _evaluate(self, relation: BundleRelation, presence: np.ndarray | None,
+                  rows: np.ndarray, aggregate: AggregateSpec) -> np.ndarray:
+        width = relation.positions
+        if rows.size == 0:
+            empty = 0.0 if aggregate.kind in ("sum", "count") else np.nan
+            return np.full(width, empty)
+        mask = (np.ones((rows.size, width), dtype=bool)
+                if presence is None else presence[rows])
+        if aggregate.kind == "count":
+            return mask.sum(axis=0).astype(np.float64)
+        values = np.broadcast_to(
+            np.asarray(relation.evaluate_positional(aggregate.expr),
+                       dtype=np.float64),
+            (relation.length, width))[rows]
+        if aggregate.kind == "sum":
+            return np.where(mask, values, 0.0).sum(axis=0)
+        if aggregate.kind == "avg":
+            counts = mask.sum(axis=0)
+            totals = np.where(mask, values, 0.0).sum(axis=0)
+            with np.errstate(invalid="ignore"):
+                return np.where(counts > 0, totals / np.maximum(counts, 1), np.nan)
+        if aggregate.kind == "min":
+            masked = np.where(mask, values, np.inf).min(axis=0)
+            return np.where(np.isfinite(masked), masked, np.nan)
+        masked = np.where(mask, values, -np.inf).max(axis=0)
+        return np.where(np.isfinite(masked), masked, np.nan)

@@ -1,0 +1,516 @@
+"""Physical plan operators over tuple bundles.
+
+The operator set mirrors Fig. 2 of the paper:
+
+* :class:`Scan` — base-table scan (with optional column prefixing for
+  self-joins, e.g. ``emp1.sal`` / ``emp2.sal``).
+* :class:`Seed` — attaches a TS-seed handle to every tuple and registers
+  the seed in the execution context (Sec. 5: "The former operation attaches
+  the handle for a TS-seed to each Gibbs tuple, and ... creates the actual
+  TS-seed data structure").
+* :class:`Instantiate` — materializes a window of stream values for each
+  seeded tuple as a random column.
+* :class:`Select` — filtering; deterministic predicates drop rows,
+  single-seed random predicates create ``isPres`` presence arrays, and
+  tuples whose predicate holds in *no* materialized instance are dropped
+  entirely (Sec. 5).
+* :class:`Project` — derived columns; in tail mode a projection may only
+  combine random values from a single seed (Appendix A pull-up rule).
+* :class:`Join` — equi-join on deterministic attributes.
+* :class:`Split` — Sec. 8: converts a discrete random attribute into a
+  deterministic one plus presence flags, enabling joins on random
+  attributes without tuples "popping into existence" mid-Gibbs.
+
+Execution is bottom-up and materializing; deterministic subtrees are cached
+in the context so replenishment re-runs skip them (Sec. 9: "the result of
+each deterministic part of the query plan is materialized and saved").
+"""
+
+from __future__ import annotations
+
+import itertools
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.engine.bundles import BundleRelation, PresenceColumn, RandomColumn
+from repro.engine.errors import EngineError, PlanError
+from repro.engine.expressions import Expr
+from repro.engine.random_table import RandomTableSpec
+from repro.engine.seeds import SeedInfo, derive_prng_seed, label_id_of, seed_handle
+from repro.engine.table import Catalog
+
+__all__ = [
+    "ExecutionContext", "PlanNode", "Scan", "Seed", "Instantiate",
+    "Select", "Project", "Join", "Split", "random_table_pipeline",
+]
+
+
+class ExecutionContext:
+    """Mutable state for one (or more, under replenishment) plan runs.
+
+    Parameters
+    ----------
+    positions:
+        ``W`` — how many stream positions each random column materializes.
+        In Monte Carlo mode this is the repetition count ``n``; in tail
+        mode it is the Gibbs window size ("the number of stream elements to
+        instantiate in a Gibbs tuple", Sec. 5).
+    aligned:
+        Monte Carlo mode flag (position = repetition index).
+    base_seed:
+        Session-level PRNG seed; all streams derive from it.
+    """
+
+    def __init__(self, catalog: Catalog, positions: int, aligned: bool,
+                 base_seed: int = 0):
+        if positions < 1:
+            raise EngineError(f"positions must be >= 1, got {positions}")
+        self.catalog = catalog
+        self.positions = positions
+        self.aligned = aligned
+        self.base_seed = base_seed
+        self.seeds: dict[int, SeedInfo] = {}
+        self.window_bases: dict[int, int] = {}
+        #: Explicit per-seed stream positions to materialize (replenishment:
+        #: "only adds new or currently assigned values", Sec. 9).  When a
+        #: handle is absent, the contiguous default window is used.
+        self.position_plan: dict[int, np.ndarray] = {}
+        self.det_cache: dict[int, BundleRelation] = {}
+        self.plan_runs = 0
+        self.node_executions = 0
+        self._labels: dict[int, str] = {}
+
+    def register_label(self, label: str) -> int:
+        label_id = label_id_of(label)
+        existing = self._labels.get(label_id)
+        if existing is not None and existing != label:
+            raise PlanError(
+                f"seed label collision: {label!r} vs {existing!r} — rename one")
+        self._labels[label_id] = label
+        return label_id
+
+    def window_base(self, handle: int) -> int:
+        return self.window_bases.get(handle, 0)
+
+    def positions_for(self, handle: int) -> np.ndarray:
+        """The stream positions a random column materializes for ``handle``."""
+        explicit = self.position_plan.get(handle)
+        if explicit is not None:
+            explicit = np.asarray(explicit, dtype=np.int64)
+            if explicit.shape != (self.positions,):
+                raise EngineError(
+                    f"position plan for seed {handle} has shape "
+                    f"{explicit.shape}, expected ({self.positions},)")
+            return explicit
+        base = self.window_base(handle)
+        return np.arange(base, base + self.positions, dtype=np.int64)
+
+    def seed_info(self, handle: int) -> SeedInfo:
+        try:
+            return self.seeds[handle]
+        except KeyError:
+            raise EngineError(f"unregistered seed handle {handle}") from None
+
+
+class PlanNode(ABC):
+    """Base class for physical operators."""
+
+    _id_counter = itertools.count(1)
+
+    def __init__(self, children: Sequence["PlanNode"]):
+        self.node_id = next(PlanNode._id_counter)
+        self.children = list(children)
+
+    @property
+    def contains_random(self) -> bool:
+        return any(child.contains_random for child in self.children)
+
+    def execute(self, context: ExecutionContext) -> BundleRelation:
+        if not self.contains_random:
+            cached = context.det_cache.get(self.node_id)
+            if cached is not None:
+                if cached.positions != context.positions:
+                    # Replenishment may widen the window; deterministic
+                    # relations hold no positional arrays, so re-stamping
+                    # the metadata is sufficient.
+                    cached = _restamp(cached, context.positions)
+                    context.det_cache[self.node_id] = cached
+                return cached
+        context.node_executions += 1
+        result = self._run(context)
+        if not self.contains_random:
+            context.det_cache[self.node_id] = result
+        return result
+
+    @abstractmethod
+    def _run(self, context: ExecutionContext) -> BundleRelation:
+        """Execute this operator (children first)."""
+
+    def describe(self, indent: int = 0) -> str:
+        """Pretty-printed plan, leaf-last like the paper's figures."""
+        line = "  " * indent + self._describe_line()
+        return "\n".join([line] + [c.describe(indent + 1) for c in self.children])
+
+    def _describe_line(self) -> str:
+        return type(self).__name__
+
+
+def _restamp(relation: BundleRelation, positions: int) -> BundleRelation:
+    """Copy a deterministic relation with a new window width."""
+    if relation.rand_columns or relation.presence:
+        raise EngineError("only deterministic relations can be re-stamped")
+    out = BundleRelation(relation.length, positions, relation.aligned)
+    out.det_columns = dict(relation.det_columns)
+    return out
+
+
+class Scan(PlanNode):
+    """Scan a deterministic base table, optionally prefixing column names."""
+
+    def __init__(self, table_name: str, prefix: str = ""):
+        super().__init__([])
+        self.table_name = table_name
+        self.prefix = prefix
+
+    def _run(self, context):
+        table = context.catalog.table(self.table_name)
+        return BundleRelation.from_table(
+            table, context.positions, context.aligned, prefix=self.prefix)
+
+    def _describe_line(self):
+        alias = f" AS {self.prefix.rstrip('.')}" if self.prefix else ""
+        return f"Scan({self.table_name}{alias})"
+
+
+class Seed(PlanNode):
+    """Attach a TS-seed handle column to each tuple of the child.
+
+    ``label`` identifies the VG invocation site: two Seed operators with the
+    *same* label produce the *same* handles (and therefore share streams) —
+    this is how a self-joined uncertain table stays consistent across its
+    occurrences (Sec. 5: a PRNG seed "may occur ... multiple times in a
+    tuple bundle due to a self-join").  Distinct labels give independent
+    streams.  ``column_name`` (default ``<label>#seed``) may carry an alias
+    prefix so the two occurrences' handle columns do not collide in a join.
+    """
+
+    def __init__(self, child: PlanNode, label: str, column_name: str | None = None):
+        super().__init__([child])
+        self.label = label
+        self._column_name = column_name
+
+    @property
+    def handle_column(self) -> str:
+        return self._column_name or f"{self.label}#seed"
+
+    def _run(self, context):
+        relation = self.children[0].execute(context)
+        label_id = context.register_label(self.label)
+        handles = np.array(
+            [seed_handle(label_id, row) for row in range(relation.length)],
+            dtype=np.int64)
+        out = relation.take(np.arange(relation.length))
+        out.add_det_column(self.handle_column, handles)
+        return out
+
+    def _describe_line(self):
+        return f"Seed({self.label})"
+
+
+class Instantiate(PlanNode):
+    """Materialize a window of stream values for each seeded tuple.
+
+    ``param_exprs`` are deterministic expressions over the child's columns
+    giving the VG parameters per tuple.  ``outputs`` maps new random-column
+    names to VG output components.  The handle column written by the
+    matching :class:`Seed` supplies lineage.
+    """
+
+    def __init__(self, child: PlanNode, vg, param_exprs: Sequence[Expr],
+                 outputs: Sequence[tuple[str, int]], handle_column: str):
+        super().__init__([child])
+        if not outputs:
+            raise PlanError("Instantiate needs at least one output column")
+        self.vg = vg
+        self.param_exprs = list(param_exprs)
+        self.outputs = list(outputs)
+        self.handle_column = handle_column
+
+    @property
+    def contains_random(self) -> bool:
+        return True
+
+    def _run(self, context):
+        relation = self.children[0].execute(context)
+        handles = relation.det_columns[self.handle_column].astype(np.int64)
+        param_columns = [
+            np.asarray(relation.evaluate_scalar(expr), dtype=np.float64)
+            for expr in self.param_exprs]
+        arity = max(component for _, component in self.outputs) + 1
+
+        out = relation.take(np.arange(relation.length))
+        windows = {name: np.empty((relation.length, context.positions))
+                   for name, _ in self.outputs}
+        bases = np.empty(relation.length, dtype=np.int64)
+        for row in range(relation.length):
+            handle = int(handles[row])
+            info = context.seeds.get(handle)
+            if info is None:
+                params = tuple(column[row] for column in param_columns)
+                self.vg.validate_params(params)
+                info = SeedInfo(
+                    handle=handle,
+                    prng_seed=derive_prng_seed(context.base_seed, handle),
+                    vg=self.vg, params=params,
+                    arity=max(arity, self.vg.block_arity(params)))
+                context.seeds[handle] = info
+            positions = context.positions_for(handle)
+            bases[row] = positions[0]
+            for name, component in self.outputs:
+                windows[name][row] = info.values_at(positions, component)
+        for name, _ in self.outputs:
+            out.add_rand_column(name, RandomColumn(
+                windows[name], seed_handles=handles.copy(), bases=bases.copy()))
+        return out
+
+    def _describe_line(self):
+        names = ", ".join(name for name, _ in self.outputs)
+        return f"Instantiate({self.vg.name} -> {names})"
+
+
+class Select(PlanNode):
+    """Filter by a predicate.
+
+    Deterministic predicates remove rows outright.  Predicates touching
+    random columns become presence (``isPres``) arrays; rows whose
+    predicate holds at no materialized position are dropped (Sec. 5).  In
+    tail mode the predicate must involve at most one seed per tuple —
+    multi-seed predicates are the planner's job to pull up into the looper.
+    """
+
+    def __init__(self, child: PlanNode, predicate: Expr):
+        super().__init__([child])
+        self.predicate = predicate
+
+    def _run(self, context):
+        relation = self.children[0].execute(context)
+        rand_names = relation.random_columns_in(self.predicate)
+        if not rand_names:
+            mask = np.asarray(relation.evaluate_scalar(self.predicate), dtype=bool)
+            return relation.filter_rows(mask)
+
+        flags = np.asarray(
+            relation.evaluate_positional(self.predicate, check_single_seed=True),
+            dtype=bool)
+        lineage = relation.rand_columns[rand_names[0]]
+        if lineage.is_derived:
+            seed_handles, bases = None, None
+        else:
+            seed_handles, bases = lineage.seed_handles, lineage.bases
+        out = relation.take(np.arange(relation.length))
+        out.add_presence(PresenceColumn(flags, seed_handles, bases))
+        alive = flags.any(axis=1)
+        return out.filter_rows(alive)
+
+    def _describe_line(self):
+        return f"Select({self.predicate!r})"
+
+
+class Project(PlanNode):
+    """Keep a subset of columns and add derived ones.
+
+    ``keep=None`` keeps everything; derived outputs referencing a single
+    seed stay random columns with that lineage, while aligned (MC) mode
+    additionally allows cross-seed derived columns.
+    """
+
+    def __init__(self, child: PlanNode, outputs: Sequence[tuple[str, Expr]] = (),
+                 keep: Sequence[str] | None = None):
+        super().__init__([child])
+        self.outputs = list(outputs)
+        self.keep = None if keep is None else list(keep)
+
+    def _run(self, context):
+        relation = self.children[0].execute(context)
+        out = BundleRelation(relation.length, relation.positions, relation.aligned)
+        kept = relation.column_names if self.keep is None else self.keep
+        for name in kept:
+            if name in relation.det_columns:
+                out.add_det_column(name, relation.det_columns[name])
+            elif name in relation.rand_columns:
+                out.add_rand_column(name, relation.rand_columns[name])
+            else:
+                raise PlanError(f"Project keeps unknown column {name!r}")
+        out.presence = list(relation.presence)
+
+        for name, expr in self.outputs:
+            rand_names = relation.random_columns_in(expr)
+            if not rand_names:
+                out.add_det_column(name, relation.evaluate_scalar(expr))
+                continue
+            values = relation.evaluate_positional(expr, check_single_seed=True)
+            lineage = relation.rand_columns[rand_names[0]]
+            if relation._mixes_seeds(rand_names) or lineage.is_derived:
+                column = RandomColumn(values, seed_handles=None)
+            else:
+                column = RandomColumn(values, lineage.seed_handles, lineage.bases)
+            out.add_rand_column(name, column)
+        return out
+
+    def _describe_line(self):
+        added = ", ".join(name for name, _ in self.outputs)
+        return f"Project(+[{added}])" if added else "Project"
+
+
+class Join(PlanNode):
+    """Inner hash equi-join on deterministic key columns."""
+
+    def __init__(self, left: PlanNode, right: PlanNode,
+                 left_keys: Sequence[str], right_keys: Sequence[str]):
+        super().__init__([left, right])
+        if len(left_keys) != len(right_keys) or not left_keys:
+            raise PlanError("join needs matching, non-empty key lists")
+        self.left_keys = list(left_keys)
+        self.right_keys = list(right_keys)
+
+    def _run(self, context):
+        left = self.children[0].execute(context)
+        right = self.children[1].execute(context)
+        if left.positions != right.positions or left.aligned != right.aligned:
+            raise EngineError("join inputs disagree on positions/alignment")
+        for key, side in [(k, left) for k in self.left_keys] + [
+                (k, right) for k in self.right_keys]:
+            if not side.is_deterministic_column(key):
+                raise PlanError(
+                    f"join key {key!r} is random; apply Split before joining "
+                    "on a random attribute (Sec. 8)")
+        overlap = set(left.column_names) & set(right.column_names)
+        if overlap:
+            raise PlanError(
+                f"join would duplicate columns {sorted(overlap)}; "
+                "alias one side")
+
+        index: dict[tuple, list[int]] = {}
+        right_key_columns = [right.det_columns[k] for k in self.right_keys]
+        for row in range(right.length):
+            key = tuple(column[row] for column in right_key_columns)
+            index.setdefault(key, []).append(row)
+        left_rows, right_rows = [], []
+        left_key_columns = [left.det_columns[k] for k in self.left_keys]
+        for row in range(left.length):
+            key = tuple(column[row] for column in left_key_columns)
+            for mate in index.get(key, ()):
+                left_rows.append(row)
+                right_rows.append(mate)
+
+        taken_left = left.take(np.asarray(left_rows, dtype=np.int64))
+        taken_right = right.take(np.asarray(right_rows, dtype=np.int64))
+        out = BundleRelation(len(left_rows), left.positions, left.aligned)
+        out.det_columns.update(taken_left.det_columns)
+        out.det_columns.update(taken_right.det_columns)
+        out.rand_columns.update(taken_left.rand_columns)
+        out.rand_columns.update(taken_right.rand_columns)
+        out.presence = taken_left.presence + taken_right.presence
+        return out
+
+    def _describe_line(self):
+        keys = ", ".join(f"{l}={r}" for l, r in zip(self.left_keys, self.right_keys))
+        return f"Join({keys})"
+
+
+class Split(PlanNode):
+    """Sec. 8: make a discrete random attribute deterministic.
+
+    Each tuple fans out into one tuple per distinct materialized value of
+    the attribute; the attribute becomes deterministic and a presence array
+    records at which stream positions each copy is the live one.  At most
+    one copy is present per position, so downstream joins on the attribute
+    are ordinary deterministic joins.
+    """
+
+    def __init__(self, child: PlanNode, column: str):
+        super().__init__([child])
+        self.column = column
+
+    def _run(self, context):
+        relation = self.children[0].execute(context)
+        if self.column not in relation.rand_columns:
+            raise PlanError(f"Split target {self.column!r} is not a random column")
+        source = relation.rand_columns[self.column]
+        if source.is_derived:
+            raise PlanError(
+                f"cannot Split derived column {self.column!r}; split the "
+                "original VG output instead")
+
+        indices: list[int] = []
+        split_values: list[float] = []
+        for row in range(relation.length):
+            for value in np.unique(source.values[row]):
+                indices.append(row)
+                split_values.append(value)
+        gathered = relation.take(np.asarray(indices, dtype=np.int64))
+
+        out = BundleRelation(len(indices), relation.positions, relation.aligned)
+        for name, values in gathered.det_columns.items():
+            out.det_columns[name] = values
+        for name, column in gathered.rand_columns.items():
+            if name != self.column:
+                out.rand_columns[name] = column
+        out.presence = list(gathered.presence)
+        split_array = np.asarray(split_values)
+        out.add_det_column(self.column, split_array)
+        flags = gathered.rand_columns[self.column].values == split_array[:, None]
+        out.add_presence(PresenceColumn(
+            flags,
+            gathered.rand_columns[self.column].seed_handles,
+            gathered.rand_columns[self.column].bases))
+        return out
+
+    def _describe_line(self):
+        return f"Split({self.column})"
+
+
+def random_table_pipeline(spec: RandomTableSpec, prefix: str = "",
+                          occurrence: str = "") -> PlanNode:
+    """Expand a random-table spec into ``Scan -> Seed -> Instantiate``.
+
+    ``prefix`` namespaces output columns (aliasing, e.g. ``emp1.``/``emp2.``
+    in the salary-inversion query).  ``occurrence`` controls stream
+    identity: scans sharing an occurrence string share seeds — the
+    *self-join* semantics where both occurrences see the same possible
+    world of the uncertain table — while distinct occurrences denote
+    independent uncertain relations.
+    """
+    label = f"{spec.name}{occurrence}"
+    scan = Scan(spec.parameter_table, prefix=prefix)
+    if prefix:
+        params = [_prefix_expr(expr, prefix) for expr in spec.vg_params]
+    else:
+        params = list(spec.vg_params)
+    seed = Seed(scan, label=label, column_name=f"{prefix}{spec.name}#seed")
+    outputs = [(prefix + column.name, column.component)
+               for column in spec.random_columns]
+    instantiate = Instantiate(seed, spec.vg, params, outputs, seed.handle_column)
+    keep = [prefix + name for name in spec.passthrough_columns]
+    keep.append(seed.handle_column)
+    keep.extend(prefix + column.name for column in spec.random_columns)
+    return Project(instantiate, outputs=(), keep=keep)
+
+
+def _prefix_expr(expr: Expr, prefix: str) -> Expr:
+    """Rewrite column references with a prefix (for aliased scans)."""
+    from repro.engine.expressions import BinOp, Col, Lit, Not
+
+    if isinstance(expr, Col):
+        return Col(prefix + expr.name)
+    if isinstance(expr, Lit):
+        return expr
+    if isinstance(expr, BinOp):
+        return BinOp(expr.op, _prefix_expr(expr.left, prefix),
+                     _prefix_expr(expr.right, prefix))
+    if isinstance(expr, Not):
+        return Not(_prefix_expr(expr.operand, prefix))
+    raise PlanError(f"cannot prefix expression node {type(expr).__name__}")

@@ -1,0 +1,88 @@
+"""Random-table specifications: the ``CREATE TABLE ... AS FOR EACH`` recipe.
+
+A random table (Sec. 2) is never stored; only its *recipe* is: scan a
+parameter table, and for each row invoke a VG function parameterized by
+expressions over that row, emitting output columns that combine parameter
+columns with VG outputs.  The planner expands a spec into the operator
+pipeline ``Scan -> Seed -> Instantiate`` of Fig. 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.engine.expressions import Expr
+from repro.vg.base import VGFunction
+
+__all__ = ["RandomColumnSpec", "RandomTableSpec"]
+
+
+@dataclass(frozen=True)
+class RandomColumnSpec:
+    """One uncertain output column: which VG component feeds it.
+
+    ``component`` indexes into the VG function's output block (0 for scalar
+    VG functions; 0..k-1 for block functions like ``MultivariateNormal``).
+    """
+
+    name: str
+    component: int = 0
+
+    def __post_init__(self):
+        if self.component < 0:
+            raise ValueError(f"component must be >= 0, got {self.component}")
+
+
+@dataclass(frozen=True)
+class RandomTableSpec:
+    """Recipe for a random table.
+
+    Attributes
+    ----------
+    name:
+        Table name (referenced by queries exactly like a base table).
+    parameter_table:
+        Name of the deterministic table scanned by the ``FOR EACH`` loop.
+    vg:
+        The VG function invoked once per parameter row.
+    vg_params:
+        Expressions over parameter-table columns giving the VG arguments
+        (the ``VALUES(...)`` clause).
+    random_columns:
+        Uncertain output columns, one per consumed VG component.
+    passthrough_columns:
+        Deterministic parameter columns copied into the output (e.g. the
+        ``CID`` join key in Sec. 2's ``Losses`` table).
+    """
+
+    name: str
+    parameter_table: str
+    vg: VGFunction
+    vg_params: tuple[Expr, ...]
+    random_columns: tuple[RandomColumnSpec, ...]
+    passthrough_columns: tuple[str, ...] = ()
+
+    def __post_init__(self):
+        if not self.random_columns:
+            raise ValueError(
+                f"random table {self.name!r} needs at least one random column")
+        names = [column.name for column in self.random_columns]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate random column names in {self.name!r}: {names}")
+        overlap = set(names) & set(self.passthrough_columns)
+        if overlap:
+            raise ValueError(
+                f"columns {sorted(overlap)} are both random and passthrough "
+                f"in {self.name!r}")
+
+    @property
+    def column_names(self) -> list[str]:
+        return list(self.passthrough_columns) + [
+            column.name for column in self.random_columns]
+
+    @property
+    def is_block_vg(self) -> bool:
+        """True when the VG emits multi-value blocks (correlated outputs)."""
+        return (len(self.random_columns) > 1
+                or any(column.component > 0 for column in self.random_columns))

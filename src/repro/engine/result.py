@@ -1,0 +1,110 @@
+"""Query-result distributions estimated from Monte Carlo repetitions.
+
+Original MCDB's deliverable (Sec. 1): given ``n`` i.i.d. samples of a query
+result, estimate "the expected value, variance, and quantiles of the query
+answer — along with probabilistic error bounds on the estimates".
+:class:`ResultDistribution` wraps one sample vector with those estimators,
+including the ``FREQUENCYTABLE`` construction of Sec. 2.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["ResultDistribution"]
+
+# Two-sided standard-normal critical values for common confidence levels.
+_Z_VALUES = {0.90: 1.6448536269514722, 0.95: 1.959963984540054,
+             0.99: 2.5758293035489004}
+
+
+def _z_for(level: float) -> float:
+    if level in _Z_VALUES:
+        return _Z_VALUES[level]
+    if not 0.0 < level < 1.0:
+        raise ValueError(f"confidence level must be in (0,1), got {level}")
+    # Beasley-Springer-Moro style rational approximation via erfinv-free
+    # bisection — adequate for error bars, avoids a scipy dependency.
+    lo, hi = 0.0, 10.0
+    target = 0.5 + level / 2.0
+    for _ in range(80):
+        mid = (lo + hi) / 2.0
+        if 0.5 * (1.0 + math.erf(mid / math.sqrt(2.0))) < target:
+            lo = mid
+        else:
+            hi = mid
+    return (lo + hi) / 2.0
+
+
+class ResultDistribution:
+    """Monte Carlo estimate of one aggregate's result distribution."""
+
+    def __init__(self, samples: Sequence[float] | np.ndarray):
+        self.samples = np.asarray(samples, dtype=np.float64)
+        if self.samples.ndim != 1 or self.samples.size == 0:
+            raise ValueError("need a non-empty 1-D sample vector")
+
+    @property
+    def n(self) -> int:
+        return self.samples.size
+
+    def expectation(self) -> float:
+        return float(np.mean(self.samples))
+
+    def variance(self) -> float:
+        if self.n < 2:
+            return 0.0
+        return float(np.var(self.samples, ddof=1))
+
+    def std(self) -> float:
+        return math.sqrt(self.variance())
+
+    def standard_error(self) -> float:
+        """Standard error of the expectation estimate."""
+        return self.std() / math.sqrt(self.n)
+
+    def expectation_interval(self, level: float = 0.95) -> tuple[float, float]:
+        """CLT confidence interval for the true expectation."""
+        half = _z_for(level) * self.standard_error()
+        mean = self.expectation()
+        return mean - half, mean + half
+
+    def quantile(self, q: float) -> float:
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0,1], got {q}")
+        return float(np.quantile(self.samples, q))
+
+    def quantile_interval(self, q: float, level: float = 0.95) -> tuple[float, float]:
+        """Distribution-free order-statistic interval for the q-quantile.
+
+        Uses the binomial-normal approximation on ranks (Serfling Sec. 2.6,
+        the technique the paper cites for naive quantile estimation).
+        """
+        if not 0.0 < q < 1.0:
+            raise ValueError(f"quantile must be in (0,1), got {q}")
+        z = _z_for(level)
+        ordered = np.sort(self.samples)
+        center = q * self.n
+        half = z * math.sqrt(self.n * q * (1.0 - q))
+        lo = int(np.clip(math.floor(center - half), 0, self.n - 1))
+        hi = int(np.clip(math.ceil(center + half), 0, self.n - 1))
+        return float(ordered[lo]), float(ordered[hi])
+
+    def tail_probability(self, cutoff: float) -> float:
+        """Estimated ``P(result >= cutoff)``."""
+        return float(np.mean(self.samples >= cutoff))
+
+    def cdf(self, x: float) -> float:
+        return float(np.mean(self.samples <= x))
+
+    def frequency_table(self) -> list[tuple[float, float]]:
+        """Sec. 2's ``FTABLE(value, FRAC)`` over the Monte Carlo samples."""
+        values, counts = np.unique(self.samples, return_counts=True)
+        return [(float(v), float(c) / self.n) for v, c in zip(values, counts)]
+
+    def __repr__(self):
+        return (f"ResultDistribution(n={self.n}, mean={self.expectation():.6g}, "
+                f"std={self.std():.6g})")

@@ -1,0 +1,138 @@
+"""In-memory relational base tables and the catalog.
+
+Base tables are ordinary, deterministic relations — in MCDB these hold the
+*parameter tables* that drive VG functions (e.g. ``means(CID, m)`` in
+Sec. 2) as well as regular joined relations (``lineitem``, ``sup``).
+Columns are stored as numpy arrays (``object`` dtype for strings) so that
+the bundle operators can work vectorized.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["Table", "Catalog"]
+
+
+def _as_column(values: Sequence) -> np.ndarray:
+    array = np.asarray(values)
+    if array.dtype.kind in ("U", "S"):
+        array = array.astype(object)
+    return array
+
+
+class Table:
+    """A named, deterministic relation with column-oriented storage."""
+
+    def __init__(self, name: str, columns: Mapping[str, Sequence]):
+        if not columns:
+            raise ValueError(f"table {name!r} needs at least one column")
+        self.name = name
+        self._columns: dict[str, np.ndarray] = {}
+        length = None
+        for column_name, values in columns.items():
+            array = _as_column(values)
+            if array.ndim != 1:
+                raise ValueError(
+                    f"column {column_name!r} of table {name!r} must be 1-D")
+            if length is None:
+                length = len(array)
+            elif len(array) != length:
+                raise ValueError(
+                    f"column {column_name!r} has {len(array)} rows, "
+                    f"expected {length}")
+            self._columns[column_name] = array
+        self._length = length or 0
+
+    @classmethod
+    def from_rows(cls, name: str, column_names: Sequence[str],
+                  rows: Iterable[Sequence]) -> "Table":
+        rows = list(rows)
+        columns = {
+            column: [row[i] for row in rows]
+            for i, column in enumerate(column_names)
+        }
+        if not rows:
+            columns = {column: [] for column in column_names}
+        return cls(name, columns)
+
+    @property
+    def column_names(self) -> list[str]:
+        return list(self._columns)
+
+    def column(self, name: str) -> np.ndarray:
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise KeyError(
+                f"table {self.name!r} has no column {name!r}; "
+                f"columns: {self.column_names}") from None
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __contains__(self, column_name: str) -> bool:
+        return column_name in self._columns
+
+    def row(self, index: int) -> dict:
+        return {name: values[index] for name, values in self._columns.items()}
+
+    def rows(self) -> list[dict]:
+        return [self.row(i) for i in range(len(self))]
+
+    def __repr__(self) -> str:
+        return f"Table({self.name!r}, {len(self)} rows, cols={self.column_names})"
+
+
+class Catalog:
+    """Name → table/random-table-spec lookup for a session."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, Table] = {}
+        self._random_specs: dict[str, object] = {}  # RandomTableSpec, untyped to avoid cycle
+
+    def add_table(self, table: Table) -> Table:
+        key = table.name.lower()
+        if key in self._random_specs:
+            raise ValueError(f"{table.name!r} already names a random table")
+        self._tables[key] = table
+        return table
+
+    def add_random_table(self, spec) -> None:
+        key = spec.name.lower()
+        if key in self._tables:
+            raise ValueError(f"{spec.name!r} already names a base table")
+        self._random_specs[key] = spec
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            known = ", ".join(sorted(self._tables)) or "<none>"
+            raise KeyError(f"unknown table {name!r}; base tables: {known}") from None
+
+    def random_table(self, name: str):
+        try:
+            return self._random_specs[name.lower()]
+        except KeyError:
+            known = ", ".join(sorted(self._random_specs)) or "<none>"
+            raise KeyError(
+                f"unknown random table {name!r}; random tables: {known}") from None
+
+    def is_random(self, name: str) -> bool:
+        return name.lower() in self._random_specs
+
+    def has(self, name: str) -> bool:
+        return name.lower() in self._tables or name.lower() in self._random_specs
+
+    def drop(self, name: str) -> None:
+        self._tables.pop(name.lower(), None)
+        self._random_specs.pop(name.lower(), None)
+
+    def table_names(self) -> list[str]:
+        return sorted(self._tables)
+
+    def random_table_names(self) -> list[str]:
+        return sorted(self._random_specs)

@@ -1,0 +1,10 @@
+"""Shared harness for the reproduction experiments (E1-E6).
+
+Benchmarks under ``benchmarks/`` use these helpers to print the same rows
+and series the paper reports, in plain ASCII so that ``pytest benchmarks/
+--benchmark-only -s`` regenerates every table and figure.
+"""
+
+from repro.experiments.harness import ascii_series, format_table, print_experiment
+
+__all__ = ["format_table", "print_experiment", "ascii_series"]

@@ -1,0 +1,60 @@
+"""ASCII reporting helpers for the experiment benchmarks."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table", "print_experiment", "ascii_series"]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Monospace table with column auto-sizing."""
+    cells = [[str(h) for h in headers]]
+    for row in rows:
+        cells.append([_fmt(value) for value in row])
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for index, row in enumerate(cells):
+        lines.append("  ".join(value.rjust(width)
+                               for value, width in zip(row, widths)))
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 1e-3:
+            return f"{value:.4g}"
+        return f"{value:.4f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def print_experiment(title: str, body: str) -> None:
+    bar = "=" * max(len(title) + 4, 40)
+    print(f"\n{bar}\n| {title}\n{bar}\n{body}\n")
+
+
+def ascii_series(xs: Sequence[float], ys_by_label: dict[str, Sequence[float]],
+                 width: int = 60, height: int = 16) -> str:
+    """Crude multi-series ASCII line plot (used for the Figure 5 CDFs)."""
+    all_y = [y for ys in ys_by_label.values() for y in ys]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(all_y), max(all_y)
+    if x_hi == x_lo or y_hi == y_lo:
+        return "(degenerate series)"
+    grid = [[" "] * width for _ in range(height)]
+    markers = "*o+x#@"
+    for index, (label, ys) in enumerate(ys_by_label.items()):
+        marker = markers[index % len(markers)]
+        for x, y in zip(xs, ys):
+            column = int((x - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = height - 1 - int((y - y_lo) / (y_hi - y_lo) * (height - 1))
+            grid[row][column] = marker
+    lines = ["".join(row) for row in grid]
+    legend = "   ".join(f"{markers[i % len(markers)]} = {label}"
+                        for i, label in enumerate(ys_by_label))
+    footer = f"x: [{x_lo:.6g}, {x_hi:.6g}]  y: [{y_lo:.3g}, {y_hi:.3g}]"
+    return "\n".join(lines + [legend, footer])

@@ -1,0 +1,17 @@
+"""Risk measures over tail samples and frequency tables (Sec. 1-2)."""
+
+from repro.risk.grouped import grouped_tail
+from repro.risk.measures import (
+    expected_shortfall,
+    expected_shortfall_from_ftable,
+    tail_cdf,
+    value_at_risk,
+)
+
+__all__ = [
+    "value_at_risk",
+    "expected_shortfall",
+    "expected_shortfall_from_ftable",
+    "tail_cdf",
+    "grouped_tail",
+]

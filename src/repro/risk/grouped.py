@@ -1,0 +1,55 @@
+"""Per-group tail analysis — the paper's GROUP BY reduction.
+
+Appendix A, footnote 4: "Grouping is handled by, in effect, treating a
+GROUP BY query over g groups as g separate, simultaneous queries, each with
+a selection predicate that limits the query to a specific group."  This
+module is that reduction as an API: one conditioned tail query per group,
+returning a per-group map of tail results.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.core.gibbs_looper import LooperResult
+from repro.sql.session import Session
+
+__all__ = ["grouped_tail"]
+
+
+def grouped_tail(session: Session, query_template: str,
+                 group_values: Sequence) -> dict[object, LooperResult]:
+    """Run one tail-sampling query per group.
+
+    Parameters
+    ----------
+    session:
+        The session holding the uncertain tables.
+    query_template:
+        A full ``SELECT ... WITH RESULTDISTRIBUTION ... DOMAIN ...`` query
+        containing a ``{group}`` placeholder inside its WHERE clause, e.g.::
+
+            SELECT SUM(val) AS loss FROM Losses, segments
+            WHERE CID = CID2 AND seg = '{group}'
+            WITH RESULTDISTRIBUTION MONTECARLO(100)
+            DOMAIN loss >= QUANTILE(0.99)
+
+    group_values:
+        The group keys to substitute (strings are substituted verbatim;
+        quote them in the template as needed).
+
+    Returns
+    -------
+    dict mapping each group value to its :class:`LooperResult`.
+    """
+    if "{group}" not in query_template:
+        raise ValueError("query_template must contain a {group} placeholder")
+    results: dict[object, LooperResult] = {}
+    for value in group_values:
+        output = session.execute(query_template.format(group=value))
+        if output.kind != "tail":
+            raise ValueError(
+                f"template must be a DOMAIN ... QUANTILE query, got a "
+                f"{output.kind!r} result")
+        results[value] = output.tail
+    return results

@@ -1,0 +1,73 @@
+"""Risk measures computed from MCDB-R tail samples.
+
+The paper frames risk analysis as (1) locating a value-at-risk — the
+extreme quantile ``kappa`` — and (2) examining the conditional loss
+distribution beyond it, e.g. the "coherent" expected-shortfall measure of
+McNeil et al. that Sec. 1 cites.  These helpers compute those measures from
+either a :class:`~repro.core.gibbs_looper.LooperResult` /
+:class:`~repro.core.cloner.TailSampleResult` or a raw ``FTABLE``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "value_at_risk", "expected_shortfall", "expected_shortfall_from_ftable",
+    "tail_cdf",
+]
+
+
+def _samples_of(result) -> np.ndarray:
+    samples = getattr(result, "samples", result)
+    return np.asarray(samples, dtype=np.float64)
+
+
+def value_at_risk(result) -> float:
+    """The estimated ``(1-p)``-quantile ``kappa``.
+
+    For a tail-sampling result this is the algorithm's own quantile
+    estimate; for a raw sample vector it is the minimum tail sample — the
+    two coincide for large ``l`` (Sec. 2, footnote 1).
+    """
+    estimate = getattr(result, "quantile_estimate", None)
+    if estimate is not None:
+        return float(estimate)
+    samples = _samples_of(result)
+    if samples.size == 0:
+        raise ValueError("need at least one tail sample")
+    return float(samples.min())
+
+
+def expected_shortfall(result) -> float:
+    """``E[Q | Q >= kappa]`` estimated as the mean of the tail samples."""
+    samples = _samples_of(result)
+    if samples.size == 0:
+        raise ValueError("need at least one tail sample")
+    return float(samples.mean())
+
+
+def expected_shortfall_from_ftable(values: Sequence[float],
+                                   fractions: Sequence[float]) -> float:
+    """The Sec. 2 post-query ``SELECT SUM(totalLoss * FRAC) FROM FTABLE``."""
+    values = np.asarray(values, dtype=np.float64)
+    fractions = np.asarray(fractions, dtype=np.float64)
+    if values.shape != fractions.shape or values.size == 0:
+        raise ValueError("values and fractions must be equal-length, non-empty")
+    total = fractions.sum()
+    if not np.isclose(total, 1.0, atol=1e-6):
+        raise ValueError(f"FTABLE fractions sum to {total}, expected 1")
+    return float(values @ fractions)
+
+
+def tail_cdf(result) -> tuple[np.ndarray, np.ndarray]:
+    """Empirical conditional CDF of the tail samples (Figure 5's curves).
+
+    Returns ``(sorted values, cumulative probabilities)``.
+    """
+    samples = np.sort(_samples_of(result))
+    if samples.size == 0:
+        raise ValueError("need at least one tail sample")
+    return samples, np.arange(1, samples.size + 1) / samples.size

@@ -1,0 +1,18 @@
+"""SQL-ish frontend: the user surface of Sec. 2.
+
+Supports the paper's dialect:
+
+* ``CREATE TABLE t (cols) AS FOR EACH r IN param_table WITH v AS
+  VG(VALUES(...)) SELECT ... FROM v`` — uncertain-table schemas;
+* ``SELECT agg(expr) AS name FROM ... WHERE ... [GROUP BY ...] WITH
+  RESULTDISTRIBUTION MONTECARLO(n) [DOMAIN name >= QUANTILE(q)]
+  [FREQUENCYTABLE name]`` — Monte Carlo and tail-sampling queries;
+* plain deterministic ``SELECT`` (including over the ``FTABLE`` produced by
+  a ``FREQUENCYTABLE`` clause, e.g. the expected-shortfall post-query).
+
+Entry point: :class:`repro.sql.session.Session`.
+"""
+
+from repro.sql.session import Session, QueryOutput
+
+__all__ = ["Session", "QueryOutput"]

@@ -1,0 +1,89 @@
+"""AST node definitions for the MCDB-R SQL dialect."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine.expressions import Expr
+
+__all__ = [
+    "CreateRandomTable", "SelectStmt", "SelectItem", "AggCall", "FromItem",
+    "DomainSpec", "ResultSpec", "Statement",
+]
+
+
+@dataclass(frozen=True)
+class CreateRandomTable:
+    """``CREATE TABLE name (columns) AS FOR EACH var IN source WITH alias AS
+    VG(VALUES(args)) SELECT items FROM alias``."""
+
+    name: str
+    columns: tuple[str, ...]
+    loop_var: str
+    parameter_table: str
+    vg_alias: str
+    vg_name: str
+    vg_args: tuple[Expr, ...]
+    #: Output items, in order: plain column names from the parameter table
+    #: or ``alias.*`` / ``alias.col`` references to VG outputs.
+    select_items: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class AggCall:
+    """``SUM(expr)`` etc.; ``expr is None`` encodes ``COUNT(*)``."""
+
+    kind: str
+    expr: Expr | None
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    expr: Expr | AggCall
+    alias: str | None
+
+    @property
+    def is_aggregate(self) -> bool:
+        return isinstance(self.expr, AggCall)
+
+
+@dataclass(frozen=True)
+class FromItem:
+    table: str
+    alias: str | None
+
+    @property
+    def prefix(self) -> str:
+        return (self.alias or self.table) + "."
+
+
+@dataclass(frozen=True)
+class DomainSpec:
+    """``DOMAIN target >= QUANTILE(q)`` (tail mode) or ``>= threshold``."""
+
+    target: str
+    quantile: float | None = None
+    threshold: float | None = None
+
+
+@dataclass(frozen=True)
+class ResultSpec:
+    """The ``WITH RESULTDISTRIBUTION`` clause of Sec. 2."""
+
+    montecarlo: int
+    domain: DomainSpec | None = None
+    frequency_table: str | None = None
+    expectation: str | None = None
+    variance: str | None = None
+
+
+@dataclass(frozen=True)
+class SelectStmt:
+    items: tuple[SelectItem, ...]
+    from_items: tuple[FromItem, ...]
+    where: Expr | None
+    group_by: tuple[str, ...]
+    result_spec: ResultSpec | None
+
+
+Statement = CreateRandomTable | SelectStmt

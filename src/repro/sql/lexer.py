@@ -1,0 +1,84 @@
+"""Tokenizer for the MCDB-R SQL dialect."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Token", "SqlSyntaxError", "tokenize", "KEYWORDS"]
+
+KEYWORDS = {
+    "create", "table", "as", "for", "each", "in", "with", "values", "select",
+    "from", "where", "group", "by", "and", "or", "not", "resultdistribution",
+    "montecarlo", "domain", "quantile", "frequencytable", "sum", "count",
+    "avg", "min", "max", "expectation", "variance",
+}
+
+_SYMBOLS = ("<=", ">=", "!=", "<>", "(", ")", ",", ".", "*", "+", "-", "/",
+            "<", ">", "=")
+
+
+class SqlSyntaxError(ValueError):
+    """Raised for malformed query text, with position context."""
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str          # "keyword" | "ident" | "number" | "string" | "symbol" | "eof"
+    value: str
+    position: int
+
+    def matches(self, kind: str, value: str | None = None) -> bool:
+        return self.kind == kind and (value is None or self.value == value)
+
+
+def tokenize(text: str) -> list[Token]:
+    tokens: list[Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "-" and text[i:i + 2] == "--":  # SQL line comment
+            end = text.find("\n", i)
+            i = n if end < 0 else end + 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            j = i + 1
+            seen_dot = ch == "."
+            while j < n and (text[j].isdigit() or (text[j] == "." and not seen_dot)
+                             or text[j] in "eE"
+                             or (text[j] in "+-" and text[j - 1] in "eE")):
+                if text[j] == ".":
+                    seen_dot = True
+                j += 1
+            tokens.append(Token("number", text[i:j], i))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i + 1
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            kind = "keyword" if word.lower() in KEYWORDS else "ident"
+            tokens.append(Token(kind, word.lower() if kind == "keyword" else word, i))
+            i = j
+            continue
+        if ch in "'\"":
+            j = text.find(ch, i + 1)
+            if j < 0:
+                raise SqlSyntaxError(f"unterminated string literal at {i}")
+            tokens.append(Token("string", text[i + 1:j], i))
+            i = j + 1
+            continue
+        for symbol in _SYMBOLS:
+            if text.startswith(symbol, i):
+                value = "!=" if symbol == "<>" else symbol
+                tokens.append(Token("symbol", value, i))
+                i += len(symbol)
+                break
+        else:
+            raise SqlSyntaxError(f"unexpected character {ch!r} at position {i}")
+    tokens.append(Token("eof", "", n))
+    return tokens

@@ -1,0 +1,293 @@
+"""Recursive-descent parser for the MCDB-R SQL dialect."""
+
+from __future__ import annotations
+
+from repro.engine.expressions import BinOp, Col, Expr, Lit, Not
+from repro.sql.ast_nodes import (
+    AggCall, CreateRandomTable, DomainSpec, FromItem, ResultSpec, SelectItem,
+    SelectStmt, Statement)
+from repro.sql.lexer import SqlSyntaxError, Token, tokenize
+
+__all__ = ["parse", "SqlSyntaxError"]
+
+_AGG_KEYWORDS = {"sum", "count", "avg", "min", "max"}
+
+
+def parse(text: str) -> Statement:
+    """Parse a single SQL statement."""
+    return _Parser(tokenize(text)).parse_statement()
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self._tokens = tokens
+        self._index = 0
+
+    # -- token plumbing -------------------------------------------------------
+
+    @property
+    def _current(self) -> Token:
+        return self._tokens[self._index]
+
+    def _advance(self) -> Token:
+        token = self._current
+        self._index += 1
+        return token
+
+    def _check(self, kind: str, value: str | None = None) -> bool:
+        return self._current.matches(kind, value)
+
+    def _accept(self, kind: str, value: str | None = None) -> Token | None:
+        if self._check(kind, value):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: str, value: str | None = None) -> Token:
+        if not self._check(kind, value):
+            wanted = value or kind
+            got = self._current.value or self._current.kind
+            raise SqlSyntaxError(
+                f"expected {wanted!r} but found {got!r} at position "
+                f"{self._current.position}")
+        return self._advance()
+
+    def _expect_ident(self) -> str:
+        # Allow keywords as identifiers where unambiguous (e.g. a column
+        # named "min" would be perverse but parseable contextually).
+        if self._check("ident"):
+            return self._advance().value
+        raise SqlSyntaxError(
+            f"expected identifier, found {self._current.value!r} at position "
+            f"{self._current.position}")
+
+    # -- statements -----------------------------------------------------------
+
+    def parse_statement(self) -> Statement:
+        if self._check("keyword", "create"):
+            statement = self._create_table()
+        elif self._check("keyword", "select"):
+            statement = self._select()
+        else:
+            raise SqlSyntaxError(
+                f"statement must start with CREATE or SELECT, found "
+                f"{self._current.value!r}")
+        self._expect("eof")
+        return statement
+
+    def _create_table(self) -> CreateRandomTable:
+        self._expect("keyword", "create")
+        self._expect("keyword", "table")
+        name = self._expect_ident()
+        self._expect("symbol", "(")
+        columns = [self._expect_ident()]
+        while self._accept("symbol", ","):
+            columns.append(self._expect_ident())
+        self._expect("symbol", ")")
+        self._expect("keyword", "as")
+        self._expect("keyword", "for")
+        self._expect("keyword", "each")
+        loop_var = self._expect_ident()
+        self._expect("keyword", "in")
+        parameter_table = self._expect_ident()
+        self._expect("keyword", "with")
+        vg_alias = self._expect_ident()
+        self._expect("keyword", "as")
+        vg_name = self._expect_ident()
+        self._expect("symbol", "(")
+        self._expect("keyword", "values")
+        self._expect("symbol", "(")
+        vg_args = [self._expression()]
+        while self._accept("symbol", ","):
+            vg_args.append(self._expression())
+        self._expect("symbol", ")")
+        self._expect("symbol", ")")
+        self._expect("keyword", "select")
+        select_items = [self._create_select_item()]
+        while self._accept("symbol", ","):
+            select_items.append(self._create_select_item())
+        self._expect("keyword", "from")
+        from_name = self._expect_ident()
+        if from_name != vg_alias:
+            raise SqlSyntaxError(
+                f"FOR EACH SELECT must be FROM the VG alias {vg_alias!r}, "
+                f"got {from_name!r}")
+        return CreateRandomTable(
+            name=name, columns=tuple(columns), loop_var=loop_var,
+            parameter_table=parameter_table, vg_alias=vg_alias,
+            vg_name=vg_name, vg_args=tuple(vg_args),
+            select_items=tuple(select_items))
+
+    def _create_select_item(self) -> str:
+        head = self._expect_ident()
+        if self._accept("symbol", "."):
+            if self._accept("symbol", "*"):
+                return f"{head}.*"
+            return f"{head}.{self._expect_ident()}"
+        return head
+
+    def _select(self) -> SelectStmt:
+        self._expect("keyword", "select")
+        items = [self._select_item()]
+        while self._accept("symbol", ","):
+            items.append(self._select_item())
+        self._expect("keyword", "from")
+        from_items = [self._from_item()]
+        while self._accept("symbol", ","):
+            from_items.append(self._from_item())
+        where = None
+        if self._accept("keyword", "where"):
+            where = self._expression()
+        group_by: list[str] = []
+        if self._accept("keyword", "group"):
+            self._expect("keyword", "by")
+            group_by.append(self._qualified_name())
+            while self._accept("symbol", ","):
+                group_by.append(self._qualified_name())
+        result_spec = None
+        if self._accept("keyword", "with"):
+            result_spec = self._result_spec()
+        return SelectStmt(
+            items=tuple(items), from_items=tuple(from_items), where=where,
+            group_by=tuple(group_by), result_spec=result_spec)
+
+    def _select_item(self) -> SelectItem:
+        if self._current.kind == "keyword" and self._current.value in _AGG_KEYWORDS:
+            kind = self._advance().value
+            self._expect("symbol", "(")
+            if kind == "count" and self._accept("symbol", "*"):
+                call = AggCall("count", None)
+            else:
+                call = AggCall(kind, self._expression())
+            self._expect("symbol", ")")
+            alias = self._alias()
+            return SelectItem(call, alias)
+        expr = self._expression()
+        return SelectItem(expr, self._alias())
+
+    def _alias(self) -> str | None:
+        if self._accept("keyword", "as"):
+            return self._expect_ident()
+        if self._check("ident"):
+            return self._advance().value
+        return None
+
+    def _from_item(self) -> FromItem:
+        table = self._expect_ident()
+        alias = self._alias()
+        return FromItem(table=table, alias=alias)
+
+    def _result_spec(self) -> ResultSpec:
+        self._expect("keyword", "resultdistribution")
+        self._expect("keyword", "montecarlo")
+        self._expect("symbol", "(")
+        count = int(self._expect("number").value)
+        self._expect("symbol", ")")
+        domain = None
+        frequency_table = None
+        expectation = None
+        variance = None
+        while True:
+            if self._accept("keyword", "domain"):
+                target = self._qualified_name()
+                self._expect("symbol", ">=")
+                if self._accept("keyword", "quantile"):
+                    self._expect("symbol", "(")
+                    quantile = float(self._expect("number").value)
+                    self._expect("symbol", ")")
+                    domain = DomainSpec(target=target, quantile=quantile)
+                else:
+                    threshold = self._signed_number()
+                    domain = DomainSpec(target=target, threshold=threshold)
+            elif self._accept("keyword", "frequencytable"):
+                frequency_table = self._qualified_name()
+            elif self._accept("keyword", "expectation"):
+                expectation = self._qualified_name()
+            elif self._accept("keyword", "variance"):
+                variance = self._qualified_name()
+            else:
+                break
+        return ResultSpec(montecarlo=count, domain=domain,
+                          frequency_table=frequency_table,
+                          expectation=expectation, variance=variance)
+
+    def _signed_number(self) -> float:
+        sign = -1.0 if self._accept("symbol", "-") else 1.0
+        return sign * float(self._expect("number").value)
+
+    # -- expressions ------------------------------------------------------------
+
+    def _qualified_name(self) -> str:
+        head = self._expect_ident()
+        while self._accept("symbol", "."):
+            head = f"{head}.{self._expect_ident()}"
+        return head
+
+    def _expression(self) -> Expr:
+        return self._or_expr()
+
+    def _or_expr(self) -> Expr:
+        left = self._and_expr()
+        while self._accept("keyword", "or"):
+            left = BinOp("or", left, self._and_expr())
+        return left
+
+    def _and_expr(self) -> Expr:
+        left = self._not_expr()
+        while self._accept("keyword", "and"):
+            left = BinOp("and", left, self._not_expr())
+        return left
+
+    def _not_expr(self) -> Expr:
+        if self._accept("keyword", "not"):
+            return Not(self._not_expr())
+        return self._comparison()
+
+    def _comparison(self) -> Expr:
+        left = self._additive()
+        for op in ("<=", ">=", "!=", "<", ">", "="):
+            if self._accept("symbol", op):
+                return BinOp(op, left, self._additive())
+        return left
+
+    def _additive(self) -> Expr:
+        left = self._multiplicative()
+        while True:
+            if self._accept("symbol", "+"):
+                left = BinOp("+", left, self._multiplicative())
+            elif self._accept("symbol", "-"):
+                left = BinOp("-", left, self._multiplicative())
+            else:
+                return left
+
+    def _multiplicative(self) -> Expr:
+        left = self._unary()
+        while True:
+            if self._accept("symbol", "*"):
+                left = BinOp("*", left, self._unary())
+            elif self._accept("symbol", "/"):
+                left = BinOp("/", left, self._unary())
+            else:
+                return left
+
+    def _unary(self) -> Expr:
+        if self._accept("symbol", "-"):
+            return BinOp("-", Lit(0.0), self._unary())
+        return self._primary()
+
+    def _primary(self) -> Expr:
+        if self._accept("symbol", "("):
+            inner = self._expression()
+            self._expect("symbol", ")")
+            return inner
+        if self._check("number"):
+            raw = self._advance().value
+            value = float(raw)
+            return Lit(int(value) if value.is_integer() and "." not in raw
+                       and "e" not in raw.lower() else value)
+        if self._check("string"):
+            return Lit(self._advance().value)
+        if self._check("ident"):
+            return Col(self._qualified_name())
+        raise SqlSyntaxError(
+            f"unexpected token {self._current.value!r} at position "
+            f"{self._current.position}")

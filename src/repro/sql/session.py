@@ -1,0 +1,283 @@
+"""Top-level session: catalog + statement execution.
+
+A :class:`Session` is the public face of the system.  Typical flow, exactly
+mirroring Sec. 2 of the paper::
+
+    session = Session(base_seed=42)
+    session.add_table("means", {"CID": ..., "m": ...})
+    session.execute('''
+        CREATE TABLE Losses (CID, val) AS
+        FOR EACH CID IN means
+        WITH myVal AS Normal(VALUES(m, 1.0))
+        SELECT CID, myVal.* FROM myVal''')
+    output = session.execute('''
+        SELECT SUM(val) AS totalLoss FROM Losses
+        WHERE CID < 10010
+        WITH RESULTDISTRIBUTION MONTECARLO(100)
+        DOMAIN totalLoss >= QUANTILE(0.99)
+        FREQUENCYTABLE totalLoss''')
+    output.tail.quantile_estimate        # the estimated 0.99-quantile
+    session.execute("SELECT MIN(totalLoss) FROM FTABLE")  # same thing
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.gibbs_looper import GibbsLooper, LooperResult
+from repro.core.params import TailParams, choose_parameters
+from repro.engine.errors import PlanError
+from repro.engine.expressions import Col
+from repro.engine.mcdb import MonteCarloExecutor, MonteCarloResult
+from repro.engine.operators import ExecutionContext
+from repro.engine.random_table import RandomColumnSpec, RandomTableSpec
+from repro.engine.table import Catalog, Table
+from repro.sql.ast_nodes import CreateRandomTable, SelectStmt
+from repro.sql.parser import parse
+from repro.sql.planner import compile_select
+from repro.vg.base import VGRegistry, default_registry
+
+__all__ = ["Session", "QueryOutput"]
+
+FTABLE_NAME = "FTABLE"
+
+
+@dataclass
+class QueryOutput:
+    """Result of ``Session.execute``.
+
+    Exactly one of the payload fields is set, per statement kind:
+    ``rows`` for deterministic SELECTs, ``distributions`` for plain
+    ``MONTECARLO`` queries, ``tail`` for ``DOMAIN ... QUANTILE`` queries.
+    """
+
+    kind: str  # "create" | "rows" | "montecarlo" | "tail"
+    rows: Table | None = None
+    distributions: MonteCarloResult | None = None
+    tail: LooperResult | None = None
+
+    def __repr__(self):
+        payload = self.rows or self.distributions or self.tail or ""
+        return f"QueryOutput({self.kind}, {payload!r})"
+
+
+class Session:
+    """An MCDB-R session: catalog, VG registry and execution policy.
+
+    Parameters
+    ----------
+    base_seed:
+        Session PRNG seed; every stream derives deterministically from it.
+    tail_budget:
+        Total bootstrap sample budget ``N`` handed to the Appendix C
+        parameter chooser for ``DOMAIN ... QUANTILE`` queries.
+    window:
+        Stream values materialized per TS-seed per plan run (Sec. 5/9).
+    gibbs_steps:
+        ``k``, Gibbs sweeps per bootstrapping iteration.
+    """
+
+    def __init__(self, base_seed: int = 0, registry: VGRegistry | None = None,
+                 tail_budget: int = 1000, window: int = 1000,
+                 gibbs_steps: int = 1):
+        self.catalog = Catalog()
+        self.registry = registry or default_registry
+        self.base_seed = base_seed
+        self.tail_budget = tail_budget
+        self.window = window
+        self.gibbs_steps = gibbs_steps
+
+    # -- data definition -------------------------------------------------------
+
+    def add_table(self, name: str, columns: Mapping[str, Sequence]) -> Table:
+        """Register a deterministic base table from column data."""
+        return self.catalog.add_table(Table(name, columns))
+
+    # -- execution ---------------------------------------------------------------
+
+    def execute(self, sql: str) -> QueryOutput:
+        """Parse and execute one statement."""
+        statement = parse(sql)
+        if isinstance(statement, CreateRandomTable):
+            return self._execute_create(statement)
+        return self._execute_select(statement)
+
+    def explain(self, sql: str) -> str:
+        """Return the physical plan for a SELECT, leaf-last like Fig. 2.
+
+        Tail queries additionally show the pulled-up predicate and the
+        aggregate the GibbsLooper will drive.
+        """
+        statement = parse(sql)
+        if not isinstance(statement, SelectStmt):
+            raise PlanError("EXPLAIN applies to SELECT statements")
+        spec = statement.result_spec
+        tail_mode = spec is not None and spec.domain is not None
+        compiled = compile_select(statement, self.catalog, tail_mode=tail_mode)
+        lines = []
+        if tail_mode:
+            aggregate = compiled.aggregates[0]
+            lines.append(
+                f"GibbsLooper({aggregate.kind}({aggregate.expr!r})"
+                + (f", pulled-up: {compiled.pulled_up_predicate!r}"
+                   if compiled.pulled_up_predicate is not None else "")
+                + ")")
+        elif compiled.aggregates:
+            names = ", ".join(
+                f"{a.kind}({a.expr!r})" for a in compiled.aggregates)
+            lines.append(f"Aggregate({names})"
+                         + (f" GROUP BY {compiled.group_by}"
+                            if compiled.group_by else ""))
+        plan_text = compiled.plan.describe(indent=1 if lines else 0)
+        return "\n".join(lines + [plan_text])
+
+    def _execute_create(self, statement: CreateRandomTable) -> QueryOutput:
+        vg = self.registry.lookup(statement.vg_name)
+        parameter_table = self.catalog.table(statement.parameter_table)
+        passthrough: list[str] = []
+        random_names: list[str] = []
+        star = f"{statement.vg_alias}.*"
+        header = list(statement.columns)
+        consumed = 0
+        for item in statement.select_items:
+            if item == star or item.startswith(f"{statement.vg_alias}."):
+                remaining = header[consumed:]
+                if item == star:
+                    random_names.extend(remaining)
+                    consumed = len(header)
+                else:
+                    random_names.append(header[consumed])
+                    consumed += 1
+            else:
+                if item not in parameter_table:
+                    raise PlanError(
+                        f"{item!r} is neither a parameter column of "
+                        f"{statement.parameter_table!r} nor a VG output")
+                if header[consumed] != item and header[consumed] not in item:
+                    # Header name wins; SELECT order defines the mapping.
+                    pass
+                passthrough.append(header[consumed])
+                consumed += 1
+        if consumed != len(header):
+            raise PlanError(
+                f"CREATE TABLE header lists {len(header)} columns but the "
+                f"SELECT produces {consumed}")
+        spec = RandomTableSpec(
+            name=statement.name,
+            parameter_table=statement.parameter_table,
+            vg=vg,
+            vg_params=statement.vg_args,
+            random_columns=tuple(
+                RandomColumnSpec(name, component)
+                for component, name in enumerate(random_names)),
+            passthrough_columns=tuple(passthrough))
+        self.catalog.add_random_table(spec)
+        return QueryOutput(kind="create")
+
+    def _execute_select(self, statement: SelectStmt) -> QueryOutput:
+        spec = statement.result_spec
+        tail_mode = spec is not None and spec.domain is not None
+        compiled = compile_select(statement, self.catalog, tail_mode=tail_mode)
+
+        if spec is None:
+            if compiled.has_random_input:
+                raise PlanError(
+                    "querying an uncertain table requires a WITH "
+                    "RESULTDISTRIBUTION MONTECARLO(n) clause")
+            return self._run_deterministic(compiled)
+
+        if spec.domain is None:
+            result = MonteCarloExecutor(
+                compiled.plan, compiled.aggregates, self.catalog,
+                group_by=compiled.group_by,
+                base_seed=self.base_seed).run(spec.montecarlo)
+            if spec.frequency_table:
+                self._register_ftable(
+                    spec.frequency_table,
+                    result.distribution(spec.frequency_table).frequency_table())
+            return QueryOutput(kind="montecarlo", distributions=result)
+
+        return self._run_tail(compiled, statement, spec)
+
+    def _run_tail(self, compiled, statement: SelectStmt, spec) -> QueryOutput:
+        domain = spec.domain
+        if domain.quantile is None:
+            raise PlanError(
+                "DOMAIN with an explicit threshold is not supported; use "
+                "DOMAIN <agg> >= QUANTILE(q) (the paper's tail-sampling "
+                "form)")
+        if compiled.group_by:
+            raise PlanError(
+                "GROUP BY with DOMAIN is not supported in one statement; "
+                "run one conditioned query per group (the paper treats a "
+                "g-group query as g separate queries)")
+        if len(compiled.aggregates) != 1:
+            raise PlanError(
+                "tail sampling requires exactly one aggregate in SELECT")
+        aggregate = compiled.aggregates[0]
+        if aggregate.name != domain.target:
+            raise PlanError(
+                f"DOMAIN target {domain.target!r} does not name the "
+                f"aggregate {aggregate.name!r}")
+        p = 1.0 - domain.quantile
+        params = choose_parameters(p, self.tail_budget)
+        looper = GibbsLooper(
+            compiled.plan, self.catalog, params,
+            num_samples=spec.montecarlo,
+            aggregate_kind=aggregate.kind,
+            aggregate_expr=aggregate.expr,
+            final_predicate=compiled.pulled_up_predicate,
+            k=self.gibbs_steps,
+            window=max(self.window, max(params.n_steps)),
+            base_seed=self.base_seed)
+        result = looper.run()
+        if spec.frequency_table:
+            self._register_ftable(spec.frequency_table,
+                                  result.frequency_table())
+        return QueryOutput(kind="tail", tail=result)
+
+    def _run_deterministic(self, compiled) -> QueryOutput:
+        if compiled.aggregates:
+            result = MonteCarloExecutor(
+                compiled.plan, compiled.aggregates, self.catalog,
+                group_by=compiled.group_by, base_seed=self.base_seed).run(1)
+            # Group-key columns take their SELECT alias when one was given,
+            # otherwise the bare (unqualified) column name.
+            labels = {expr.name: name for name, expr in compiled.plain_outputs
+                      if isinstance(expr, Col)}
+            key_labels = [labels.get(name, name.split(".", 1)[-1])
+                          for name in compiled.group_by]
+            columns: dict[str, list] = {label: [] for label in key_labels}
+            for aggregate in compiled.aggregates:
+                columns[aggregate.name] = []
+            for key in result.group_keys:
+                for label, value in zip(key_labels, key):
+                    columns[label].append(value)
+                for aggregate in compiled.aggregates:
+                    columns[aggregate.name].append(
+                        result.scalar(aggregate.name, key))
+            return QueryOutput(kind="rows", rows=Table("result", columns))
+
+        context = ExecutionContext(self.catalog, positions=1, aligned=True,
+                                   base_seed=self.base_seed)
+        relation = compiled.plan.execute(context)
+        columns = {
+            name: relation.evaluate_scalar(expr)
+            for name, expr in compiled.plain_outputs}
+        return QueryOutput(kind="rows", rows=Table("result", columns))
+
+    # -- FTABLE ---------------------------------------------------------------
+
+    def _register_ftable(self, value_column: str,
+                         table: list[tuple[float, float]]) -> None:
+        """Materialize ``FTABLE(value, FRAC)`` (Sec. 2), replacing any old one."""
+        self.catalog.drop(FTABLE_NAME)
+        values = [value for value, _ in table]
+        fractions = [fraction for _, fraction in table]
+        short_name = value_column.split(".", 1)[-1]
+        self.catalog.add_table(Table(FTABLE_NAME, {
+            short_name: np.asarray(values),
+            "FRAC": np.asarray(fractions)}))

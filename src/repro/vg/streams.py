@@ -1,0 +1,195 @@
+"""Deterministic, seed-addressed streams of VG-function outputs.
+
+A :class:`RandomStream` is the in-memory realization of the paper's "stream
+of random data" (Sec. 4.1): the sequence of values produced by repeatedly
+executing one VG function with one PRNG seed.  Two properties matter for
+MCDB-R:
+
+* **Determinism** — position ``i`` of the stream is a pure function of
+  ``(seed, i)``, so a stream can be discarded and regenerated at any time.
+  This is what lets MCDB-R re-run a query plan to "replenish" data (Sec. 9)
+  without changing any value already assigned to a database version.
+
+* **Windowed materialization** — the Gibbs Looper consumes stream positions
+  monotonically but must keep every position that is *currently assigned* to
+  some database version (Sec. 6, TS-seed items 3-5).  A
+  :class:`StreamWindow` therefore retains a contiguous recent window plus a
+  sparse set of pinned (assigned) positions, keeping memory at
+  ``O(window + versions)`` rather than ``O(total positions consumed)``.
+
+The paper's streams are "fueled" by a PRNG seed carried in the tuple bundle.
+We use ``numpy``'s Philox counter-based bit generator: ``Philox(key=seed)``
+jumped to block ``i`` gives O(1) access to any position without generating
+the prefix, which both keeps regeneration cheap and makes position access
+order-independent.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+# Values are generated in fixed-size chunks so that regenerating a stream
+# after replenishment touches each chunk at most once.
+DEFAULT_CHUNK = 256
+
+
+def generator_for_chunk(seed: int, chunk_index: int) -> np.random.Generator:
+    """Return a Generator positioned deterministically for one chunk.
+
+    Philox is counter-based: advancing the counter by a fixed amount per
+    chunk yields independent, reproducible sub-streams without generating
+    intermediate values.
+    """
+    bitgen = np.random.Philox(key=seed & 0xFFFFFFFFFFFFFFFF)
+    # Each Philox block yields 4 x 64 bits; jump far enough that chunks can
+    # never overlap regardless of how many variates one element consumes.
+    bitgen.advance(chunk_index * (1 << 40))
+    return np.random.Generator(bitgen)
+
+
+class RandomStream:
+    """Deterministic stream of scalar elements drawn by a sampler function.
+
+    ``sampler(rng, size)`` must return ``size`` i.i.d. draws as a 1-D float
+    array; it is the single-value core of a VG function.  Elements are
+    addressed by non-negative integer position.
+    """
+
+    def __init__(self, seed: int, sampler: Callable[[np.random.Generator, int], np.ndarray],
+                 chunk: int = DEFAULT_CHUNK):
+        if chunk <= 0:
+            raise ValueError(f"chunk must be positive, got {chunk}")
+        self.seed = int(seed)
+        self._sampler = sampler
+        self._chunk = int(chunk)
+        self._cache: dict[int, np.ndarray] = {}
+
+    def _chunk_values(self, chunk_index: int) -> np.ndarray:
+        values = self._cache.get(chunk_index)
+        if values is None:
+            rng = generator_for_chunk(self.seed, chunk_index)
+            values = np.asarray(self._sampler(rng, self._chunk), dtype=np.float64)
+            if values.shape != (self._chunk,):
+                raise ValueError(
+                    f"sampler returned shape {values.shape}, expected ({self._chunk},)")
+            self._cache[chunk_index] = values
+        return values
+
+    def value_at(self, position: int) -> float:
+        """Return the stream element at ``position`` (0-based)."""
+        if position < 0:
+            raise IndexError(f"stream position must be >= 0, got {position}")
+        chunk_index, offset = divmod(position, self._chunk)
+        return float(self._chunk_values(chunk_index)[offset])
+
+    def values_at(self, positions: Sequence[int] | np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`value_at` over an array of positions."""
+        positions = np.asarray(positions, dtype=np.int64)
+        if positions.size == 0:
+            return np.empty(0, dtype=np.float64)
+        if np.any(positions < 0):
+            raise IndexError("stream positions must be >= 0")
+        out = np.empty(positions.shape, dtype=np.float64)
+        chunk_ids = positions // self._chunk
+        offsets = positions % self._chunk
+        for cid in np.unique(chunk_ids):
+            mask = chunk_ids == cid
+            out[mask] = self._chunk_values(int(cid))[offsets[mask]]
+        return out
+
+    def range_values(self, start: int, stop: int) -> np.ndarray:
+        """Return positions ``[start, stop)`` as a contiguous array."""
+        if stop < start:
+            raise ValueError(f"invalid range [{start}, {stop})")
+        return self.values_at(np.arange(start, stop, dtype=np.int64))
+
+    def drop_cache_below(self, position: int) -> None:
+        """Forget cached chunks strictly below ``position``.
+
+        Values remain recoverable (determinism), this only frees memory for
+        prefix positions the Gibbs Looper has permanently consumed.
+        """
+        keep_from = position // self._chunk
+        for cid in [c for c in self._cache if c < keep_from]:
+            del self._cache[cid]
+
+    @property
+    def cached_chunks(self) -> int:
+        return len(self._cache)
+
+
+class StreamWindow:
+    """A materialized view of a stream: contiguous window + pinned positions.
+
+    This is the in-memory analogue of the value arrays carried inside Gibbs
+    tuples (Sec. 5): the Instantiate operator materializes a *range* of
+    stream values, and during replenishment "only adds new or currently
+    assigned values" (Sec. 9).  ``pin`` marks a position as currently
+    assigned to some database version so it survives window advancement.
+    """
+
+    def __init__(self, stream: RandomStream, start: int = 0, length: int = DEFAULT_CHUNK):
+        if length <= 0:
+            raise ValueError(f"window length must be positive, got {length}")
+        self.stream = stream
+        self._start = int(start)
+        self._values = stream.range_values(self._start, self._start + int(length))
+        self._pinned: dict[int, float] = {}
+
+    @property
+    def window_range(self) -> tuple[int, int]:
+        """Half-open range of the contiguous window."""
+        return self._start, self._start + len(self._values)
+
+    def covers(self, position: int) -> bool:
+        lo, hi = self.window_range
+        return (lo <= position < hi) or position in self._pinned
+
+    def value_at(self, position: int) -> float:
+        lo, hi = self.window_range
+        if lo <= position < hi:
+            return float(self._values[position - lo])
+        try:
+            return self._pinned[position]
+        except KeyError:
+            raise KeyError(
+                f"position {position} is not materialized (window [{lo}, {hi}), "
+                f"{len(self._pinned)} pinned)") from None
+
+    def values_at(self, positions: Sequence[int] | np.ndarray) -> np.ndarray:
+        positions = np.asarray(positions, dtype=np.int64)
+        return np.array([self.value_at(int(p)) for p in positions], dtype=np.float64)
+
+    def window_values(self, start: int, stop: int) -> np.ndarray:
+        """Contiguous values for ``[start, stop)``; must lie inside the window."""
+        lo, hi = self.window_range
+        if start < lo or stop > hi:
+            raise KeyError(f"[{start}, {stop}) outside materialized window [{lo}, {hi})")
+        return self._values[start - lo:stop - lo]
+
+    def pin(self, position: int) -> None:
+        """Mark ``position`` as assigned so it survives window advancement."""
+        self._pinned[position] = self.value_at(position)
+
+    def unpin(self, position: int) -> None:
+        self._pinned.pop(position, None)
+
+    @property
+    def pinned_positions(self) -> set[int]:
+        return set(self._pinned)
+
+    def advance(self, new_start: int, length: int | None = None) -> None:
+        """Slide the window forward; pinned positions stay accessible.
+
+        This is the replenishment step of Sec. 9 restricted to one stream:
+        regenerate a fresh contiguous range while retaining every currently
+        assigned value.
+        """
+        if length is None:
+            length = len(self._values)
+        if new_start < self._start:
+            raise ValueError("window can only advance forward")
+        self._start = int(new_start)
+        self._values = self.stream.range_values(self._start, self._start + int(length))

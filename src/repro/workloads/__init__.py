@@ -1,0 +1,21 @@
+"""Workload generators for the paper's example scenarios.
+
+* :mod:`repro.workloads.portfolio` — the Sec. 2 customer-loss model.
+* :mod:`repro.workloads.hr` — the Sec. 5 salary-inversion schema.
+* :mod:`repro.workloads.tpch` — the Appendix D TPC-H-like data sets
+  (timing variant and inverse-gamma accuracy variant with the skewed join).
+* :mod:`repro.workloads.analytic` — closed-form query-result distributions
+  used as ground truth.
+"""
+
+from repro.workloads.analytic import NormalResultDistribution
+from repro.workloads.hr import SalaryWorkload
+from repro.workloads.portfolio import PortfolioWorkload
+from repro.workloads.tpch import TPCHWorkload
+
+__all__ = [
+    "PortfolioWorkload",
+    "SalaryWorkload",
+    "TPCHWorkload",
+    "NormalResultDistribution",
+]

@@ -1,0 +1,95 @@
+"""Closed-form query-result distributions used as experimental ground truth.
+
+Appendix D validates MCDB-R by choosing workloads whose query-result
+distribution is *known analytically*: a SUM of independent normal values is
+itself normal, with mean ``sum(w_i * m_i)`` and variance ``sum(w_i^2 *
+v_i)`` where ``w_i`` counts how many times value ``i`` enters the sum (the
+join fan-out).  This module provides that normal ground truth plus the
+conditional-tail quantities (Figure 5's thick black lines).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["NormalResultDistribution"]
+
+_SQRT2 = math.sqrt(2.0)
+
+
+def _phi(z: np.ndarray | float) -> np.ndarray | float:
+    return np.exp(-0.5 * np.square(z)) / math.sqrt(2.0 * math.pi)
+
+
+def _Phi(z: np.ndarray | float) -> np.ndarray | float:
+    return 0.5 * (1.0 + np.vectorize(math.erf)(np.asarray(z) / _SQRT2))
+
+
+def _Phi_inv(q: float) -> float:
+    lo, hi = -40.0, 40.0
+    for _ in range(200):
+        mid = (lo + hi) / 2.0
+        if _Phi(mid) < q:
+            lo = mid
+        else:
+            hi = mid
+    return (lo + hi) / 2.0
+
+
+@dataclass(frozen=True)
+class NormalResultDistribution:
+    """The analytic N(mean, variance) result distribution of a SUM query."""
+
+    mean: float
+    variance: float
+
+    @classmethod
+    def from_weighted_normals(cls, weights, means, variances
+                              ) -> "NormalResultDistribution":
+        """Result of ``SUM`` over normals entering ``weights[i]`` times.
+
+        This is exactly the paper's validation query: ``SUM(grpsize * m)``
+        and ``SUM(grpsize^2 * v)`` over the grouped join (Appendix D).
+        """
+        weights = np.asarray(weights, dtype=np.float64)
+        means = np.asarray(means, dtype=np.float64)
+        variances = np.asarray(variances, dtype=np.float64)
+        return cls(mean=float(weights @ means),
+                   variance=float((weights ** 2) @ variances))
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self.variance)
+
+    def cdf(self, x):
+        return _Phi((np.asarray(x, dtype=np.float64) - self.mean) / self.std)
+
+    def sf(self, x):
+        return 1.0 - self.cdf(x)
+
+    def quantile(self, q: float) -> float:
+        if not 0.0 < q < 1.0:
+            raise ValueError(f"quantile must be in (0,1), got {q}")
+        return self.mean + self.std * _Phi_inv(q)
+
+    def conditional_tail_cdf(self, x, cutoff: float):
+        """``P(Q <= x | Q >= cutoff)`` — Figure 5's analytic tail CDF."""
+        x = np.asarray(x, dtype=np.float64)
+        tail = self.sf(cutoff)
+        if tail <= 0.0:
+            raise ValueError(f"cutoff {cutoff} has zero tail mass")
+        return np.clip((self.cdf(x) - self.cdf(cutoff)) / tail, 0.0, 1.0)
+
+    def expected_shortfall(self, q: float) -> float:
+        """``E[Q | Q >= quantile(q)]`` (the Sec. 2 risk measure)."""
+        z = _Phi_inv(q)
+        return self.mean + self.std * float(_phi(z)) / (1.0 - q)
+
+    def middle_width(self, mass: float = 0.99) -> float:
+        """Width of the central ``mass`` interval — the paper's yardstick
+        for the 10% standard-error claim in Appendix D."""
+        half = (1.0 - mass) / 2.0
+        return self.quantile(1.0 - half) - self.quantile(half)

@@ -1,0 +1,70 @@
+"""The Sec. 5 "salary inversion" workload.
+
+Employees with uncertain salaries, a supervision edge table, and the query
+computing the company's total salary inversion — the paper's vehicle for
+demonstrating self-joins on uncertain tables and multi-seed predicate
+pull-up (Fig. 2, Fig. 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sql import Session
+
+__all__ = ["SalaryWorkload"]
+
+CREATE_EMP = """
+    CREATE TABLE emp (eid, sal) AS
+    FOR EACH r IN emp_means
+    WITH v AS Normal(VALUES(msal, vsal))
+    SELECT eid, v.* FROM v
+"""
+
+INVERSION_QUERY = """
+    SELECT SUM(emp2.sal - emp1.sal) AS inversion
+    FROM emp AS emp1, emp AS emp2, sup
+    WHERE sup.boss = emp1.eid AND emp1.sal < {boss_cap}
+      AND sup.peon = emp2.eid AND emp2.sal > {peon_floor}
+      AND emp2.sal > emp1.sal
+    WITH RESULTDISTRIBUTION MONTECARLO({samples})
+    {tail_clause}
+"""
+
+
+@dataclass
+class SalaryWorkload:
+    """Random org chart with normally distributed salaries."""
+
+    employees: int = 50
+    supervision_edges: int = 60
+    mean_low: float = 30.0
+    mean_high: float = 90.0
+    salary_variance: float = 25.0
+    seed: int = 0
+
+    def build_session(self, **session_kwargs) -> Session:
+        rng = np.random.default_rng(self.seed)
+        ids = np.array([f"e{i}" for i in range(self.employees)], dtype=object)
+        means = rng.uniform(self.mean_low, self.mean_high, self.employees)
+        session = Session(**session_kwargs)
+        session.add_table("emp_means", {
+            "eid": ids, "msal": means,
+            "vsal": np.full(self.employees, self.salary_variance)})
+        bosses = rng.integers(0, self.employees, self.supervision_edges)
+        peons = rng.integers(0, self.employees, self.supervision_edges)
+        keep = bosses != peons
+        session.add_table("sup", {
+            "boss": ids[bosses[keep]], "peon": ids[peons[keep]]})
+        session.execute(CREATE_EMP)
+        return session
+
+    def inversion_query(self, samples: int, quantile: float | None = None,
+                        boss_cap: float = 90.0, peon_floor: float = 25.0) -> str:
+        tail_clause = ("" if quantile is None
+                       else f"DOMAIN inversion >= QUANTILE({quantile})")
+        return INVERSION_QUERY.format(
+            samples=samples, boss_cap=boss_cap, peon_floor=peon_floor,
+            tail_clause=tail_clause)

@@ -1,0 +1,66 @@
+"""The Sec. 2 portfolio-loss workload.
+
+An uncertain ``Losses(CID, val)`` table where customer ``CID``'s loss is
+``Normal(m_CID, 1)``, parameterized by a ``means(CID, m)`` table — the
+running example of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sql import Session
+from repro.workloads.analytic import NormalResultDistribution
+
+__all__ = ["PortfolioWorkload"]
+
+CREATE_LOSSES = """
+    CREATE TABLE Losses (CID, val) AS
+    FOR EACH CID IN means
+    WITH myVal AS Normal(VALUES(m, 1.0))
+    SELECT CID, myVal.* FROM myVal
+"""
+
+
+@dataclass
+class PortfolioWorkload:
+    """Generator + analytic ground truth for the customer-loss example."""
+
+    customers: int = 100
+    mean_low: float = 1.0
+    mean_high: float = 5.0
+    seed: int = 0
+
+    def customer_means(self) -> np.ndarray:
+        rng = np.random.default_rng(self.seed)
+        return rng.uniform(self.mean_low, self.mean_high, size=self.customers)
+
+    def build_session(self, **session_kwargs) -> Session:
+        """A session with ``means`` loaded and ``Losses`` declared."""
+        session = Session(**session_kwargs)
+        means = self.customer_means()
+        session.add_table("means", {
+            "CID": np.arange(self.customers), "m": means})
+        session.execute(CREATE_LOSSES)
+        return session
+
+    def analytic_total_loss(self, max_cid: int | None = None
+                            ) -> NormalResultDistribution:
+        """Ground truth for ``SELECT SUM(val) FROM Losses WHERE CID < c``."""
+        means = self.customer_means()
+        if max_cid is not None:
+            means = means[:max_cid]
+        return NormalResultDistribution(
+            mean=float(means.sum()), variance=float(len(means)))
+
+    def tail_query(self, quantile: float, samples: int,
+                   max_cid: int | None = None) -> str:
+        where = f"WHERE CID < {max_cid}" if max_cid is not None else ""
+        return f"""
+            SELECT SUM(val) AS totalLoss FROM Losses {where}
+            WITH RESULTDISTRIBUTION MONTECARLO({samples})
+            DOMAIN totalLoss >= QUANTILE({quantile})
+            FREQUENCYTABLE totalLoss
+        """

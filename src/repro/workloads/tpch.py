@@ -1,0 +1,140 @@
+"""The Appendix D TPC-H-like workloads.
+
+Two variants of the paper's benchmark database:
+
+* **timing** — ``random_ord`` attaches a ``Normal(1, 1)`` loss to each
+  order ("we use a mean and variance of one"); lineitems join uniformly.
+  Used for the E1 timing experiment.
+* **accuracy** — per-order means are drawn from ``InverseGamma(3, 1)`` and
+  variances from ``InverseGamma(3, 0.5)``; a configurable fraction of
+  lineitems join, with the linearly *skewed* mate distribution the paper
+  specifies ("the probability that the tuple will mate with the ith tuple
+  ... is equal to the probability that it will mate with the (i-1)th tuple,
+  minus ``2 (10^-5 - 10^-10)/(10^5 - 1)``").  Used for the E2 / Figure 5
+  accuracy experiment.
+
+Because the sum of independent normals is normal, the query-result
+distribution is known exactly from the realized join counts — the paper's
+own validation trick — via :meth:`TPCHWorkload.analytic_distribution`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sql import Session
+from repro.workloads.analytic import NormalResultDistribution
+
+__all__ = ["TPCHWorkload"]
+
+CREATE_RANDOM_ORD = """
+    CREATE TABLE random_ord (o_orderkey, o_yr, val) AS
+    FOR EACH o IN orders
+    WITH v AS Normal(VALUES(o_mean, o_var))
+    SELECT o_orderkey, o_yr, v.* FROM v
+"""
+
+TOTAL_LOSS_QUERY = """
+    SELECT SUM(val) AS totalLoss
+    FROM random_ord, lineitem
+    WHERE o_orderkey = l_orderkey
+      AND (o_yr = '1994' OR o_yr = '1995')
+    WITH RESULTDISTRIBUTION MONTECARLO({samples})
+    {tail_clause}
+"""
+
+_YEARS = [str(year) for year in range(1992, 1999)]
+
+
+@dataclass
+class TPCHWorkload:
+    """Scaled-down deterministic generator for the Appendix D data sets.
+
+    The paper runs TPC-H scale-factor 10 (1.5M orders / 6M lineitems for
+    the timing run; 100k orders / 1M joining lineitems for the accuracy
+    run).  The structural knobs — hyper-parameter distributions, join skew,
+    year filter selectivity — are preserved at any scale.
+    """
+
+    orders: int = 2000
+    lineitems: int = 10_000
+    variant: str = "accuracy"            # "accuracy" | "timing"
+    join_fraction: float = 0.8           # fraction of lineitems that mate
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.variant not in ("accuracy", "timing"):
+            raise ValueError(f"unknown variant {self.variant!r}")
+        if not 0.0 < self.join_fraction <= 1.0:
+            raise ValueError("join_fraction must be in (0, 1]")
+
+    # -- data generation -------------------------------------------------------
+
+    def generate(self) -> dict[str, np.ndarray]:
+        """All base-table columns, deterministically from ``seed``."""
+        rng = np.random.default_rng(self.seed)
+        keys = np.arange(self.orders)
+        years = rng.choice(np.array(_YEARS, dtype=object), size=self.orders)
+        if self.variant == "timing":
+            means = np.ones(self.orders)
+            variances = np.ones(self.orders)
+        else:
+            means = 1.0 / rng.gamma(3.0, 1.0, self.orders)          # InvGamma(3, 1)
+            variances = 0.5 / rng.gamma(3.0, 1.0, self.orders)      # InvGamma(3, .5)
+
+        joining = int(round(self.join_fraction * self.lineitems))
+        if self.variant == "timing":
+            mates = rng.integers(0, self.orders, size=joining)
+        else:
+            # Linearly decreasing mate probability over order index
+            # (Appendix D's skew, rescaled to `orders` rows).
+            weights = np.linspace(2.0, 1e-5, self.orders)
+            weights /= weights.sum()
+            mates = rng.choice(self.orders, size=joining, p=weights)
+        orphan_keys = np.full(self.lineitems - joining, -1, dtype=np.int64)
+        l_orderkey = np.concatenate([mates, orphan_keys])
+        rng.shuffle(l_orderkey)
+        return {
+            "o_orderkey": keys, "o_yr": years, "o_mean": means,
+            "o_var": variances,
+            "l_linenumber": np.arange(self.lineitems),
+            "l_orderkey": l_orderkey,
+        }
+
+    def build_session(self, **session_kwargs) -> Session:
+        data = self.generate()
+        session = Session(**session_kwargs)
+        session.add_table("orders", {
+            "o_orderkey": data["o_orderkey"], "o_yr": data["o_yr"],
+            "o_mean": data["o_mean"], "o_var": data["o_var"]})
+        session.add_table("lineitem", {
+            "l_linenumber": data["l_linenumber"],
+            "l_orderkey": data["l_orderkey"]})
+        session.execute(CREATE_RANDOM_ORD)
+        return session
+
+    # -- ground truth ------------------------------------------------------------
+
+    def analytic_distribution(self) -> NormalResultDistribution:
+        """Exact result distribution of :data:`TOTAL_LOSS_QUERY`.
+
+        Each order in 1994/1995 contributes its normal loss once per joined
+        lineitem (``grpsize``), so the total is
+        ``N(sum grpsize*m, sum grpsize^2*v)`` — the paper's Appendix D
+        validation query expressed directly.
+        """
+        data = self.generate()
+        joined = data["l_orderkey"][data["l_orderkey"] >= 0]
+        group_sizes = np.bincount(joined, minlength=self.orders).astype(float)
+        in_years = np.isin(data["o_yr"].astype(str), ("1994", "1995"))
+        weights = np.where(in_years, group_sizes, 0.0)
+        return NormalResultDistribution.from_weighted_normals(
+            weights, data["o_mean"], data["o_var"])
+
+    def total_loss_query(self, samples: int, quantile: float | None = None) -> str:
+        tail_clause = ("" if quantile is None
+                       else f"DOMAIN totalLoss >= QUANTILE({quantile})\n"
+                            "    FREQUENCYTABLE totalLoss")
+        return TOTAL_LOSS_QUERY.format(samples=samples, tail_clause=tail_clause)

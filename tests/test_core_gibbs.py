@@ -1,0 +1,209 @@
+"""Tests for Algorithms 1-2 (repro.core.gibbs)."""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.core.gibbs import GibbsStats, gencond, gibbs_sweep, gibbs_update
+from repro.core.model import GeneralQuery, IndependentBlockModel, SeparableSumQuery
+
+R = 10
+
+
+def _normal_model(r=R):
+    return IndependentBlockModel.iid(lambda g, size: g.normal(0, 1, size), r)
+
+
+def _valid_start(model, query, cutoff, rng):
+    """Brute-force a state with Q >= cutoff by repeated i.i.d. sampling."""
+    while True:
+        state = model.draw_states(rng, 64)
+        totals = query.totals(state)
+        hit = np.nonzero(totals >= cutoff)[0]
+        if hit.size:
+            return state[hit[0]].copy(), float(totals[hit[0]])
+
+
+class TestGencond:
+    def test_accepted_value_meets_cutoff(self):
+        model = _normal_model()
+        query = SeparableSumQuery.simple_sum(R)
+        rng = np.random.default_rng(0)
+        cutoff = 2.0
+        state, total = _valid_start(model, query, cutoff, rng)
+        for i in range(R):
+            value, total = gencond(state, i, cutoff, model, query, total, rng)
+            state[i] = value
+            assert total >= cutoff
+        assert query.total(state) == pytest.approx(total)
+
+    def test_conditional_distribution_is_truncated_marginal(self):
+        """With x_{-i} fixed, accepted u must follow h_i truncated at
+        c - sum(x_{-i}) — the exact conditional of Sec. 3.1's example."""
+        model = _normal_model(5)
+        query = SeparableSumQuery.simple_sum(5)
+        rng = np.random.default_rng(1)
+        cutoff = 1.0
+        state = np.array([0.5, 0.2, -0.1, 0.3, 0.4])
+        threshold = cutoff - (state.sum() - state[0])
+        draws = []
+        total = query.total(state)
+        for _ in range(1500):
+            value, _ = gencond(state, 0, cutoff, model, query, total, rng)
+            draws.append(value)
+        draws = np.asarray(draws)
+        assert np.all(draws >= threshold - 1e-12)
+        trunc = stats.truncnorm(a=threshold, b=np.inf)
+        ks = stats.kstest(draws, trunc.cdf)
+        assert ks.pvalue > 1e-3, ks
+
+    def test_stall_keeps_current_value(self):
+        model = _normal_model(2)
+        query = SeparableSumQuery.simple_sum(2)
+        rng = np.random.default_rng(2)
+        # Cutoff ~ 12 with one coordinate at 6: replacing it needs u >= 6,
+        # astronomically unlikely in a handful of proposals.
+        state = np.array([6.0, 6.0])
+        stats_ = GibbsStats()
+        value, total = gencond(state, 0, 12.0, model, query, 12.0, rng,
+                               max_proposals=16, stats=stats_)
+        assert value == 6.0
+        assert total == 12.0
+        assert stats_.stalls == 1
+        assert stats_.acceptances == 0
+        assert stats_.proposals == 16
+
+    def test_stats_accounting(self):
+        model = _normal_model(4)
+        query = SeparableSumQuery.simple_sum(4)
+        rng = np.random.default_rng(3)
+        stats_ = GibbsStats()
+        state, total = _valid_start(model, query, 0.0, rng)
+        for i in range(4):
+            _, total = gencond(state, i, 0.0, model, query, total, rng, stats=stats_)
+        assert stats_.acceptances == 4
+        assert stats_.proposals >= 4
+        assert 0 < stats_.acceptance_rate <= 1
+        assert stats_.proposals_per_acceptance >= 1
+
+
+class TestGibbsStats:
+    def test_empty_stats(self):
+        stats_ = GibbsStats()
+        assert stats_.acceptance_rate == 1.0
+        assert stats_.proposals_per_acceptance == 0.0
+
+    def test_all_rejected(self):
+        stats_ = GibbsStats(proposals=10, acceptances=0)
+        assert stats_.proposals_per_acceptance == float("inf")
+        assert stats_.acceptance_rate == 0.0
+
+    def test_merge(self):
+        a = GibbsStats(proposals=10, acceptances=5, stalls=1)
+        b = GibbsStats(proposals=2, acceptances=1, stalls=0)
+        a.merge(b)
+        assert (a.proposals, a.acceptances, a.stalls) == (12, 6, 1)
+
+
+class TestGibbsSweep:
+    def test_requires_valid_start(self):
+        model = _normal_model(3)
+        query = SeparableSumQuery.simple_sum(3)
+        rng = np.random.default_rng(4)
+        with pytest.raises(ValueError, match="valid starting state"):
+            gibbs_sweep(np.zeros(3), 1, cutoff=5.0, model=model, query=query, rng=rng)
+
+    def test_negative_k_rejected(self):
+        model = _normal_model(3)
+        query = SeparableSumQuery.simple_sum(3)
+        rng = np.random.default_rng(4)
+        with pytest.raises(ValueError, match=">= 0"):
+            gibbs_sweep(np.zeros(3), -1, cutoff=-5.0, model=model, query=query, rng=rng)
+
+    def test_k_zero_is_noop(self):
+        model = _normal_model(3)
+        query = SeparableSumQuery.simple_sum(3)
+        rng = np.random.default_rng(5)
+        state = np.array([1.0, 1.0, 1.0])
+        total = gibbs_sweep(state, 0, cutoff=0.0, model=model, query=query, rng=rng)
+        np.testing.assert_array_equal(state, [1.0, 1.0, 1.0])
+        assert total == pytest.approx(3.0)
+
+    def test_sweep_preserves_cutoff_invariant(self):
+        model = _normal_model()
+        query = SeparableSumQuery.simple_sum(R)
+        rng = np.random.default_rng(6)
+        cutoff = 3.0
+        state, total = _valid_start(model, query, cutoff, rng)
+        for _ in range(20):
+            total = gibbs_sweep(state, 1, cutoff, model, query, rng,
+                                current_total=total)
+            assert total >= cutoff
+            assert query.total(state) == pytest.approx(total)
+
+    def test_stationarity(self):
+        """If X^(0) ~ h(.; c), then X^(k) ~ h(.; c) (Sec. 3.1).
+
+        Start chains from exact rejection samples of the conditioned
+        distribution and check the marginal of Q is unchanged after sweeps.
+        """
+        r = 5
+        model = _normal_model(r)
+        query = SeparableSumQuery.simple_sum(r)
+        rng = np.random.default_rng(7)
+        cutoff = stats.norm.ppf(0.9, scale=np.sqrt(r))  # easy 0.1 tail
+
+        exact, after = [], []
+        for _ in range(400):
+            state, total = _valid_start(model, query, cutoff, rng)
+            exact.append(total)
+            total = gibbs_sweep(state, 2, cutoff, model, query, rng,
+                                current_total=total)
+            after.append(total)
+        ks = stats.ks_2samp(exact, after)
+        assert ks.pvalue > 1e-3, ks
+
+    def test_sweep_decorrelates_duplicates(self):
+        """Two clones updated independently should drift apart (Sec. 3.1:
+        approximate independence after k steps)."""
+        model = _normal_model()
+        query = SeparableSumQuery.simple_sum(R)
+        rng = np.random.default_rng(8)
+        state, total = _valid_start(model, query, 2.0, rng)
+        clone_a, clone_b = state.copy(), state.copy()
+        gibbs_sweep(clone_a, 1, 2.0, model, query, rng, current_total=total)
+        gibbs_sweep(clone_b, 1, 2.0, model, query, rng, current_total=total)
+        assert not np.allclose(clone_a, clone_b)
+
+    def test_general_query_path(self):
+        model = _normal_model(4)
+        weights = np.array([1.0, 2.0, -1.0, 0.5])
+        query = GeneralQuery(lambda x: float(weights @ x))
+        rng = np.random.default_rng(9)
+        state, total = _valid_start(model, query, 1.0, rng)
+        total = gibbs_sweep(state, 2, 1.0, model, query, rng, current_total=total)
+        assert total >= 1.0
+        assert query.total(state) == pytest.approx(total)
+
+    def test_reproducible_with_seeded_rng(self):
+        model = _normal_model(6)
+        query = SeparableSumQuery.simple_sum(6)
+        results = []
+        for _ in range(2):
+            rng = np.random.default_rng(123)
+            state, total = _valid_start(model, query, 1.0, rng)
+            gibbs_sweep(state, 3, 1.0, model, query, rng, current_total=total)
+            results.append(state.copy())
+        np.testing.assert_array_equal(results[0], results[1])
+
+
+class TestGibbsUpdate:
+    def test_updates_every_block_in_order(self):
+        """With an always-accepting cutoff, every block gets a fresh value."""
+        model = _normal_model(5)
+        query = SeparableSumQuery.simple_sum(5)
+        rng = np.random.default_rng(10)
+        state = np.zeros(5)
+        total = gibbs_update(state, -np.inf, model, query, 0.0, rng)
+        assert np.all(state != 0.0)
+        assert query.total(state) == pytest.approx(total)

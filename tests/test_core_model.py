@@ -1,0 +1,164 @@
+"""Tests for the block-independent vector model (repro.core.model)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.model import GeneralQuery, IndependentBlockModel, SeparableSumQuery
+from repro.vg.builtin import NORMAL
+
+
+def _normal_sampler(mean, sd):
+    def sampler(rng, size):
+        return rng.normal(mean, sd, size)
+    return sampler
+
+
+class TestIndependentBlockModel:
+    def test_draw_shapes(self):
+        model = IndependentBlockModel.iid(_normal_sampler(0, 1), 5)
+        rng = np.random.default_rng(0)
+        assert model.num_blocks == 5
+        assert model.draw_block(2, rng, 7).shape == (7,)
+        assert model.draw_states(rng, 3).shape == (3, 5)
+
+    def test_blocks_have_their_own_marginals(self):
+        model = IndependentBlockModel(
+            [_normal_sampler(0, 1), _normal_sampler(100, 1)])
+        rng = np.random.default_rng(1)
+        states = model.draw_states(rng, 500)
+        assert abs(states[:, 0].mean()) < 0.5
+        assert abs(states[:, 1].mean() - 100) < 0.5
+
+    def test_from_vg_uses_parameter_rows(self):
+        model = IndependentBlockModel.from_vg(NORMAL, [(3.0, 0.01), (8.0, 0.01)])
+        rng = np.random.default_rng(2)
+        states = model.draw_states(rng, 200)
+        assert abs(states[:, 0].mean() - 3.0) < 0.1
+        assert abs(states[:, 1].mean() - 8.0) < 0.1
+
+    def test_from_vg_validates_params(self):
+        with pytest.raises(ValueError):
+            IndependentBlockModel.from_vg(NORMAL, [(0.0, -1.0)])
+
+    def test_empty_model_rejected(self):
+        with pytest.raises(ValueError):
+            IndependentBlockModel([])
+        with pytest.raises(ValueError):
+            IndependentBlockModel.iid(_normal_sampler(0, 1), 0)
+
+
+class TestSeparableSumQuery:
+    def test_simple_sum(self):
+        query = SeparableSumQuery.simple_sum(4)
+        assert query.total(np.array([1.0, 2.0, 3.0, 4.0])) == 10.0
+
+    def test_weighted_sum_with_const(self):
+        query = SeparableSumQuery(weights=[2.0, -1.0], const=5.0)
+        assert query.total(np.array([3.0, 4.0])) == pytest.approx(5 + 6 - 4)
+
+    def test_average(self):
+        query = SeparableSumQuery.average(4)
+        assert query.total(np.array([1.0, 2.0, 3.0, 4.0])) == pytest.approx(2.5)
+
+    def test_transform_applies_per_block(self):
+        # f_i(u) = u^2 for even blocks, u for odd blocks.
+        def transform(i, values):
+            return values ** 2 if i % 2 == 0 else values
+
+        query = SeparableSumQuery(num_blocks=2, transform=transform)
+        assert query.total(np.array([3.0, 3.0])) == pytest.approx(9 + 3)
+
+    def test_indicator_transform_models_predicates(self):
+        # SUM(x) over tuples WHERE x > 0  ==  sum of x * I(x > 0).
+        query = SeparableSumQuery(
+            num_blocks=3, transform=lambda i, v: np.where(v > 0, v, 0.0))
+        assert query.total(np.array([-5.0, 2.0, 3.0])) == pytest.approx(5.0)
+
+    def test_totals_vectorized_matches_scalar(self):
+        rng = np.random.default_rng(3)
+        states = rng.normal(size=(20, 6))
+        for query in [
+            SeparableSumQuery.simple_sum(6),
+            SeparableSumQuery(weights=rng.normal(size=6), const=2.0),
+            SeparableSumQuery(num_blocks=6, transform=lambda i, v: np.abs(v)),
+        ]:
+            np.testing.assert_allclose(
+                query.totals(states), [query.total(s) for s in states])
+
+    def test_candidate_totals_match_recompute(self):
+        rng = np.random.default_rng(4)
+        query = SeparableSumQuery(weights=rng.normal(size=5),
+                                  transform=lambda i, v: v + i, const=1.5)
+        state = rng.normal(size=5)
+        total = query.total(state)
+        candidates = rng.normal(size=8)
+        for i in range(5):
+            fast = query.candidate_totals(state, total, i, candidates)
+            slow = []
+            for u in candidates:
+                modified = state.copy()
+                modified[i] = u
+                slow.append(query.total(modified))
+            np.testing.assert_allclose(fast, slow)
+
+    def test_shape_mismatch_rejected(self):
+        query = SeparableSumQuery.simple_sum(3)
+        with pytest.raises(ValueError):
+            query.total(np.zeros(4))
+
+    def test_bad_construction(self):
+        with pytest.raises(ValueError):
+            SeparableSumQuery()
+        with pytest.raises(ValueError):
+            SeparableSumQuery(weights=np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            SeparableSumQuery(weights=[])
+
+
+class TestGeneralQuery:
+    def test_total(self):
+        query = GeneralQuery(lambda x: float(np.max(x)))
+        assert query.total(np.array([1.0, 9.0, 2.0])) == 9.0
+
+    def test_candidate_totals_bruteforce(self):
+        query = GeneralQuery(lambda x: float(np.max(x)))
+        state = np.array([1.0, 9.0, 2.0])
+        out = query.candidate_totals(state, 9.0, 0, np.array([0.0, 10.0, 5.0]))
+        np.testing.assert_allclose(out, [9.0, 10.0, 9.0])
+
+    def test_candidate_totals_do_not_mutate_state(self):
+        query = GeneralQuery(lambda x: float(np.sum(x)))
+        state = np.array([1.0, 2.0])
+        query.candidate_totals(state, 3.0, 1, np.array([100.0]))
+        np.testing.assert_array_equal(state, [1.0, 2.0])
+
+    def test_agrees_with_separable_on_sums(self):
+        rng = np.random.default_rng(5)
+        weights = rng.normal(size=4)
+        separable = SeparableSumQuery(weights=weights)
+        general = GeneralQuery(lambda x: float(weights @ x))
+        state = rng.normal(size=4)
+        assert separable.total(state) == pytest.approx(general.total(state))
+        candidates = rng.normal(size=6)
+        np.testing.assert_allclose(
+            separable.candidate_totals(state, separable.total(state), 2, candidates),
+            general.candidate_totals(state, general.total(state), 2, candidates))
+
+
+@given(weights=st.lists(st.floats(-5, 5), min_size=1, max_size=8),
+       const=st.floats(-10, 10), seed=st.integers(0, 1000))
+@settings(max_examples=40, deadline=None)
+def test_property_candidate_totals_consistent(weights, const, seed):
+    rng = np.random.default_rng(seed)
+    query = SeparableSumQuery(weights=weights, const=const)
+    state = rng.normal(size=len(weights))
+    total = query.total(state)
+    i = int(rng.integers(len(weights)))
+    candidates = rng.normal(size=3)
+    fast = query.candidate_totals(state, total, i, candidates)
+    for u, value in zip(candidates, fast):
+        modified = state.copy()
+        modified[i] = u
+        assert value == pytest.approx(query.total(modified), rel=1e-9, abs=1e-9)

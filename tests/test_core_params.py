@@ -1,0 +1,225 @@
+"""Tests for Appendix C parameter selection (repro.core.params)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import stats
+
+from repro.core import params as pm
+
+
+class TestHFactorAndMSRE:
+    def test_h_factor_single_step(self):
+        # h_c = (n p + c) / (n + c) for one step.
+        assert pm.h_factor([100], [0.1], 1.0) == pytest.approx(11.0 / 101.0)
+        assert pm.h_factor([100], [0.1], 2.0) == pytest.approx(12.0 / 102.0)
+
+    def test_h_factor_multiplies_over_steps(self):
+        single = pm.h_factor([50], [0.2], 1.0)
+        assert pm.h_factor([50, 50], [0.2, 0.2], 1.0) == pytest.approx(single ** 2)
+
+    def test_h_factor_bounds(self):
+        # p <= h_c <= 1 for feasible parameters (Appendix C).
+        for n, q in [(10, 0.5), (100, 0.1), (1000, 0.031623)]:
+            value = pm.h_factor([n, n], [q, q], 1.0)
+            assert q * q <= value <= 1.0
+
+    def test_h_factor_length_mismatch(self):
+        with pytest.raises(ValueError):
+            pm.h_factor([10, 20], [0.5], 1.0)
+
+    def test_msre_matches_beta_moment_derivation(self):
+        for n_steps, p_steps in [
+            ([100] * 3, [0.1] * 3),
+            ([200, 100, 50], [0.25, 0.2, 0.02]),
+            ([500] * 5, [0.25] * 5),
+        ]:
+            p = float(np.prod(p_steps))
+            assert pm.msre(n_steps, p_steps, p) == pytest.approx(
+                pm.msre_beta_moments(n_steps, p_steps, p), rel=1e-12)
+
+    def test_msre_positive_and_decreasing_in_n(self):
+        p = 0.001
+        values = [pm.msre([n] * 4, [p ** 0.25] * 4, p) for n in (50, 200, 1000, 5000)]
+        assert all(v > 0 for v in values)
+        assert values == sorted(values, reverse=True)
+
+    def test_msre_simulation_agrees_with_closed_form(self):
+        # n (1 - q) integral so that the integer elite count of the
+        # simulation matches the continuous closed form exactly.
+        p = 0.3 ** 3
+        params = pm.TailParams(p=p, m=3, n_steps=(150,) * 3, p_steps=(0.3,) * 3)
+        closed = params.expected_msre()
+        simulated = pm.simulate_msre(params, runs=400_000,
+                                     rng=np.random.default_rng(42))
+        assert simulated == pytest.approx(closed, rel=0.05)
+
+    def test_simulated_msre_handles_degenerate_step(self):
+        params = pm.TailParams(p=0.25, m=2, n_steps=(100, 100), p_steps=(0.25, 1.0))
+        value = pm.simulate_msre(params, runs=10_000, rng=np.random.default_rng(0))
+        assert value > 0
+
+
+class TestTheorem1:
+    def test_g_m_formula(self):
+        total, p, c, m = 1000, 0.001, 1.0, 4
+        n = total / m
+        expected = ((n * p ** 0.25 + c) / (n + c)) ** m
+        assert pm.g_m(total, p, c, m) == pytest.approx(expected)
+
+    def test_g_m_rejects_bad_m(self):
+        with pytest.raises(ValueError):
+            pm.g_m(100, 0.01, 1.0, 0)
+
+    def test_optimal_m_matches_brute_force(self):
+        for total, p in [(500, 1 / 32), (1000, 0.001), (2000, 0.0001), (100, 0.05)]:
+            for c in (1.0, 2.0):
+                m_star = pm.optimal_m(total, p, c)
+                # Brute force over the feasible range: g_{m*} must be minimal
+                # among all m up to the first increase (unimodality).
+                feasible = [m for m in range(1, total // 2 + 1)
+                            if total // m >= 2 and (total // m) * p ** (1 / m) >= 1]
+                best = min(feasible, key=lambda m: pm.g_m(total, p, c, m))
+                assert m_star == best, (total, p, c, m_star, best)
+
+    def test_paper_parameterization_is_near_optimal(self):
+        # Appendix D uses m = 5, p^(1/m) = 0.25 (p ~ 0.000977) with N = 500.
+        p = 0.25 ** 5
+        chosen = pm.choose_parameters(p, 500)
+        # The theory must not disagree wildly with the paper's hand-picked m.
+        assert abs(chosen.m - 5) <= 2
+        theirs = pm.TailParams(p=p, m=5, n_steps=(100,) * 5, p_steps=(0.25,) * 5)
+        assert theirs.expected_msre() <= 2.0 * chosen.expected_msre()
+
+    def test_equal_split_beats_unequal_splits(self):
+        # Theorem 1 claims n_i = N/m, p_i = p^(1/m) is optimal for fixed m.
+        p, total, m = 0.001, 900, 3
+        opt = pm.msre([300] * 3, [p ** (1 / 3)] * 3, p)
+        for n_steps, p_steps in [
+            ([450, 300, 150], [p ** (1 / 3)] * 3),
+            ([300] * 3, [0.2, 0.1, p / 0.02]),
+            ([600, 200, 100], [0.05, 0.2, 0.1]),
+        ]:
+            assert abs(np.prod(p_steps) - p) < 1e-12
+            assert sum(n_steps) == total
+            assert pm.msre(n_steps, p_steps, p) >= opt - 1e-12
+
+    def test_optimal_m_input_validation(self):
+        with pytest.raises(ValueError):
+            pm.optimal_m(1, 0.1, 1.0)
+        with pytest.raises(ValueError):
+            pm.optimal_m(100, 1.5, 1.0)
+
+
+class TestChooseParameters:
+    def test_constraints_satisfied(self):
+        chosen = pm.choose_parameters(0.001, 1000)
+        assert chosen.total_samples <= 1000
+        assert np.prod(chosen.p_steps) == pytest.approx(0.001)
+        assert len(set(chosen.n_steps)) == 1
+        assert len(set(chosen.p_steps)) == 1
+        assert all(e >= 1 for e in chosen.elite_counts)
+
+    def test_single_step_when_p_moderate_and_budget_large(self):
+        # For an easy 0.5-tail there is no reason to bootstrap.
+        chosen = pm.choose_parameters(0.5, 1000)
+        assert chosen.m == 1
+
+    def test_more_extreme_p_needs_more_steps(self):
+        budget = 2000
+        m_values = [pm.choose_parameters(p, budget).m
+                    for p in (0.1, 0.01, 0.001, 0.0001)]
+        assert m_values == sorted(m_values)
+        assert m_values[-1] > m_values[0]
+
+    def test_choose_total_samples_hits_target(self):
+        p = 0.001
+        target = 0.05
+        total = pm.choose_total_samples(p, target)
+        assert pm.msre_of_total(total, p) <= target
+        if total > 8:
+            assert pm.msre_of_total(max(4, total // 2), p) > target
+
+    def test_choose_total_samples_unreachable(self):
+        with pytest.raises(ValueError, match="unreachable"):
+            pm.choose_total_samples(1e-6, 1e-9, max_total=10_000)
+
+    def test_choose_total_samples_bad_target(self):
+        with pytest.raises(ValueError):
+            pm.choose_total_samples(0.01, 0.0)
+
+    def test_w_converges_to_zero(self):
+        p = 0.001
+        values = [pm.msre_of_total(n, p) for n in (2_000, 20_000, 200_000)]
+        assert values == sorted(values, reverse=True)
+        assert values[-1] < 0.01
+
+
+class TestTailParamsValidation:
+    def test_valid_params_accept(self):
+        pm.TailParams(p=0.01, m=2, n_steps=(100, 100), p_steps=(0.1, 0.1))
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(p=0.0, m=1, n_steps=(10,), p_steps=(0.5,)),
+        dict(p=1.0, m=1, n_steps=(10,), p_steps=(0.5,)),
+        dict(p=0.1, m=2, n_steps=(10,), p_steps=(0.5, 0.2)),
+        dict(p=0.1, m=1, n_steps=(0,), p_steps=(0.5,)),
+        dict(p=0.1, m=1, n_steps=(10,), p_steps=(0.0,)),
+        dict(p=0.001, m=1, n_steps=(10,), p_steps=(0.001,)),  # 0 elites
+    ])
+    def test_invalid_params_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            pm.TailParams(**kwargs)
+
+    def test_elite_counts(self):
+        params = pm.TailParams(p=1 / 32, m=5, n_steps=(4,) * 5, p_steps=(0.5,) * 5)
+        assert params.elite_counts == (2,) * 5
+        assert params.total_samples == 20
+
+
+class TestPerStepQuantile:
+    def test_paper_example(self):
+        # Sec. 3.3: p = 0.001, m = 4 -> each step estimates a ~0.82 quantile.
+        assert pm.per_step_quantile(0.001, 4) == pytest.approx(0.822, abs=0.001)
+
+    def test_m_one_recovers_full_quantile(self):
+        assert pm.per_step_quantile(0.001, 1) == pytest.approx(0.999)
+
+    def test_rejects_bad_m(self):
+        with pytest.raises(ValueError):
+            pm.per_step_quantile(0.01, 0)
+
+
+class TestAppendixCNormalExample:
+    def test_one_percent_tail_probability_is_tenth_percent_quantile_error(self):
+        """App. C: for standard normal, p=0.001 => kappa ~ 3.090; a 1% tail
+        probability deviation moves the quantile only ~0.1%."""
+        kappa = stats.norm.ppf(1 - 0.001)
+        assert kappa == pytest.approx(3.090, abs=0.001)
+        low = stats.norm.ppf(1 - 0.001 * 1.01)
+        high = stats.norm.ppf(1 - 0.001 * 0.99)
+        assert low == pytest.approx(3.087, abs=0.001)
+        assert high == pytest.approx(3.093, abs=0.001)
+        assert abs(high - kappa) / kappa < 0.0015
+
+
+@given(p=st.floats(1e-4, 0.5), total=st.integers(100, 5000))
+@settings(max_examples=50, deadline=None)
+def test_property_chosen_parameters_are_feasible(p, total):
+    chosen = pm.choose_parameters(p, total)
+    assert chosen.total_samples <= total
+    assert np.prod(chosen.p_steps) == pytest.approx(p, rel=1e-9)
+    assert all(n >= 2 for n in chosen.n_steps)
+    assert all(e >= 1 for e in chosen.elite_counts)
+    assert chosen.expected_msre() > 0
+
+
+@given(n=st.integers(10, 2000), q=st.floats(0.05, 0.95), m=st.integers(1, 6))
+@settings(max_examples=60, deadline=None)
+def test_property_msre_equals_beta_moments(n, q, m):
+    p = q ** m
+    assert pm.msre([n] * m, [q] * m, p) == pytest.approx(
+        pm.msre_beta_moments([n] * m, [q] * m, p), rel=1e-9)

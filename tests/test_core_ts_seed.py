@@ -1,0 +1,185 @@
+"""Unit tests for TS-seeds, Gibbs tuples and seed handles."""
+
+import numpy as np
+import pytest
+
+from repro.core.gibbs_tuple import GibbsTuple, PresenceField, RandField, \
+    tuples_from_relation
+from repro.core.ts_seed import TSSeed
+from repro.engine.bundles import BundleRelation, PresenceColumn, RandomColumn
+from repro.engine.errors import PlanError
+from repro.engine.seeds import SeedInfo, derive_prng_seed, label_id_of, \
+    seed_handle
+from repro.vg.builtin import NORMAL
+
+
+def _info(handle=1, seed=42):
+    return SeedInfo(handle=handle, prng_seed=seed, vg=NORMAL,
+                    params=(0.0, 1.0))
+
+
+class TestSeedHandles:
+    def test_pack_unpack_disjoint(self):
+        a = seed_handle(1, 0)
+        b = seed_handle(1, 1)
+        c = seed_handle(2, 0)
+        assert len({a, b, c}) == 3
+        assert b - a == 1
+
+    def test_range_validation(self):
+        with pytest.raises(ValueError):
+            seed_handle(-1, 0)
+        with pytest.raises(ValueError):
+            seed_handle(1 << 20, 0)
+        with pytest.raises(ValueError):
+            seed_handle(0, 1 << 40)
+
+    def test_label_id_stable(self):
+        assert label_id_of("Losses") == label_id_of("Losses")
+        assert label_id_of("Losses") != label_id_of("emp")
+
+    def test_derive_prng_seed_spreads(self):
+        seeds = {derive_prng_seed(0, handle) for handle in range(100)}
+        assert len(seeds) == 100
+        assert derive_prng_seed(1, 5) != derive_prng_seed(2, 5)
+
+
+class TestSeedInfo:
+    def test_scalar_values(self):
+        info = _info()
+        assert info.value(3) == info.value(3)
+        np.testing.assert_allclose(
+            info.values_range(2, 6), info.values_at([2, 3, 4, 5]))
+
+    def test_block_values(self):
+        from repro.vg.builtin import MULTIVARIATE_NORMAL
+        info = SeedInfo(handle=2, prng_seed=9, vg=MULTIVARIATE_NORMAL,
+                        params=(0.0, 0.0, 1.0, 0.5, 0.5, 1.0), arity=2)
+        a = info.values_at([0, 1], component=0)
+        b = info.values_at([0, 1], component=1)
+        assert a.shape == b.shape == (2,)
+        assert not np.allclose(a, b)
+
+
+class TestTSSeed:
+    def _seed(self, versions=4, window=10):
+        return TSSeed.initial(_info(), np.arange(window), versions)
+
+    def test_initial_mapping(self):
+        ts = self._seed()
+        np.testing.assert_array_equal(ts.assignment, [0, 1, 2, 3])
+        assert ts.max_used == 3
+        assert ts.fresh_index_range() == (4, 10)
+        assert ts.has_fresh()
+
+    def test_initial_window_too_small(self):
+        with pytest.raises(ValueError, match="cannot seed"):
+            TSSeed.initial(_info(), np.arange(3), 4)
+
+    def test_consume_monotone(self):
+        ts = self._seed()
+        ts.consume_through(6)
+        assert ts.fresh_index_range() == (7, 10)
+        with pytest.raises(ValueError, match="already consumed"):
+            ts.consume_through(5)
+
+    def test_assign_and_clone(self):
+        ts = self._seed()
+        ts.assign(0, 7)
+        ts.clone_versions(np.array([0, 0, 3, 3]))
+        np.testing.assert_array_equal(ts.assignment, [7, 7, 3, 3])
+
+    def test_clone_can_resize(self):
+        ts = self._seed()
+        ts.clone_versions(np.array([1, 1]))
+        np.testing.assert_array_equal(ts.assignment, [1, 1])
+
+    def test_replenish_plan_contains_assigned_and_fresh(self):
+        ts = self._seed()
+        ts.assign(2, 9)
+        ts.consume_through(9)
+        plan = ts.replenish_plan(fresh=5)
+        assert set([0, 1, 9]).issubset(set(plan.tolist()))
+        assert set(range(10, 15)).issubset(set(plan.tolist()))
+        assert list(plan) == sorted(set(plan.tolist()))
+
+    def test_replenish_plan_validation(self):
+        with pytest.raises(ValueError):
+            self._seed().replenish_plan(0)
+
+    def test_pad_plan(self):
+        ts = self._seed()
+        plan = np.array([1, 5, 9])
+        padded = ts.pad_plan(plan, 6)
+        np.testing.assert_array_equal(padded, [1, 5, 9, 10, 11, 12])
+        with pytest.raises(ValueError):
+            ts.pad_plan(padded, 3)
+
+    def test_index_of_position(self):
+        ts = TSSeed.initial(_info(), np.array([2, 5, 9, 11]), 2)
+        assert ts.index_of_position(9) == 2
+        with pytest.raises(KeyError):
+            ts.index_of_position(7)
+
+    def test_value_at_uses_stream(self):
+        ts = self._seed()
+        assert ts.value_at(5) == _info().value(5)
+
+
+class TestGibbsTuple:
+    def _tuple(self):
+        return GibbsTuple(
+            tuple_id=0,
+            det={"name": "Sue"},
+            rand={
+                "a": RandField("a", handle=10, values=np.zeros(4)),
+                "b": RandField("b", handle=5, values=np.zeros(4)),
+            },
+            presences=[PresenceField(handle=7, flags=np.ones(4, dtype=bool))])
+
+    def test_handles_sorted_and_distinct(self):
+        assert self._tuple().handles == [5, 7, 10]
+
+    def test_next_handle_after(self):
+        t = self._tuple()
+        assert t.next_handle_after(5) == 7
+        assert t.next_handle_after(7) == 10
+        assert t.next_handle_after(10) is None
+
+    def test_columns_of_handle(self):
+        t = self._tuple()
+        assert t.columns_of_handle(10) == ["a"]
+        assert t.columns_of_handle(99) == []
+
+    def test_from_relation(self):
+        relation = BundleRelation(2, 3, aligned=False)
+        relation.add_det_column("k", np.array([7, 8]))
+        relation.add_rand_column("x", RandomColumn(
+            np.arange(6, dtype=float).reshape(2, 3),
+            seed_handles=np.array([100, 101])))
+        flags = np.array([[True, False, True], [True, True, True]])
+        relation.add_presence(PresenceColumn(
+            flags, seed_handles=np.array([100, 101])))
+        tuples = tuples_from_relation(relation)
+        assert len(tuples) == 2
+        assert tuples[0].det["k"] == 7
+        assert tuples[0].rand["x"].handle == 100
+        # Row 1's presence is vacuous (all true) and gets dropped.
+        assert len(tuples[0].presences) == 1
+        assert len(tuples[1].presences) == 0
+
+    def test_from_relation_rejects_derived(self):
+        relation = BundleRelation(1, 2, aligned=False)
+        relation.add_rand_column("d", RandomColumn(
+            np.zeros((1, 2)), seed_handles=None))
+        with pytest.raises(PlanError, match="mixes seeds"):
+            tuples_from_relation(relation)
+
+    def test_from_relation_rejects_aligned_presence(self):
+        relation = BundleRelation(1, 2, aligned=False)
+        relation.add_rand_column("x", RandomColumn(
+            np.zeros((1, 2)), seed_handles=np.array([1])))
+        relation.add_presence(PresenceColumn(
+            np.array([[True, False]]), seed_handles=None))
+        with pytest.raises(PlanError, match="single-seed"):
+            tuples_from_relation(relation)

@@ -1,0 +1,177 @@
+"""Tests for repro.engine.bundles."""
+
+import numpy as np
+import pytest
+
+from repro.engine.bundles import BundleRelation, PresenceColumn, RandomColumn
+from repro.engine.errors import AlignmentError, EngineError
+from repro.engine.expressions import col, lit
+from repro.engine.table import Table
+
+
+def _relation(aligned=True, positions=4, length=3):
+    relation = BundleRelation(length, positions, aligned)
+    relation.add_det_column("id", np.arange(length))
+    values = np.arange(length * positions, dtype=float).reshape(length, positions)
+    relation.add_rand_column("x", RandomColumn(
+        values, seed_handles=np.arange(length) + 100))
+    return relation
+
+
+class TestConstruction:
+    def test_from_table(self):
+        table = Table("t", {"a": [1, 2], "b": ["u", "v"]})
+        relation = BundleRelation.from_table(table, positions=5, aligned=True,
+                                             prefix="t.")
+        assert relation.length == 2
+        assert relation.positions == 5
+        assert set(relation.det_columns) == {"t.a", "t.b"}
+
+    def test_shape_validation(self):
+        relation = BundleRelation(2, 3, True)
+        with pytest.raises(EngineError, match="expected shape"):
+            relation.add_det_column("a", np.zeros(3))
+        with pytest.raises(EngineError, match="expected shape"):
+            relation.add_rand_column("r", RandomColumn(
+                np.zeros((2, 2)), seed_handles=np.zeros(2, dtype=np.int64)))
+        with pytest.raises(EngineError):
+            BundleRelation(-1, 3, True)
+
+    def test_duplicate_names_rejected(self):
+        relation = _relation()
+        with pytest.raises(EngineError, match="duplicate"):
+            relation.add_det_column("x", np.zeros(3))
+
+    def test_random_column_lineage_validation(self):
+        with pytest.raises(EngineError, match="seed_handles"):
+            RandomColumn(np.zeros((2, 3)), seed_handles=np.zeros(3, dtype=np.int64))
+        with pytest.raises(EngineError, match="derived"):
+            RandomColumn(np.zeros((2, 3)), seed_handles=None,
+                         bases=np.zeros(2, dtype=np.int64))
+        with pytest.raises(EngineError, match=r"\(T, W\)"):
+            RandomColumn(np.zeros(3), seed_handles=None)
+
+    def test_presence_validation(self):
+        with pytest.raises(EngineError):
+            PresenceColumn(np.ones(3, dtype=bool), seed_handles=None)
+        relation = _relation()
+        with pytest.raises(EngineError, match="expected shape"):
+            relation.add_presence(PresenceColumn(
+                np.ones((3, 99), dtype=bool), seed_handles=None))
+
+
+class TestEvaluation:
+    def test_evaluate_scalar(self):
+        relation = _relation()
+        np.testing.assert_array_equal(
+            relation.evaluate_scalar(col("id") + lit(1)), [1, 2, 3])
+
+    def test_evaluate_scalar_rejects_random(self):
+        relation = _relation()
+        with pytest.raises(EngineError, match="random columns"):
+            relation.evaluate_scalar(col("x"))
+
+    def test_evaluate_scalar_broadcasts_literals(self):
+        relation = _relation()
+        np.testing.assert_array_equal(
+            relation.evaluate_scalar(lit(7)), [7, 7, 7])
+
+    def test_evaluate_positional_broadcasts_det(self):
+        relation = _relation()
+        out = relation.evaluate_positional(col("x") + col("id") * lit(1000))
+        assert out.shape == (3, 4)
+        np.testing.assert_array_equal(out[1], relation.rand_columns["x"].values[1] + 1000)
+
+    def test_evaluate_positional_det_only_broadcasts(self):
+        relation = _relation()
+        out = relation.evaluate_positional(col("id"))
+        assert out.shape == (3, 4)
+        np.testing.assert_array_equal(out[:, 0], [0, 1, 2])
+
+    def test_single_seed_check_allows_one_seed(self):
+        relation = _relation(aligned=False)
+        out = relation.evaluate_positional(col("x") * lit(2), check_single_seed=True)
+        assert out.shape == (3, 4)
+
+    def test_single_seed_check_rejects_cross_seed(self):
+        relation = _relation(aligned=False)
+        relation.add_rand_column("y", RandomColumn(
+            np.ones((3, 4)), seed_handles=np.arange(3) + 500))
+        with pytest.raises(AlignmentError, match="pulled up"):
+            relation.evaluate_positional(col("x") + col("y"),
+                                         check_single_seed=True)
+
+    def test_same_seed_two_columns_allowed(self):
+        # Two components of one block VG share the seed: combinable in-plan.
+        relation = _relation(aligned=False)
+        relation.add_rand_column("x2", RandomColumn(
+            np.ones((3, 4)), seed_handles=np.arange(3) + 100))
+        out = relation.evaluate_positional(col("x") + col("x2"),
+                                           check_single_seed=True)
+        assert out.shape == (3, 4)
+
+    def test_derived_column_rejected_when_unaligned(self):
+        relation = _relation(aligned=False)
+        relation.add_rand_column("d", RandomColumn(np.ones((3, 4)),
+                                                   seed_handles=None))
+        with pytest.raises(AlignmentError):
+            relation.evaluate_positional(col("d"), check_single_seed=True)
+
+    def test_combined_presence_alignment_guard(self):
+        relation = _relation(aligned=False)
+        relation.add_presence(PresenceColumn(
+            np.ones((3, 4), dtype=bool),
+            seed_handles=relation.rand_columns["x"].seed_handles))
+        with pytest.raises(AlignmentError):
+            relation.combined_presence()
+
+    def test_combined_presence_ands(self):
+        relation = _relation(aligned=True)
+        a = np.ones((3, 4), dtype=bool)
+        a[0, 0] = False
+        b = np.ones((3, 4), dtype=bool)
+        b[0, 1] = False
+        relation.add_presence(PresenceColumn(a, seed_handles=None))
+        relation.add_presence(PresenceColumn(b, seed_handles=None))
+        combined = relation.combined_presence()
+        assert not combined[0, 0] and not combined[0, 1]
+        assert combined.sum() == 10
+
+    def test_combined_presence_none_when_empty(self):
+        assert _relation().combined_presence() is None
+
+
+class TestRowOperations:
+    def test_take_slices_everything(self):
+        relation = _relation()
+        relation.add_presence(PresenceColumn(
+            np.ones((3, 4), dtype=bool),
+            seed_handles=relation.rand_columns["x"].seed_handles))
+        out = relation.take(np.array([2, 0]))
+        assert out.length == 2
+        np.testing.assert_array_equal(out.det_columns["id"], [2, 0])
+        np.testing.assert_array_equal(out.rand_columns["x"].seed_handles, [102, 100])
+        assert out.presence[0].flags.shape == (2, 4)
+
+    def test_filter_rows(self):
+        relation = _relation()
+        out = relation.filter_rows(np.array([True, False, True]))
+        np.testing.assert_array_equal(out.det_columns["id"], [0, 2])
+
+    def test_filter_rows_shape_check(self):
+        with pytest.raises(EngineError, match="row mask"):
+            _relation().filter_rows(np.array([True]))
+
+    def test_rename(self):
+        relation = _relation()
+        out = relation.rename({"x": "loss"})
+        assert "loss" in out.rand_columns and "x" not in out.rand_columns
+        assert "id" in out.det_columns
+
+    def test_seeds_of_expression(self):
+        relation = _relation()
+        assert relation.seeds_of_expression(col("x")) == {100, 101, 102}
+        assert relation.seeds_of_expression(col("id")) == set()
+        relation.add_rand_column("d", RandomColumn(np.ones((3, 4)),
+                                                   seed_handles=None))
+        assert relation.seeds_of_expression(col("d")) is None

@@ -1,0 +1,104 @@
+"""Tests for repro.engine.expressions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.expressions import (
+    BinOp, Col, DictContext, Lit, Not, and_all, col, lit)
+
+
+def _context(**columns):
+    return DictContext({name: np.asarray(values) for name, values in columns.items()})
+
+
+class TestEvaluation:
+    def test_column_and_literal(self):
+        context = _context(a=[1.0, 2.0])
+        np.testing.assert_array_equal(col("a").evaluate(context), [1.0, 2.0])
+        assert lit(5).evaluate(context) == 5
+
+    def test_arithmetic(self):
+        context = _context(a=[2.0, 4.0], b=[1.0, 2.0])
+        np.testing.assert_array_equal((col("a") + col("b")).evaluate(context), [3, 6])
+        np.testing.assert_array_equal((col("a") - col("b")).evaluate(context), [1, 2])
+        np.testing.assert_array_equal((col("a") * col("b")).evaluate(context), [2, 8])
+        np.testing.assert_array_equal((col("a") / col("b")).evaluate(context), [2, 2])
+
+    def test_comparisons(self):
+        context = _context(a=[1.0, 5.0])
+        np.testing.assert_array_equal((col("a") < lit(3)).evaluate(context),
+                                      [True, False])
+        np.testing.assert_array_equal((col("a") >= lit(5)).evaluate(context),
+                                      [False, True])
+        np.testing.assert_array_equal(col("a").eq(lit(1)).evaluate(context),
+                                      [True, False])
+        np.testing.assert_array_equal(col("a").ne(lit(1)).evaluate(context),
+                                      [False, True])
+
+    def test_boolean_connectives(self):
+        context = _context(a=[1.0, 5.0, 10.0])
+        predicate = (col("a") > lit(2)).and_(col("a") < lit(8))
+        np.testing.assert_array_equal(predicate.evaluate(context),
+                                      [False, True, False])
+        either = (col("a") < lit(2)).or_(col("a") > lit(8))
+        np.testing.assert_array_equal(either.evaluate(context),
+                                      [True, False, True])
+        np.testing.assert_array_equal(Not(col("a") > lit(2)).evaluate(context),
+                                      [True, False, False])
+
+    def test_string_equality(self):
+        context = _context(name=np.array(["Sue", "Joe"], dtype=object))
+        np.testing.assert_array_equal(col("name").eq(lit("Sue")).evaluate(context),
+                                      [True, False])
+
+    def test_broadcasting_2d(self):
+        # Deterministic (T,1) against random (T,W) — the bundle convention.
+        context = _context(det=np.array([[1.0], [10.0]]),
+                           rand=np.array([[1.0, 2.0], [3.0, 4.0]]))
+        out = (col("rand") + col("det")).evaluate(context)
+        np.testing.assert_array_equal(out, [[2, 3], [13, 14]])
+
+    def test_scalar_number_coercion(self):
+        context = _context(a=[2.0])
+        np.testing.assert_array_equal((col("a") + 1).evaluate(context), [3.0])
+        np.testing.assert_array_equal((col("a") * 2.5).evaluate(context), [5.0])
+
+
+class TestStructure:
+    def test_columns_collection(self):
+        expr = (col("a") + col("b")).and_(Not(col("c") > lit(1)))
+        assert expr.columns() == {"a", "b", "c"}
+        assert lit(3).columns() == set()
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ValueError, match="unknown operator"):
+            BinOp("%", col("a"), lit(2))
+
+    def test_unknown_column_error_message(self):
+        with pytest.raises(KeyError, match="unknown column"):
+            col("zz").evaluate(_context(a=[1]))
+
+    def test_and_all(self):
+        assert and_all([]) is None
+        single = col("a") > lit(1)
+        assert and_all([single]) is single
+        combined = and_all([col("a") > lit(1), col("a") < lit(5)])
+        context = _context(a=[0.0, 3.0, 9.0])
+        np.testing.assert_array_equal(combined.evaluate(context),
+                                      [False, True, False])
+
+    def test_repr_is_informative(self):
+        expr = (col("a") + lit(1)) > col("b")
+        text = repr(expr)
+        assert "a" in text and "b" in text and "+" in text and ">" in text
+
+
+@given(a=st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=10),
+       threshold=st.floats(-1e6, 1e6))
+@settings(max_examples=50, deadline=None)
+def test_property_predicate_matches_numpy(a, threshold):
+    context = _context(a=a)
+    out = (col("a") >= lit(threshold)).evaluate(context)
+    np.testing.assert_array_equal(out, np.asarray(a) >= threshold)

@@ -1,0 +1,218 @@
+"""Tests for the naive Monte Carlo executor and result distributions."""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.engine.errors import PlanError
+from repro.engine.expressions import col, lit
+from repro.engine.mcdb import AggregateSpec, MonteCarloExecutor
+from repro.engine.operators import Join, Scan, Select, random_table_pipeline
+from repro.engine.random_table import RandomColumnSpec, RandomTableSpec
+from repro.engine.result import ResultDistribution
+from repro.engine.table import Catalog, Table
+from repro.vg.builtin import NORMAL
+
+
+@pytest.fixture
+def catalog():
+    catalog = Catalog()
+    catalog.add_table(Table("means", {
+        "CID": np.arange(10), "m": np.linspace(1.0, 10.0, 10)}))
+    return catalog
+
+
+def _losses_spec(variance=1.0):
+    return RandomTableSpec(
+        name="Losses", parameter_table="means", vg=NORMAL,
+        vg_params=(col("m"), lit(variance)),
+        random_columns=(RandomColumnSpec("val"),),
+        passthrough_columns=("CID",))
+
+
+class TestAggregateSpec:
+    def test_count_star_allowed(self):
+        AggregateSpec("n", "count")
+
+    def test_sum_requires_expr(self):
+        with pytest.raises(ValueError, match="requires an argument"):
+            AggregateSpec("s", "sum")
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown aggregate"):
+            AggregateSpec("x", "median", col("a"))
+
+
+class TestMonteCarloExecutor:
+    def test_sum_distribution_matches_analytics(self, catalog):
+        plan = random_table_pipeline(_losses_spec())
+        executor = MonteCarloExecutor(
+            plan, [AggregateSpec("total", "sum", col("val"))], catalog)
+        dist = executor.run(3000).distribution("total")
+        # SUM of N(m_i, 1): mean = sum(m), var = 10.
+        assert dist.expectation() == pytest.approx(55.0, abs=0.3)
+        assert dist.variance() == pytest.approx(10.0, rel=0.15)
+
+    def test_multiple_aggregates(self, catalog):
+        plan = random_table_pipeline(_losses_spec(variance=0.01))
+        executor = MonteCarloExecutor(plan, [
+            AggregateSpec("total", "sum", col("val")),
+            AggregateSpec("rows", "count"),
+            AggregateSpec("mean_val", "avg", col("val")),
+            AggregateSpec("lo", "min", col("val")),
+            AggregateSpec("hi", "max", col("val")),
+        ], catalog)
+        result = executor.run(500)
+        assert result.distribution("rows").expectation() == 10.0
+        assert result.distribution("mean_val").expectation() == pytest.approx(
+            5.5, abs=0.1)
+        assert result.distribution("lo").expectation() == pytest.approx(1.0, abs=0.1)
+        assert result.distribution("hi").expectation() == pytest.approx(10.0, abs=0.1)
+
+    def test_group_by(self, catalog):
+        plan = random_table_pipeline(_losses_spec(variance=0.01))
+        executor = MonteCarloExecutor(
+            plan, [AggregateSpec("total", "sum", col("val"))], catalog,
+            group_by=["CID"])
+        result = executor.run(200)
+        assert len(result.group_keys) == 10
+        assert result.distribution("total", (3,)).expectation() == pytest.approx(
+            4.0, abs=0.1)
+
+    def test_group_by_random_column_rejected(self, catalog):
+        plan = random_table_pipeline(_losses_spec())
+        executor = MonteCarloExecutor(
+            plan, [AggregateSpec("total", "sum", col("val"))], catalog,
+            group_by=["val"])
+        with pytest.raises(PlanError, match="Split"):
+            executor.run(10)
+
+    def test_presence_masks_contributions(self, catalog):
+        # WHERE val > m: each value included with probability 1/2
+        # independently, so E[count] = 5.
+        spec = RandomTableSpec(
+            name="Losses", parameter_table="means", vg=NORMAL,
+            vg_params=(col("m"), lit(1.0)),
+            random_columns=(RandomColumnSpec("val"),),
+            passthrough_columns=("CID", "m"))
+        plan = Select(random_table_pipeline(spec), col("val") > col("m"))
+        executor = MonteCarloExecutor(
+            plan, [AggregateSpec("n", "count")], catalog)
+        dist = executor.run(4000).distribution("n")
+        assert dist.expectation() == pytest.approx(5.0, abs=0.2)
+        assert dist.variance() == pytest.approx(2.5, rel=0.25)  # Binomial(10, .5)
+
+    def test_empty_group_semantics(self, catalog):
+        plan = Select(Scan("means"), col("CID") < lit(0))
+        executor = MonteCarloExecutor(plan, [
+            AggregateSpec("s", "sum", col("m")),
+            AggregateSpec("n", "count"),
+            AggregateSpec("a", "avg", col("m")),
+            AggregateSpec("mn", "min", col("m")),
+        ], catalog)
+        result = executor.run(3)
+        assert result.distribution("s").expectation() == 0.0
+        assert result.distribution("n").expectation() == 0.0
+        assert np.isnan(result.distribution("a").samples).all()
+        assert np.isnan(result.distribution("mn").samples).all()
+
+    def test_deterministic_query_via_single_rep(self, catalog):
+        executor = MonteCarloExecutor(Scan("means"), [
+            AggregateSpec("total_m", "sum", col("m")),
+            AggregateSpec("rows", "count"),
+        ], catalog)
+        result = executor.run(1)
+        assert result.scalar("total_m") == pytest.approx(55.0)
+        assert result.scalar("rows") == 10
+
+    def test_duplicate_aggregate_names_rejected(self, catalog):
+        with pytest.raises(PlanError, match="duplicate"):
+            MonteCarloExecutor(Scan("means"), [
+                AggregateSpec("x", "count"), AggregateSpec("x", "count")],
+                catalog)
+
+    def test_no_aggregates_rejected(self, catalog):
+        with pytest.raises(PlanError, match="at least one"):
+            MonteCarloExecutor(Scan("means"), [], catalog)
+
+    def test_unknown_group_and_aggregate_lookups(self, catalog):
+        plan = random_table_pipeline(_losses_spec())
+        executor = MonteCarloExecutor(
+            plan, [AggregateSpec("total", "sum", col("val"))], catalog)
+        result = executor.run(5)
+        with pytest.raises(KeyError, match="no aggregate"):
+            result.distribution("zz")
+        with pytest.raises(KeyError, match="no group"):
+            result.distribution("total", ("nope",))
+
+    def test_reproducible_across_runs(self, catalog):
+        plan = random_table_pipeline(_losses_spec())
+        executor = MonteCarloExecutor(
+            plan, [AggregateSpec("total", "sum", col("val"))], catalog,
+            base_seed=77)
+        a = executor.run(50).distribution("total").samples
+        b = executor.run(50).distribution("total").samples
+        np.testing.assert_array_equal(a, b)
+
+
+class TestResultDistribution:
+    def test_moments(self):
+        rng = np.random.default_rng(0)
+        samples = rng.normal(10, 2, size=20_000)
+        dist = ResultDistribution(samples)
+        assert dist.expectation() == pytest.approx(10.0, abs=0.05)
+        assert dist.std() == pytest.approx(2.0, rel=0.03)
+        lo, hi = dist.expectation_interval(0.95)
+        assert lo < 10.0 < hi
+        assert (hi - lo) == pytest.approx(2 * 1.96 * dist.standard_error(),
+                                          rel=1e-3)
+
+    def test_quantiles_and_intervals(self):
+        rng = np.random.default_rng(1)
+        samples = rng.normal(0, 1, size=50_000)
+        dist = ResultDistribution(samples)
+        assert dist.quantile(0.975) == pytest.approx(1.96, abs=0.05)
+        lo, hi = dist.quantile_interval(0.975, 0.95)
+        assert lo <= dist.quantile(0.975) <= hi
+        assert hi - lo < 0.1
+
+    def test_coverage_of_expectation_interval(self):
+        """~95% of CLT intervals should cover the true mean."""
+        rng = np.random.default_rng(2)
+        covered = 0
+        for _ in range(300):
+            dist = ResultDistribution(rng.normal(3.0, 1.0, size=200))
+            lo, hi = dist.expectation_interval(0.95)
+            covered += lo <= 3.0 <= hi
+        assert 0.90 <= covered / 300 <= 0.99
+
+    def test_tail_probability_and_cdf(self):
+        dist = ResultDistribution([1.0, 2.0, 3.0, 4.0])
+        assert dist.tail_probability(3.0) == 0.5
+        assert dist.cdf(2.0) == 0.5
+
+    def test_frequency_table(self):
+        dist = ResultDistribution([1.0, 1.0, 2.0, 4.0])
+        assert dist.frequency_table() == [(1.0, 0.5), (2.0, 0.25), (4.0, 0.25)]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ResultDistribution([])
+        with pytest.raises(ValueError):
+            ResultDistribution(np.zeros((2, 2)))
+        dist = ResultDistribution([1.0, 2.0])
+        with pytest.raises(ValueError):
+            dist.quantile(1.5)
+        with pytest.raises(ValueError):
+            dist.quantile_interval(0.0)
+
+    def test_custom_confidence_level_zvalue(self):
+        dist = ResultDistribution(np.arange(100, dtype=float))
+        lo95, hi95 = dist.expectation_interval(0.95)
+        lo80, hi80 = dist.expectation_interval(0.80)
+        assert (hi80 - lo80) < (hi95 - lo95)
+
+    def test_single_sample(self):
+        dist = ResultDistribution([5.0])
+        assert dist.variance() == 0.0
+        assert dist.expectation() == 5.0

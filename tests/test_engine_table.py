@@ -1,0 +1,130 @@
+"""Tests for repro.engine.table."""
+
+import numpy as np
+import pytest
+
+from repro.engine.expressions import col, lit
+from repro.engine.random_table import RandomColumnSpec, RandomTableSpec
+from repro.engine.table import Catalog, Table
+from repro.vg.builtin import NORMAL
+
+
+class TestTable:
+    def test_basic_construction(self):
+        table = Table("t", {"a": [1, 2, 3], "b": ["x", "y", "z"]})
+        assert len(table) == 3
+        assert table.column_names == ["a", "b"]
+        np.testing.assert_array_equal(table.column("a"), [1, 2, 3])
+        assert table.column("b").dtype == object
+
+    def test_from_rows(self):
+        table = Table.from_rows("t", ["a", "b"], [(1, "x"), (2, "y")])
+        assert len(table) == 2
+        assert table.row(1) == {"a": 2, "b": "y"}
+        assert table.rows()[0] == {"a": 1, "b": "x"}
+
+    def test_from_rows_empty(self):
+        table = Table.from_rows("t", ["a"], [])
+        assert len(table) == 0
+
+    def test_ragged_columns_rejected(self):
+        with pytest.raises(ValueError, match="rows"):
+            Table("t", {"a": [1, 2], "b": [1]})
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(ValueError, match="at least one column"):
+            Table("t", {})
+
+    def test_2d_column_rejected(self):
+        with pytest.raises(ValueError, match="1-D"):
+            Table("t", {"a": np.zeros((2, 2))})
+
+    def test_unknown_column(self):
+        table = Table("t", {"a": [1]})
+        with pytest.raises(KeyError, match="no column"):
+            table.column("zz")
+        assert "a" in table and "zz" not in table
+
+
+def _losses_spec():
+    return RandomTableSpec(
+        name="Losses", parameter_table="means", vg=NORMAL,
+        vg_params=(col("m"), lit(1.0)),
+        random_columns=(RandomColumnSpec("val"),),
+        passthrough_columns=("CID",))
+
+
+class TestCatalog:
+    def test_add_and_lookup(self):
+        catalog = Catalog()
+        table = Table("means", {"CID": [1], "m": [3.0]})
+        catalog.add_table(table)
+        assert catalog.table("MEANS") is table  # case-insensitive
+        assert catalog.has("means")
+        assert not catalog.is_random("means")
+
+    def test_random_table_registration(self):
+        catalog = Catalog()
+        catalog.add_random_table(_losses_spec())
+        assert catalog.is_random("losses")
+        assert catalog.random_table("Losses").name == "Losses"
+        assert catalog.random_table_names() == ["losses"]
+
+    def test_name_conflicts_rejected(self):
+        catalog = Catalog()
+        catalog.add_table(Table("losses", {"a": [1]}))
+        with pytest.raises(ValueError, match="base table"):
+            catalog.add_random_table(_losses_spec())
+
+        catalog2 = Catalog()
+        catalog2.add_random_table(_losses_spec())
+        with pytest.raises(ValueError, match="random table"):
+            catalog2.add_table(Table("Losses", {"a": [1]}))
+
+    def test_unknown_lookups(self):
+        catalog = Catalog()
+        with pytest.raises(KeyError, match="unknown table"):
+            catalog.table("nope")
+        with pytest.raises(KeyError, match="unknown random table"):
+            catalog.random_table("nope")
+
+    def test_drop(self):
+        catalog = Catalog()
+        catalog.add_table(Table("t", {"a": [1]}))
+        catalog.drop("t")
+        assert not catalog.has("t")
+
+
+class TestRandomTableSpec:
+    def test_column_names(self):
+        spec = _losses_spec()
+        assert spec.column_names == ["CID", "val"]
+        assert not spec.is_block_vg
+
+    def test_block_vg_detection(self):
+        spec = RandomTableSpec(
+            name="R", parameter_table="p", vg=NORMAL, vg_params=(),
+            random_columns=(RandomColumnSpec("a", 0), RandomColumnSpec("b", 1)))
+        assert spec.is_block_vg
+
+    def test_no_random_columns_rejected(self):
+        with pytest.raises(ValueError, match="at least one random column"):
+            RandomTableSpec(name="R", parameter_table="p", vg=NORMAL,
+                            vg_params=(), random_columns=())
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            RandomTableSpec(
+                name="R", parameter_table="p", vg=NORMAL, vg_params=(),
+                random_columns=(RandomColumnSpec("a"), RandomColumnSpec("a")))
+
+    def test_overlap_with_passthrough_rejected(self):
+        with pytest.raises(ValueError, match="both random and passthrough"):
+            RandomTableSpec(
+                name="R", parameter_table="p", vg=NORMAL, vg_params=(),
+                random_columns=(RandomColumnSpec("a"),),
+                passthrough_columns=("a",))
+
+    def test_negative_component_rejected(self):
+        with pytest.raises(ValueError):
+            RandomColumnSpec("a", component=-1)

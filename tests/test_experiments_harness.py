@@ -1,0 +1,44 @@
+"""Tests for the experiment reporting harness."""
+
+import pytest
+
+from repro.experiments import ascii_series, format_table, print_experiment
+
+
+class TestFormatTable:
+    def test_alignment_and_separator(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [10, 0.000123]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert set(lines[1]) <= {"-", " "}
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # all rows equally wide
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [[123456.0], [0.0001234], [0.0], [1.5]])
+        assert "1.235e+05" in text
+        assert "0.0001234" in text
+        assert "1.5" in text
+
+    def test_mixed_types(self):
+        text = format_table(["name", "n"], [["alpha", 3], ["b", 10]])
+        assert "alpha" in text and "10" in text
+
+
+class TestAsciiSeries:
+    def test_plot_contains_markers_and_legend(self):
+        xs = [0.0, 1.0, 2.0, 3.0]
+        plot = ascii_series(xs, {"up": [0, 1, 2, 3], "down": [3, 2, 1, 0]})
+        assert "*" in plot and "o" in plot
+        assert "up" in plot and "down" in plot
+        assert "x: [0, 3]" in plot
+
+    def test_degenerate_series(self):
+        assert "degenerate" in ascii_series([1.0, 1.0], {"flat": [2.0, 2.0]})
+
+
+def test_print_experiment_writes_title(capsys):
+    print_experiment("My Title", "body text")
+    captured = capsys.readouterr().out
+    assert "| My Title" in captured
+    assert "body text" in captured

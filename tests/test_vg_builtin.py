@@ -1,0 +1,243 @@
+"""Unit, statistical, and property tests for the builtin VG functions."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import stats
+
+from repro.vg import base, builtin
+from repro.vg.base import VGRegistry, default_registry
+
+RNG_SEED = 20100913  # VLDB 2010 conference start date
+
+
+def _draws(vg, params, size=20_000, seed=RNG_SEED):
+    rng = np.random.default_rng(seed)
+    return vg.sample_blocks(rng, params, size).reshape(size, -1)
+
+
+SCALAR_CASES = [
+    (builtin.NORMAL, (3.0, 4.0)),
+    (builtin.UNIFORM, (-1.0, 5.0)),
+    (builtin.GAMMA, (2.5, 1.5)),
+    (builtin.INVERSE_GAMMA, (4.0, 1.0)),
+    (builtin.LOGNORMAL, (0.2, 0.4)),
+    (builtin.PARETO, (4.0, 1.0)),
+    (builtin.POISSON, (6.0,)),
+    (builtin.BERNOULLI, (0.3,)),
+    (builtin.DISCRETE_CHOICE, (1.0, 0.2, 5.0, 0.8)),
+    (builtin.MIXTURE, (0.4, 0.0, 1.0, 0.6, 10.0, 2.0)),
+    (builtin.DETERMINISTIC, (7.5,)),
+]
+
+
+class TestMomentsMatchSampling:
+    @pytest.mark.parametrize("vg,params", SCALAR_CASES,
+                             ids=[type(v).__name__ for v, _ in SCALAR_CASES])
+    def test_sample_mean_matches_analytic_mean(self, vg, params):
+        draws = _draws(vg, params)[:, 0]
+        se = draws.std(ddof=1) / math.sqrt(len(draws)) if draws.std() > 0 else 1e-12
+        assert abs(draws.mean() - vg.mean(params)) < max(5 * se, 1e-9)
+
+    @pytest.mark.parametrize("vg,params", SCALAR_CASES,
+                             ids=[type(v).__name__ for v, _ in SCALAR_CASES])
+    def test_sample_variance_matches_analytic_variance(self, vg, params):
+        draws = _draws(vg, params)[:, 0]
+        target = vg.variance(params)
+        tolerance = max(0.15 * target, 1e-9)
+        assert abs(draws.var(ddof=1) - target) < tolerance
+
+
+class TestCDFs:
+    def test_normal_cdf_against_scipy(self):
+        x = np.linspace(-3, 9, 25)
+        np.testing.assert_allclose(
+            builtin.NORMAL.cdf(x, (3.0, 4.0)),
+            stats.norm.cdf(x, loc=3.0, scale=2.0), atol=1e-12)
+
+    def test_uniform_cdf_against_scipy(self):
+        x = np.linspace(-2, 6, 25)
+        np.testing.assert_allclose(
+            builtin.UNIFORM.cdf(x, (-1.0, 5.0)),
+            stats.uniform.cdf(x, loc=-1.0, scale=6.0), atol=1e-12)
+
+    def test_lognormal_cdf_against_scipy(self):
+        x = np.linspace(0.01, 5, 25)
+        np.testing.assert_allclose(
+            builtin.LOGNORMAL.cdf(x, (0.2, 0.4)),
+            stats.lognorm.cdf(x, 0.4, scale=math.exp(0.2)), atol=1e-12)
+
+    def test_pareto_cdf_against_scipy(self):
+        x = np.linspace(0.5, 10, 25)
+        np.testing.assert_allclose(
+            builtin.PARETO.cdf(x, (4.0, 1.0)),
+            stats.pareto.cdf(x, 4.0, scale=1.0), atol=1e-12)
+
+    def test_discrete_choice_cdf_steps(self):
+        params = (1.0, 0.2, 5.0, 0.8)
+        cdf = builtin.DISCRETE_CHOICE.cdf(np.array([0.0, 1.0, 4.9, 5.0, 9.0]), params)
+        np.testing.assert_allclose(cdf, [0.0, 0.2, 0.2, 1.0, 1.0])
+
+    def test_mixture_cdf_is_weighted_sum(self):
+        params = (0.4, 0.0, 1.0, 0.6, 10.0, 2.0)
+        x = np.linspace(-3, 15, 40)
+        expected = 0.4 * stats.norm.cdf(x) + 0.6 * stats.norm.cdf(
+            x, loc=10.0, scale=math.sqrt(2.0))
+        np.testing.assert_allclose(builtin.MIXTURE.cdf(x, params), expected, atol=1e-12)
+
+    @pytest.mark.parametrize("vg,params", [
+        (builtin.NORMAL, (3.0, 4.0)),
+        (builtin.PARETO, (3.0, 2.0)),
+        (builtin.LOGNORMAL, (0.0, 1.0)),
+    ], ids=["Normal", "Pareto", "Lognormal"])
+    def test_ks_sampling_agrees_with_cdf(self, vg, params):
+        draws = _draws(vg, params, size=4000)[:, 0]
+        statistic, pvalue = stats.kstest(draws, lambda x: vg.cdf(x, params))
+        assert pvalue > 1e-4, f"KS test rejected: D={statistic}, p={pvalue}"
+
+
+class TestValidation:
+    @pytest.mark.parametrize("vg,bad_params", [
+        (builtin.NORMAL, (0.0,)),
+        (builtin.NORMAL, (0.0, -1.0)),
+        (builtin.UNIFORM, (5.0, 1.0)),
+        (builtin.GAMMA, (-1.0, 1.0)),
+        (builtin.INVERSE_GAMMA, (1.0, -2.0)),
+        (builtin.PARETO, (0.0, 1.0)),
+        (builtin.POISSON, (-3.0,)),
+        (builtin.BERNOULLI, (1.5,)),
+        (builtin.DISCRETE_CHOICE, (1.0,)),
+        (builtin.DISCRETE_CHOICE, (1.0, -1.0, 2.0, 0.5)),
+        (builtin.MIXTURE, (1.0, 0.0)),
+        (builtin.DETERMINISTIC, ()),
+    ])
+    def test_bad_params_rejected(self, vg, bad_params):
+        with pytest.raises(ValueError):
+            vg.validate_params(bad_params)
+
+    def test_make_stream_validates(self):
+        with pytest.raises(ValueError):
+            builtin.NORMAL.make_stream(1, (0.0, -1.0))
+
+    def test_undefined_moments_raise(self):
+        with pytest.raises(ValueError):
+            builtin.PARETO.mean((0.5, 1.0))
+        with pytest.raises(ValueError):
+            builtin.PARETO.variance((1.5, 1.0))
+        with pytest.raises(ValueError):
+            builtin.INVERSE_GAMMA.variance((2.0, 1.0))
+
+    def test_cdf_not_implemented_for_gamma(self):
+        with pytest.raises(NotImplementedError):
+            builtin.GAMMA.cdf(1.0, (2.0, 1.0))
+
+
+class TestMultivariateNormal:
+    PARAMS = (1.0, -2.0, 4.0, 1.2, 1.2, 9.0)  # means (1,-2); cov [[4,1.2],[1.2,9]]
+
+    def test_block_arity(self):
+        assert builtin.MULTIVARIATE_NORMAL.block_arity(self.PARAMS) == 2
+
+    def test_dimension_validation(self):
+        with pytest.raises(ValueError):
+            builtin.MULTIVARIATE_NORMAL.block_arity((1.0, 2.0, 3.0))
+
+    def test_asymmetric_covariance_rejected(self):
+        with pytest.raises(ValueError, match="symmetric"):
+            builtin.MULTIVARIATE_NORMAL.validate_params(
+                (0.0, 0.0, 1.0, 0.9, 0.1, 1.0))
+
+    def test_non_psd_covariance_rejected(self):
+        with pytest.raises(ValueError, match="PSD"):
+            builtin.MULTIVARIATE_NORMAL.validate_params(
+                (0.0, 0.0, 1.0, 2.0, 2.0, 1.0))
+
+    def test_sample_covariance(self):
+        draws = _draws(builtin.MULTIVARIATE_NORMAL, self.PARAMS, size=30_000)
+        cov = np.cov(draws.T)
+        np.testing.assert_allclose(cov, [[4.0, 1.2], [1.2, 9.0]], atol=0.25)
+        np.testing.assert_allclose(draws.mean(axis=0), [1.0, -2.0], atol=0.1)
+
+    def test_block_stream_correlated_within_block(self):
+        params = (0.0, 0.0, 1.0, 0.95, 0.95, 1.0)
+        bs = builtin.MULTIVARIATE_NORMAL.make_block_stream(3, params)
+        blocks = np.array([bs.block_at(i) for i in range(2000)])
+        correlation = np.corrcoef(blocks.T)[0, 1]
+        assert correlation > 0.9
+
+    def test_scalar_stream_refused_for_blocks(self):
+        with pytest.raises(ValueError, match="use make_block_stream"):
+            builtin.MULTIVARIATE_NORMAL.make_stream(1, self.PARAMS)
+
+    def test_block_stream_deterministic(self):
+        a = builtin.MULTIVARIATE_NORMAL.make_block_stream(5, self.PARAMS)
+        b = builtin.MULTIVARIATE_NORMAL.make_block_stream(5, self.PARAMS)
+        np.testing.assert_allclose(a.block_at(77), b.block_at(77))
+
+
+class TestRegistry:
+    def test_default_registry_has_all_builtins(self):
+        for name in ["Normal", "Uniform", "Gamma", "InverseGamma", "Lognormal",
+                     "Pareto", "Poisson", "Bernoulli", "DiscreteChoice",
+                     "Mixture", "MultivariateNormal", "Deterministic"]:
+            assert name in default_registry
+            assert default_registry.lookup(name).name == name
+
+    def test_lookup_is_case_insensitive(self):
+        assert default_registry.lookup("NORMAL") is builtin.NORMAL
+        assert default_registry.lookup("normal") is builtin.NORMAL
+
+    def test_unknown_name_raises_with_known_names(self):
+        with pytest.raises(KeyError, match="unknown VG function"):
+            default_registry.lookup("NoSuchVG")
+
+    def test_empty_name_rejected(self):
+        class Nameless(base.VGFunction):
+            def sample_blocks(self, rng, params, size):
+                return np.zeros((size, 1))
+
+        with pytest.raises(ValueError):
+            VGRegistry().register(Nameless())
+
+    def test_custom_registry_isolated(self):
+        registry = VGRegistry()
+        assert "Normal" not in registry
+        registry.register(builtin.Normal())
+        assert "Normal" in registry
+
+
+class TestUserDefinedVG:
+    def test_user_defined_vg_roundtrip(self):
+        """The 'black-box VG function' contract: users can plug in anything."""
+
+        class Triangular(base.VGFunction):
+            name = "Triangular"
+
+            def sample_blocks(self, rng, params, size):
+                low, mode, high = params
+                return rng.triangular(low, mode, high, size=size).reshape(size, 1)
+
+            def mean(self, params):
+                return sum(params) / 3.0
+
+        registry = VGRegistry()
+        registry.register(Triangular())
+        vg = registry.lookup("triangular")
+        stream = vg.make_stream(17, (0.0, 1.0, 2.0))
+        values = stream.range_values(0, 5000)
+        assert np.all((values >= 0.0) & (values <= 2.0))
+        assert abs(values.mean() - 1.0) < 0.05
+
+
+@given(mean=st.floats(-100, 100), variance=st.floats(0.01, 100),
+       seed=st.integers(0, 2**31))
+@settings(max_examples=30, deadline=None)
+def test_property_normal_stream_deterministic_and_finite(mean, variance, seed):
+    stream = builtin.NORMAL.make_stream(seed, (mean, variance))
+    values = stream.range_values(0, 32)
+    assert np.all(np.isfinite(values))
+    np.testing.assert_array_equal(
+        values, builtin.NORMAL.make_stream(seed, (mean, variance)).range_values(0, 32))

@@ -1,0 +1,116 @@
+"""Tests for the extended VG-function library."""
+
+import math
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.vg import builtin
+
+RNG_SEED = 777
+
+
+def _draws(vg, params, size=20_000):
+    rng = np.random.default_rng(RNG_SEED)
+    return vg.sample_blocks(rng, params, size).reshape(size)
+
+
+EXTENDED_CASES = [
+    (builtin.EXPONENTIAL, (2.0,)),
+    (builtin.WEIBULL, (1.5, 2.0)),
+    (builtin.BETA, (2.0, 5.0)),
+    (builtin.STUDENT_T, (6.0, 1.0, 2.0)),
+    (builtin.TRIANGULAR, (0.0, 1.0, 4.0)),
+]
+
+
+class TestExtendedMoments:
+    @pytest.mark.parametrize("vg,params", EXTENDED_CASES,
+                             ids=[type(v).__name__ for v, _ in EXTENDED_CASES])
+    def test_mean(self, vg, params):
+        draws = _draws(vg, params)
+        se = draws.std(ddof=1) / math.sqrt(len(draws))
+        assert abs(draws.mean() - vg.mean(params)) < 5 * se
+
+    @pytest.mark.parametrize("vg,params", EXTENDED_CASES,
+                             ids=[type(v).__name__ for v, _ in EXTENDED_CASES])
+    def test_variance(self, vg, params):
+        draws = _draws(vg, params)
+        assert draws.var(ddof=1) == pytest.approx(vg.variance(params), rel=0.2)
+
+
+class TestExtendedCDFs:
+    def test_exponential_cdf(self):
+        x = np.linspace(-1, 4, 20)
+        np.testing.assert_allclose(
+            builtin.EXPONENTIAL.cdf(x, (2.0,)),
+            stats.expon.cdf(x, scale=0.5), atol=1e-12)
+
+    def test_weibull_cdf(self):
+        x = np.linspace(-1, 6, 20)
+        np.testing.assert_allclose(
+            builtin.WEIBULL.cdf(x, (1.5, 2.0)),
+            stats.weibull_min.cdf(x, 1.5, scale=2.0), atol=1e-12)
+
+    @pytest.mark.parametrize("vg,params,scipy_dist", [
+        (builtin.EXPONENTIAL, (2.0,), stats.expon(scale=0.5)),
+        (builtin.WEIBULL, (1.5, 2.0), stats.weibull_min(1.5, scale=2.0)),
+        (builtin.BETA, (2.0, 5.0), stats.beta(2.0, 5.0)),
+        (builtin.STUDENT_T, (6.0, 1.0, 2.0), stats.t(6.0, loc=1.0, scale=2.0)),
+        (builtin.TRIANGULAR, (0.0, 1.0, 4.0),
+         stats.triang(0.25, loc=0.0, scale=4.0)),
+    ], ids=["Exponential", "Weibull", "Beta", "StudentT", "Triangular"])
+    def test_ks_against_scipy(self, vg, params, scipy_dist):
+        draws = _draws(vg, params, size=4000)
+        assert stats.kstest(draws, scipy_dist.cdf).pvalue > 1e-4
+
+
+class TestExtendedValidation:
+    @pytest.mark.parametrize("vg,bad", [
+        (builtin.EXPONENTIAL, (0.0,)),
+        (builtin.EXPONENTIAL, (1.0, 2.0)),
+        (builtin.WEIBULL, (-1.0, 1.0)),
+        (builtin.BETA, (0.0, 1.0)),
+        (builtin.STUDENT_T, (0.0, 0.0, 1.0)),
+        (builtin.STUDENT_T, (3.0, 0.0, -1.0)),
+        (builtin.TRIANGULAR, (2.0, 1.0, 3.0)),
+        (builtin.TRIANGULAR, (1.0, 1.0, 1.0)),
+    ])
+    def test_bad_params(self, vg, bad):
+        with pytest.raises(ValueError):
+            vg.validate_params(bad)
+
+    def test_undefined_t_moments(self):
+        with pytest.raises(ValueError):
+            builtin.STUDENT_T.mean((1.0, 0.0, 1.0))
+        with pytest.raises(ValueError):
+            builtin.STUDENT_T.variance((2.0, 0.0, 1.0))
+
+    def test_registered(self):
+        from repro.vg.base import default_registry
+        for name in ("Exponential", "Weibull", "Beta", "StudentT",
+                     "Triangular"):
+            assert name in default_registry
+
+
+class TestExtendedInSql:
+    def test_exponential_random_table_through_session(self):
+        from repro.sql import Session
+        session = Session(base_seed=3)
+        session.add_table("rates", {"rid": np.arange(30),
+                                    "rate": np.full(30, 2.0)})
+        session.execute("""
+            CREATE TABLE Waits (rid, w) AS
+            FOR EACH r IN rates
+            WITH v AS Exponential(VALUES(rate))
+            SELECT rid, v.* FROM v
+        """)
+        out = session.execute("""
+            SELECT SUM(w) AS total FROM Waits
+            WITH RESULTDISTRIBUTION MONTECARLO(1500)
+        """)
+        dist = out.distributions.distribution("total")
+        # Sum of 30 Exp(2) = Gamma(30, 1/2): mean 15, var 7.5.
+        assert dist.expectation() == pytest.approx(15.0, abs=0.4)
+        assert dist.variance() == pytest.approx(7.5, rel=0.25)

@@ -1,0 +1,156 @@
+"""Tests for repro.workloads and repro.risk."""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.risk import (
+    expected_shortfall, expected_shortfall_from_ftable, tail_cdf,
+    value_at_risk)
+from repro.workloads import (
+    NormalResultDistribution, PortfolioWorkload, SalaryWorkload, TPCHWorkload)
+
+
+class TestNormalResultDistribution:
+    DIST = NormalResultDistribution(mean=10.0, variance=4.0)
+
+    def test_cdf_and_quantile_roundtrip(self):
+        for q in (0.01, 0.5, 0.975, 0.999):
+            x = self.DIST.quantile(q)
+            assert self.DIST.cdf(x) == pytest.approx(q, abs=1e-9)
+
+    def test_against_scipy(self):
+        xs = np.linspace(0, 20, 21)
+        np.testing.assert_allclose(
+            self.DIST.cdf(xs), stats.norm.cdf(xs, 10, 2), atol=1e-12)
+        assert self.DIST.quantile(0.999) == pytest.approx(
+            stats.norm.ppf(0.999, 10, 2), abs=1e-9)
+
+    def test_from_weighted_normals(self):
+        dist = NormalResultDistribution.from_weighted_normals(
+            weights=[2.0, 0.0, 3.0], means=[1.0, 100.0, 2.0],
+            variances=[1.0, 100.0, 2.0])
+        assert dist.mean == pytest.approx(2 + 6)
+        assert dist.variance == pytest.approx(4 * 1 + 9 * 2)
+
+    def test_conditional_tail_cdf(self):
+        cutoff = self.DIST.quantile(0.99)
+        assert self.DIST.conditional_tail_cdf(cutoff, cutoff) == pytest.approx(0.0)
+        assert self.DIST.conditional_tail_cdf(1e9, cutoff) == pytest.approx(1.0)
+        median = self.DIST.quantile(0.995)
+        assert self.DIST.conditional_tail_cdf(median, cutoff) == pytest.approx(
+            0.5, abs=1e-6)
+
+    def test_expected_shortfall_formula(self):
+        q = 0.99
+        z = stats.norm.ppf(q)
+        expected = 10.0 + 2.0 * stats.norm.pdf(z) / (1 - q)
+        assert self.DIST.expected_shortfall(q) == pytest.approx(expected, rel=1e-6)
+
+    def test_middle_width(self):
+        width = self.DIST.middle_width(0.99)
+        assert width == pytest.approx(2 * 2.0 * stats.norm.ppf(0.995), rel=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self.DIST.quantile(0.0)
+        with pytest.raises(ValueError):
+            self.DIST.conditional_tail_cdf(0.0, 1e12)
+
+
+class TestPortfolioWorkload:
+    def test_deterministic_generation(self):
+        a = PortfolioWorkload(customers=10, seed=3).customer_means()
+        b = PortfolioWorkload(customers=10, seed=3).customer_means()
+        np.testing.assert_array_equal(a, b)
+
+    def test_session_mc_matches_analytic(self):
+        workload = PortfolioWorkload(customers=15, seed=1)
+        session = workload.build_session(base_seed=5)
+        out = session.execute(
+            "SELECT SUM(val) AS t FROM Losses "
+            "WITH RESULTDISTRIBUTION MONTECARLO(1500)")
+        truth = workload.analytic_total_loss()
+        dist = out.distributions.distribution("t")
+        assert dist.expectation() == pytest.approx(truth.mean, abs=0.5)
+        assert dist.variance() == pytest.approx(truth.variance, rel=0.25)
+
+    def test_tail_query_text(self):
+        query = PortfolioWorkload().tail_query(0.99, 100, max_cid=10)
+        assert "QUANTILE(0.99)" in query and "CID < 10" in query
+
+
+class TestSalaryWorkload:
+    def test_build_and_run(self):
+        workload = SalaryWorkload(employees=12, supervision_edges=15, seed=2)
+        session = workload.build_session(base_seed=9, tail_budget=300,
+                                         window=400)
+        out = session.execute(workload.inversion_query(samples=30,
+                                                       quantile=0.9))
+        assert out.kind == "tail"
+        assert np.all(out.tail.samples >= out.tail.quantile_estimate)
+
+
+class TestTPCHWorkload:
+    def test_generation_shapes_and_determinism(self):
+        workload = TPCHWorkload(orders=100, lineitems=400, seed=7)
+        a = workload.generate()
+        b = workload.generate()
+        np.testing.assert_array_equal(a["l_orderkey"], b["l_orderkey"])
+        assert (a["l_orderkey"] >= 0).sum() == 320  # join_fraction=0.8
+
+    def test_skewed_join_prefers_early_orders(self):
+        workload = TPCHWorkload(orders=200, lineitems=5000, seed=1)
+        data = workload.generate()
+        joined = data["l_orderkey"][data["l_orderkey"] >= 0]
+        first_half = (joined < 100).mean()
+        assert first_half > 0.6  # linear skew favors low order indices
+
+    def test_timing_variant_uniform(self):
+        workload = TPCHWorkload(orders=50, lineitems=200, variant="timing",
+                                seed=2)
+        data = workload.generate()
+        np.testing.assert_array_equal(data["o_mean"], np.ones(50))
+
+    def test_mc_run_matches_analytic(self):
+        workload = TPCHWorkload(orders=60, lineitems=240, seed=4)
+        session = workload.build_session(base_seed=11)
+        out = session.execute(workload.total_loss_query(samples=1200))
+        truth = workload.analytic_distribution()
+        dist = out.distributions.distribution("totalLoss")
+        assert dist.expectation() == pytest.approx(
+            truth.mean, abs=4 * truth.std / np.sqrt(1200) + 1e-9)
+        assert dist.variance() == pytest.approx(truth.variance, rel=0.3)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            TPCHWorkload(variant="bogus")
+        with pytest.raises(ValueError):
+            TPCHWorkload(join_fraction=0.0)
+
+
+class TestRiskMeasures:
+    def test_value_at_risk_prefers_estimate(self):
+        class Result:
+            quantile_estimate = 5.0
+            samples = np.array([6.0, 7.0])
+
+        assert value_at_risk(Result()) == 5.0
+        assert value_at_risk(np.array([3.0, 4.0])) == 3.0
+
+    def test_expected_shortfall(self):
+        assert expected_shortfall(np.array([2.0, 4.0])) == 3.0
+        with pytest.raises(ValueError):
+            expected_shortfall(np.array([]))
+
+    def test_ftable_shortfall(self):
+        assert expected_shortfall_from_ftable([10.0, 20.0], [0.25, 0.75]) == 17.5
+        with pytest.raises(ValueError, match="sum"):
+            expected_shortfall_from_ftable([1.0], [0.5])
+        with pytest.raises(ValueError):
+            expected_shortfall_from_ftable([], [])
+
+    def test_tail_cdf(self):
+        values, cdf = tail_cdf(np.array([3.0, 1.0, 2.0]))
+        np.testing.assert_array_equal(values, [1.0, 2.0, 3.0])
+        np.testing.assert_allclose(cdf, [1 / 3, 2 / 3, 1.0])
