@@ -23,8 +23,28 @@ Public layers
 ``repro.workloads``
     Generators for the paper's example workloads (portfolio losses,
     salary inversion, TPC-H-like Appendix D data sets).
+
+Execution policy
+----------------
+Both executors accept an :class:`~repro.engine.options.ExecutionOptions`
+(also threaded down from ``Session(options=...)``)::
+
+    from repro import ExecutionOptions
+    from repro.sql import Session
+
+    session = Session(base_seed=42,
+                      options=ExecutionOptions(engine="vectorized", n_jobs=4))
+
+``engine`` selects the Gibbs perturbation kernel — ``"vectorized"``
+(default) batches the database-version axis of Algorithm 3 into dense
+NumPy kernels, ``"reference"`` keeps the paper-literal scalar loop — and
+``n_jobs`` shards independent Monte Carlo repetitions across worker
+processes.  Every combination produces bit-identical results for the same
+``base_seed``; ``tests/test_engine_equivalence.py`` enforces the contract.
 """
 
-__version__ = "1.0.0"
+from repro.engine.options import ENGINES, ExecutionOptions
 
-__all__ = ["__version__"]
+__version__ = "1.1.0"
+
+__all__ = ["ENGINES", "ExecutionOptions", "__version__"]

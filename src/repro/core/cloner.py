@@ -154,7 +154,8 @@ def tail_sample(model: IndependentBlockModel, query: Query,
                 total_budget: int | None = None,
                 k: int = 1,
                 rng: np.random.Generator | None = None,
-                max_proposals: int = 10_000) -> TailSampleResult:
+                max_proposals: int = 10_000,
+                engine: str = "auto") -> TailSampleResult:
     """Run Algorithm 3 and return the quantile estimate plus tail samples.
 
     Parameters
@@ -170,6 +171,13 @@ def tail_sample(model: IndependentBlockModel, query: Query,
     k:
         Gibbs sweeps per bootstrapping step (the paper found ``k = 1``
         sufficient in all experiments).
+    engine:
+        Perturbation kernel.  ``"auto"`` (default) vectorizes separable
+        queries and falls back to per-version sweeps otherwise;
+        ``"vectorized"`` requires a :class:`SeparableSumQuery`;
+        ``"reference"`` forces the scalar path.  Unlike the GibbsLooper
+        engines the two kernels consume the PRNG differently, so their
+        results agree only in distribution, not bit for bit.
     """
     if rng is None:
         rng = np.random.default_rng()
@@ -182,8 +190,21 @@ def tail_sample(model: IndependentBlockModel, query: Query,
     elif abs(params.p - p) > 1e-12:
         raise ValueError(f"params.p = {params.p} does not match p = {p}")
 
-    perturb = (_perturb_separable if isinstance(query, SeparableSumQuery)
-               else _perturb_general)
+    separable = isinstance(query, SeparableSumQuery)
+    if engine == "auto":
+        perturb = _perturb_separable if separable else _perturb_general
+    elif engine == "vectorized":
+        if not separable:
+            raise ValueError(
+                "engine='vectorized' requires a SeparableSumQuery; use "
+                "'auto' or 'reference' for general queries")
+        perturb = _perturb_separable
+    elif engine == "reference":
+        perturb = _perturb_general
+    else:
+        raise ValueError(
+            f"unknown engine {engine!r}; supported: auto, vectorized, "
+            "reference")
 
     states = model.draw_states(rng, params.n_steps[0])
     totals = np.asarray(query.totals(states), dtype=np.float64)

@@ -49,12 +49,21 @@ from repro.engine.bundles import BundleRelation
 from repro.engine.errors import EngineError, PlanError
 from repro.engine.expressions import DictContext, Expr
 from repro.engine.operators import ExecutionContext, PlanNode
+from repro.engine.options import ExecutionOptions
 from repro.engine.table import Catalog
 
 __all__ = ["LooperStepTrace", "LooperResult", "GibbsLooper"]
 
 _SUPPORTED_AGGREGATES = ("sum", "count", "avg")
 _PROPOSAL_BATCH = 64
+#: Vectorized-kernel window sizing.  Purely vectorization knobs: window
+#: boundaries never change which candidate is accepted, only how many are
+#: evaluated per NumPy call.  Width grows with the observed rejection rate
+#: (rejection-heavy seeds want long candidate runs for few versions), while
+#: the row count shrinks with it (each row serves one DB version).
+_VECTOR_BATCH = 128
+_WINDOW_MAX_WIDTH = 4096
+_WINDOW_TARGET_VERSIONS = 32
 _INFINITY_KEY = (1 << 62)
 
 
@@ -136,6 +145,13 @@ class GibbsLooper:
     window:
         Stream values materialized per TS-seed per plan run (the paper uses
         1000 in Appendix D); also the replenishment granularity.
+    options:
+        :class:`~repro.engine.options.ExecutionOptions`; ``engine``
+        selects between the batched NumPy perturbation kernel
+        (``"vectorized"``, default) and the scalar per-version path
+        (``"reference"``).  Both produce bit-identical results for the
+        same ``base_seed`` — the contract tested by
+        ``tests/test_engine_equivalence.py``.
     """
 
     def __init__(self, plan: PlanNode, catalog: Catalog, params: TailParams,
@@ -143,7 +159,8 @@ class GibbsLooper:
                  aggregate_expr: Expr | None = None,
                  final_predicate: Expr | None = None,
                  k: int = 1, window: int = 1000, base_seed: int = 0,
-                 max_proposals: int = 100_000):
+                 max_proposals: int = 100_000,
+                 options: ExecutionOptions | None = None):
         if aggregate_kind not in _SUPPORTED_AGGREGATES:
             raise PlanError(
                 f"GibbsLooper supports {_SUPPORTED_AGGREGATES}, got "
@@ -170,6 +187,7 @@ class GibbsLooper:
         self.window = window
         self.base_seed = base_seed
         self.max_proposals = max_proposals
+        self.options = options or ExecutionOptions()
 
         # Run-time state (populated by run()).
         self._context: ExecutionContext | None = None
@@ -399,6 +417,9 @@ class GibbsLooper:
     def _perturb_seed(self, handle: int, cutoff: float,
                       stats: GibbsStats) -> None:
         """Gibbs-update every version's value for one TS-seed."""
+        if self.options.engine == "vectorized":
+            self._perturb_seed_vectorized(handle, cutoff, stats)
+            return
         ts = self._seeds[handle]
         for version in range(self._version_count()):
             # Re-fetch per version: a replenishment rebuilds the tuple list.
@@ -406,6 +427,226 @@ class GibbsLooper:
             if not affected:
                 return
             self._update_version(ts, affected, version, cutoff, stats)
+
+    def _perturb_seed_vectorized(self, handle: int, cutoff: float,
+                                 stats: GibbsStats) -> None:
+        """Batched rejection sampling over the whole version axis of a seed.
+
+        Semantically identical to the reference path: stream positions are
+        consumed strictly left-to-right by the versions in ascending order
+        (the global consumption pointer of TS-seed item 4), so the accepted
+        position for each version — and therefore every downstream result —
+        is the same.  The difference is purely computational: candidate
+        aggregate deltas are evaluated once per fresh-window batch as dense
+        ``(versions, batch)`` matrices instead of once per (version, batch)
+        pair, amortizing expression evaluation across all DB versions.
+        """
+        versions = self._version_count()
+        version = 0
+        proposals_used = 0  # rejection budget of the *current* version
+        consumed_total = 0  # adaptive window sizing: candidates consumed...
+        served_total = 0    # ...and versions completed so far in this call
+        while version < versions:
+            ts = self._seeds[handle]
+            affected = self._tuples_of_seed.get(handle, ())
+            if not affected:
+                return
+            start, stop = ts.fresh_index_range()
+            if start >= stop:
+                self._replenish()
+                ts = self._seeds[handle]
+                affected = self._tuples_of_seed.get(handle, ())
+                if not affected:
+                    return
+                start, stop = ts.fresh_index_range()
+                if start >= stop:
+                    raise EngineError(
+                        f"replenishment produced no fresh values for seed "
+                        f"{ts.handle}")
+            # Candidates consumed per version completed (prior-smoothed).
+            rate = (consumed_total + 4.0) / (served_total + 1.0)
+            width = int(min(stop - start,
+                            max(_VECTOR_BATCH,
+                                rate * _WINDOW_TARGET_VERSIONS),
+                            _WINDOW_MAX_WIDTH))
+            max_rows = int(min(width, max(8.0, 2.0 * width / rate + 1.0)))
+            window = self._build_window(
+                ts, affected, version, cutoff, start, start + width,
+                max_rows)
+            accepted, consumed, version, proposals_used = self._scan_window(
+                ts, window, version, proposals_used, stats)
+            consumed_total += consumed
+            served_total += len(accepted)
+            if accepted:
+                self._apply_acceptances(ts, affected, window, accepted)
+
+    def _scan_window(self, ts: TSSeed, window, version: int,
+                     proposals_used: int, stats: GibbsStats):
+        """Walk the consumption pointer through one acceptability window.
+
+        Implements the sequential semantics of the reference path —
+        versions in ascending order, each taking the first acceptable
+        not-yet-consumed candidate, rejected candidates consumed forever,
+        ``max_proposals`` rejections per version before a stall — on top of
+        the precomputed boolean matrix.  Returns the accepted
+        ``(version, window_index)`` pairs, the number of candidates
+        consumed, and the resumption state.
+        """
+        lo, hi, first_version, acceptable, _, _ = window
+        version_limit = min(self._version_count(),
+                            first_version + acceptable.shape[0])
+        width = hi - lo
+        # next_true[r, j] = first acceptable column >= j in row r (or width):
+        # a reverse running minimum over the acceptable column indices.
+        next_true = np.where(acceptable,
+                             np.arange(width, dtype=np.int32),
+                             np.int32(width))
+        next_true = np.minimum.accumulate(next_true[:, ::-1],
+                                          axis=1)[:, ::-1]
+        pointer = lo
+        accepted: list[tuple[int, int]] = []
+        while version < version_limit and pointer < hi:
+            row = next_true[version - first_version]
+            hit = int(row[pointer - lo])
+            limit = min(hi, pointer + self.max_proposals - proposals_used)
+            if lo + hit < limit:
+                window_index = lo + hit
+                stats.proposals += window_index - pointer + 1
+                stats.acceptances += 1
+                accepted.append((version, window_index))
+                pointer = window_index + 1
+                version += 1
+                proposals_used = 0
+            else:
+                stats.proposals += limit - pointer
+                proposals_used += limit - pointer
+                pointer = limit
+                if proposals_used >= self.max_proposals:
+                    stats.stalls += 1  # keep the current (valid) value
+                    version += 1
+                    proposals_used = 0
+        if pointer > lo:
+            ts.consume_through(int(ts.positions[pointer - 1]))
+        return accepted, pointer - lo, version, proposals_used
+
+    def _apply_acceptances(self, ts: TSSeed, affected, window,
+                           accepted: list[tuple[int, int]]) -> None:
+        """Commit a window's accepted proposals in one vectorized pass.
+
+        Each version appears at most once, so the scatter updates below
+        touch disjoint entries and are elementwise identical to the scalar
+        path's one-at-a-time commits.
+        """
+        lo, _, first_version, _, cand_values, cand_present = window
+        version_list = np.array([v for v, _ in accepted], dtype=np.int64)
+        index_list = np.array([w for _, w in accepted], dtype=np.int64)
+        rows = version_list - first_version
+        cols = index_list - lo
+        ts.assignment[version_list] = ts.positions[index_list]
+        for list_pos, tuple_index in enumerate(affected):
+            gibbs_tuple = self._tuples[tuple_index]
+            state = self._states[tuple_index]
+            new_value = cand_values[list_pos][rows, cols]
+            new_present = cand_present[list_pos][rows, cols]
+            old = np.where(state.present[version_list],
+                           state.value[version_list], 0.0)
+            self._sums[version_list] += (
+                np.where(new_present, new_value, 0.0) - old)
+            self._counts[version_list] += (
+                new_present.astype(np.float64)
+                - state.present[version_list].astype(np.float64))
+            state.value[version_list] = new_value
+            state.present[version_list] = new_present
+            for name, rand_field in gibbs_tuple.rand.items():
+                if rand_field.handle == ts.handle:
+                    state.values[name][version_list] = \
+                        rand_field.values[index_list]
+            for presence_field, cached in zip(gibbs_tuple.presences,
+                                              state.presence):
+                if presence_field.handle == ts.handle:
+                    cached[version_list] = presence_field.flags[index_list]
+
+    def _build_window(self, ts: TSSeed, affected, first_version: int,
+                      cutoff: float, start: int, stop: int,
+                      max_rows: int):
+        """Candidate acceptability for window slots [start, stop) x all
+        remaining versions, plus the per-tuple candidate values/presence
+        needed to commit an acceptance.
+
+        Rows for versions below ``first_version`` are never scanned again
+        (the consumption pointer only moves forward), so they are not
+        computed; and because every scan step consumes at least one
+        candidate, a ``B``-wide window can serve at most ``B`` versions —
+        rows beyond that cap would be dead weight, so the matrix is at most
+        ``(B, B)`` regardless of the population size.  Rows for later
+        versions stay valid across acceptances: committing version ``v``
+        only mutates version ``v``'s cached state.
+        """
+        count = min(self._version_count() - first_version, max_rows)
+        delta_sum, delta_count, cand_values, cand_present = \
+            self._candidate_delta_matrix(ts, affected, first_version,
+                                         count, start, stop)
+        served = slice(first_version, first_version + count)
+        new_totals = self._combine(
+            self._sums[served, None] + delta_sum,
+            self._counts[served, None] + delta_count)
+        return (start, stop, first_version, new_totals >= cutoff,
+                cand_values, cand_present)
+
+    def _candidate_delta_matrix(self, ts: TSSeed, affected,
+                                first_version: int, count: int,
+                                start: int, stop: int):
+        """Batched :meth:`_candidate_deltas`: one row per DB version.
+
+        Element ``[v, b]`` is exactly what the scalar path computes for
+        version ``first_version + v`` and window slot ``start + b`` — the
+        per-tuple accumulation order and every elementwise operation are
+        identical, so the floating-point results (and therefore the
+        accept/reject decisions) match bit for bit.
+        """
+        width = stop - start
+        remaining = slice(first_version, first_version + count)
+        delta_sum = np.zeros((count, width))
+        delta_count = np.zeros((count, width))
+        cand_values, cand_present = [], []
+        for index in affected:
+            gibbs_tuple = self._tuples[index]
+            state = self._states[index]
+            columns: dict[str, np.ndarray] = {}
+            for name, det_value in gibbs_tuple.det.items():
+                columns[name] = np.asarray(det_value)
+            for name, rand_field in gibbs_tuple.rand.items():
+                if rand_field.handle == ts.handle:
+                    columns[name] = rand_field.values[start:stop]
+                else:
+                    columns[name] = state.values[name][remaining, None]
+            context = DictContext(columns)
+            if self.aggregate_expr is None:
+                value = np.ones((count, width))
+            else:
+                value = np.broadcast_to(
+                    np.asarray(self.aggregate_expr.evaluate(context),
+                               dtype=np.float64), (count, width))
+            present = np.ones((count, width), dtype=bool)
+            for presence_field, cached in zip(gibbs_tuple.presences,
+                                              state.presence):
+                if presence_field.handle == ts.handle:
+                    present = present & presence_field.flags[start:stop]
+                else:
+                    present = present & cached[remaining, None]
+            if self.final_predicate is not None:
+                present = present & np.broadcast_to(
+                    np.asarray(self.final_predicate.evaluate(context),
+                               dtype=bool), (count, width))
+            old_contribution = np.where(
+                state.present[remaining], state.value[remaining], 0.0)[:, None]
+            delta_sum += np.where(present, value, 0.0) - old_contribution
+            delta_count += (present.astype(np.float64)
+                            - state.present[remaining]
+                            .astype(np.float64)[:, None])
+            cand_values.append(value)
+            cand_present.append(present)
+        return delta_sum, delta_count, cand_values, cand_present
 
     def _update_version(self, ts: TSSeed, affected, version: int,
                         cutoff: float, stats: GibbsStats) -> None:

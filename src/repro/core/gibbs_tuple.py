@@ -16,6 +16,7 @@ array affecting the tuple.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Mapping, Sequence
 
 import numpy as np
@@ -52,12 +53,13 @@ class GibbsTuple:
     rand: dict[str, RandField]
     presences: list[PresenceField]
 
-    @property
+    @cached_property
     def handles(self) -> list[int]:
         """Distinct TS-seed handles this tuple depends on, ascending.
 
         A tuple with several handles is reprocessed once per handle by the
-        looper's priority queue (Sec. 7).
+        looper's priority queue (Sec. 7).  Cached: the queue rebuilds once
+        per Gibbs sweep, and fields never change after construction.
         """
         found = {field.handle for field in self.rand.values()}
         found.update(presence.handle for presence in self.presences)

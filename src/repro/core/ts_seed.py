@@ -107,7 +107,9 @@ class TSSeed:
         assigned = np.unique(self.assignment)
         new = np.arange(self.max_used + 1, self.max_used + 1 + fresh,
                         dtype=np.int64)
-        return np.unique(np.concatenate([assigned, new]))
+        # Assigned positions are all <= max_used < new[0] and both parts are
+        # sorted and duplicate-free, so the concatenation already is too.
+        return np.concatenate([assigned, new])
 
     def pad_plan(self, plan: np.ndarray, width: int) -> np.ndarray:
         """Extend a replenish plan with further fresh positions to ``width``.

@@ -24,10 +24,13 @@ from repro.engine.expressions import (
     col,
     lit,
 )
+from repro.engine.options import ENGINES, ExecutionOptions
 from repro.engine.random_table import RandomColumnSpec, RandomTableSpec
 from repro.engine.mcdb import MonteCarloExecutor, MonteCarloResult
 
 __all__ = [
+    "ENGINES",
+    "ExecutionOptions",
     "Catalog",
     "Table",
     "Expr",

@@ -5,10 +5,20 @@ random value (position axis = repetition index), then evaluates grouped
 aggregates per repetition.  This is exactly the original MCDB execution
 model the paper starts from: great for central moments, hopeless for deep
 tails (Sec. 1's motivating arithmetic), which is what MCDB-R fixes.
+
+Because repetitions are independent and streams are position-addressed
+pure functions of ``(base_seed, handle)``, the repetition axis shards
+trivially: a worker handling repetitions ``[lo, hi)`` executes the same
+plan with ``position_offset=lo`` and reproduces exactly the slice a serial
+run would compute — every worker re-derives the same per-seed PRNG keys
+via :func:`repro.engine.seeds.derive_prng_seed`, so the merged result is
+bit-identical for every ``n_jobs`` (cf. the service-level scaling of Monte
+Carlo production in the LCG MCDB, PAPERS.md).
 """
 
 from __future__ import annotations
 
+import concurrent.futures
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
@@ -18,6 +28,7 @@ from repro.engine.bundles import BundleRelation
 from repro.engine.errors import EngineError, PlanError
 from repro.engine.expressions import Expr
 from repro.engine.operators import ExecutionContext, PlanNode
+from repro.engine.options import ExecutionOptions
 from repro.engine.result import ResultDistribution
 from repro.engine.table import Catalog
 
@@ -78,12 +89,19 @@ class MonteCarloResult:
                 f"groups={len(self._groups)}, group_by={self.group_by})")
 
 
+def _execute_shard(job: tuple["MonteCarloExecutor", int, int]
+                   ) -> "MonteCarloResult":
+    """Worker entry point (module-level so the executor pickles cleanly)."""
+    executor, lo, hi = job
+    return executor.run_shard(lo, hi)
+
+
 class MonteCarloExecutor:
     """Execute a plan in Monte Carlo mode and aggregate per repetition."""
 
     def __init__(self, plan: PlanNode, aggregates: Sequence[AggregateSpec],
                  catalog: Catalog, group_by: Sequence[str] = (),
-                 base_seed: int = 0):
+                 base_seed: int = 0, options: ExecutionOptions | None = None):
         if not aggregates:
             raise PlanError("at least one aggregate is required")
         names = [aggregate.name for aggregate in aggregates]
@@ -94,14 +112,67 @@ class MonteCarloExecutor:
         self.catalog = catalog
         self.group_by = list(group_by)
         self.base_seed = base_seed
+        self.options = options or ExecutionOptions()
 
     def run(self, repetitions: int) -> MonteCarloResult:
+        if self.options.sharded and repetitions > 1:
+            return self._run_sharded(repetitions)
+        return self.run_shard(0, repetitions)
+
+    def run_shard(self, lo: int, hi: int) -> MonteCarloResult:
+        """Execute repetitions ``[lo, hi)`` — the whole run when lo=0."""
         context = ExecutionContext(
-            self.catalog, positions=repetitions, aligned=True,
-            base_seed=self.base_seed)
+            self.catalog, positions=hi - lo, aligned=True,
+            base_seed=self.base_seed, position_offset=lo)
         relation = self.plan.execute(context)
         context.plan_runs += 1
-        return self.aggregate(relation, repetitions)
+        return self.aggregate(relation, hi - lo)
+
+    def _run_sharded(self, repetitions: int) -> MonteCarloResult:
+        """Partition the repetition axis across worker processes (Sec. 1's
+        "embarrassingly parallel" observation made executable).
+
+        Shard results are merged in slice order, so the sample vector of
+        every (group, aggregate) pair equals the serial run's exactly.
+        """
+        bounds = self.options.shard_bounds(repetitions)
+        if len(bounds) == 1:
+            return self.run_shard(*bounds[0])
+        with concurrent.futures.ProcessPoolExecutor(
+                max_workers=self.options.n_jobs) as pool:
+            shards = list(pool.map(_execute_shard,
+                                   [(self, lo, hi) for lo, hi in bounds]))
+        return self._merge_shards(shards, repetitions)
+
+    def _merge_shards(self, shards: Sequence[MonteCarloResult],
+                      repetitions: int) -> MonteCarloResult:
+        """Concatenate per-shard sample vectors in repetition order.
+
+        A group can be absent from a shard when every one of its rows was
+        filtered out at each of the shard's positions; the serial run keeps
+        such rows (they survive via positions in *other* shards) and its
+        per-position aggregation over an all-false presence mask yields
+        exactly the empty-input value — so filling with that value
+        reproduces the serial semantics.
+        """
+        keys = dict.fromkeys(
+            key for shard in shards for key in shard.group_keys)
+        groups: dict[tuple, dict[str, ResultDistribution]] = {}
+        for key in keys:
+            by_name: dict[str, ResultDistribution] = {}
+            for aggregate in self.aggregates:
+                empty = 0.0 if aggregate.kind in ("sum", "count") else np.nan
+                pieces = []
+                for shard in shards:
+                    try:
+                        pieces.append(
+                            shard.distribution(aggregate.name, key).samples)
+                    except KeyError:
+                        pieces.append(np.full(shard.repetitions, empty))
+                by_name[aggregate.name] = ResultDistribution(
+                    np.concatenate(pieces))
+            groups[key] = by_name
+        return MonteCarloResult(self.group_by, groups, repetitions)
 
     def aggregate(self, relation: BundleRelation, repetitions: int
                   ) -> MonteCarloResult:
@@ -130,6 +201,19 @@ class MonteCarloExecutor:
             grouped.setdefault(key, []).append(row)
         return {key: np.asarray(rows) for key, rows in grouped.items()}
 
+    @staticmethod
+    def _ordered_sum(matrix: np.ndarray) -> np.ndarray:
+        """Strict row-order column sums.
+
+        ``matrix.sum(axis=0)`` uses pairwise summation whose grouping
+        depends on the array geometry, so a shard that dropped a
+        nowhere-present row would round differently from the serial run
+        (which sums that row's zeros).  Sequential accumulation makes
+        inserting zero rows an exact no-op, which is what keeps sharded
+        results bit-identical to serial ones.
+        """
+        return np.cumsum(matrix, axis=0)[-1]
+
     def _evaluate(self, relation: BundleRelation, presence: np.ndarray | None,
                   rows: np.ndarray, aggregate: AggregateSpec) -> np.ndarray:
         width = relation.positions
@@ -145,10 +229,10 @@ class MonteCarloExecutor:
                        dtype=np.float64),
             (relation.length, width))[rows]
         if aggregate.kind == "sum":
-            return np.where(mask, values, 0.0).sum(axis=0)
+            return self._ordered_sum(np.where(mask, values, 0.0))
         if aggregate.kind == "avg":
             counts = mask.sum(axis=0)
-            totals = np.where(mask, values, 0.0).sum(axis=0)
+            totals = self._ordered_sum(np.where(mask, values, 0.0))
             with np.errstate(invalid="ignore"):
                 return np.where(counts > 0, totals / np.maximum(counts, 1), np.nan)
         if aggregate.kind == "min":

@@ -62,16 +62,25 @@ class ExecutionContext:
         Monte Carlo mode flag (position = repetition index).
     base_seed:
         Session-level PRNG seed; all streams derive from it.
+    position_offset:
+        First stream position to materialize (Monte Carlo sharding): a
+        worker handling repetitions ``[lo, hi)`` materializes positions
+        ``[lo, hi)`` of every stream, so the shards of one run partition
+        the exact position axis a serial run would produce.
     """
 
     def __init__(self, catalog: Catalog, positions: int, aligned: bool,
-                 base_seed: int = 0):
+                 base_seed: int = 0, position_offset: int = 0):
         if positions < 1:
             raise EngineError(f"positions must be >= 1, got {positions}")
+        if position_offset < 0:
+            raise EngineError(
+                f"position_offset must be >= 0, got {position_offset}")
         self.catalog = catalog
         self.positions = positions
         self.aligned = aligned
         self.base_seed = base_seed
+        self.position_offset = position_offset
         self.seeds: dict[int, SeedInfo] = {}
         self.window_bases: dict[int, int] = {}
         #: Explicit per-seed stream positions to materialize (replenishment:
@@ -105,7 +114,7 @@ class ExecutionContext:
                     f"position plan for seed {handle} has shape "
                     f"{explicit.shape}, expected ({self.positions},)")
             return explicit
-        base = self.window_base(handle)
+        base = self.window_base(handle) + self.position_offset
         return np.arange(base, base + self.positions, dtype=np.int64)
 
     def seed_info(self, handle: int) -> SeedInfo:

@@ -1,0 +1,90 @@
+"""Execution policy shared by both executors.
+
+:class:`ExecutionOptions` is the single knob object the SQL layer threads
+down into :class:`~repro.engine.mcdb.MonteCarloExecutor` and
+:class:`~repro.core.gibbs_looper.GibbsLooper`.  It controls *how* a query
+runs, never *what* it computes: every engine/n_jobs combination is required
+to produce bit-identical results for the same session seed, a contract
+enforced by ``tests/test_engine_equivalence.py``.
+
+* ``engine`` selects the Gibbs perturbation kernel.  ``"vectorized"``
+  (default) batches the database-version axis of Algorithm 3 into dense
+  NumPy kernels — the Sec. 7 loop inversion pushed one level further, so
+  one rejection round evaluates candidate deltas for *every* version of a
+  TS-seed at once.  ``"reference"`` is the scalar per-version path kept for
+  verification.
+
+* ``n_jobs`` shards independent Monte Carlo repetitions across
+  ``concurrent.futures`` workers.  Shards are contiguous slices of the
+  repetition (stream-position) axis, so every worker re-derives the same
+  per-seed PRNG keys via :func:`repro.engine.seeds.derive_prng_seed` and
+  materializes disjoint windows of the same streams — merging shard results
+  in order reproduces the serial run exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ENGINES", "ExecutionOptions"]
+
+#: Supported Gibbs perturbation kernels.
+ENGINES = ("vectorized", "reference")
+
+
+@dataclass(frozen=True)
+class ExecutionOptions:
+    """How to execute a query: kernel selection + repetition sharding.
+
+    Parameters
+    ----------
+    engine:
+        ``"vectorized"`` (batched NumPy kernel, default) or ``"reference"``
+        (the paper-literal scalar path).  Both produce identical results
+        for identical seeds.
+    n_jobs:
+        Worker processes for Monte Carlo repetition sharding; ``1`` runs
+        serially in-process.  Results are independent of ``n_jobs``.
+    shard_size:
+        Optional maximum repetitions per shard.  ``None`` splits the
+        repetitions evenly across ``n_jobs`` workers.
+    """
+
+    engine: str = "vectorized"
+    n_jobs: int = 1
+    shard_size: int | None = None
+
+    def __post_init__(self):
+        if self.engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {self.engine!r}; supported: {ENGINES}")
+        if self.n_jobs < 1:
+            raise ValueError(f"n_jobs must be >= 1, got {self.n_jobs}")
+        if self.shard_size is not None and self.shard_size < 1:
+            raise ValueError(
+                f"shard_size must be >= 1 or None, got {self.shard_size}")
+
+    @property
+    def sharded(self) -> bool:
+        return self.n_jobs > 1
+
+    def shard_bounds(self, repetitions: int) -> list[tuple[int, int]]:
+        """Contiguous ``[lo, hi)`` repetition slices for the workers.
+
+        The split is a pure function of ``repetitions`` and the options, so
+        a sharded run is reproducible; and because shards are slices of the
+        position axis of deterministic streams, the *merged* result is the
+        same for every split (including the trivial one).
+        """
+        if repetitions < 1:
+            raise ValueError(f"repetitions must be >= 1, got {repetitions}")
+        size = self.shard_size
+        if size is None:
+            size = -(-repetitions // self.n_jobs)  # ceil division
+        bounds = []
+        lo = 0
+        while lo < repetitions:
+            hi = min(lo + size, repetitions)
+            bounds.append((lo, hi))
+            lo = hi
+        return bounds

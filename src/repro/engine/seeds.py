@@ -83,18 +83,14 @@ class SeedInfo:
         """Contiguous stream values ``[start, stop)`` for one component."""
         if self.arity == 1:
             return self._scalar().range_values(start, stop)
-        block = self._block()
-        return np.array(
-            [block.component_value_at(p, component) for p in range(start, stop)],
-            dtype=np.float64)
+        return self._block().component_values_at(
+            np.arange(start, stop, dtype=np.int64), component)
 
     def values_at(self, positions: Sequence[int], component: int = 0) -> np.ndarray:
         if self.arity == 1:
             return self._scalar().values_at(np.asarray(positions, dtype=np.int64))
-        block = self._block()
-        return np.array(
-            [block.component_value_at(int(p), component) for p in positions],
-            dtype=np.float64)
+        return self._block().component_values_at(
+            np.asarray(positions, dtype=np.int64), component)
 
     def _scalar(self) -> RandomStream:
         if self._scalar_stream is None:

@@ -5,6 +5,13 @@ and series the paper reports, in plain ASCII so that ``pytest benchmarks/
 --benchmark-only -s`` regenerates every table and figure.
 """
 
-from repro.experiments.harness import ascii_series, format_table, print_experiment
+from repro.experiments.harness import (
+    ascii_series,
+    engine_comparison_table,
+    format_table,
+    print_experiment,
+    timed,
+)
 
-__all__ = ["format_table", "print_experiment", "ascii_series"]
+__all__ = ["format_table", "print_experiment", "ascii_series", "timed",
+           "engine_comparison_table"]

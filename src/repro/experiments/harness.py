@@ -2,9 +2,11 @@
 
 from __future__ import annotations
 
-from typing import Sequence
+import time
+from typing import Callable, Mapping, Sequence
 
-__all__ = ["format_table", "print_experiment", "ascii_series"]
+__all__ = ["format_table", "print_experiment", "ascii_series", "timed",
+           "engine_comparison_table"]
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
@@ -30,6 +32,34 @@ def _fmt(value) -> str:
             return f"{value:.4g}"
         return f"{value:.4f}".rstrip("0").rstrip(".")
     return str(value)
+
+
+def timed(fn: Callable, *args, **kwargs) -> tuple[object, float]:
+    """Run ``fn(*args, **kwargs)`` and return ``(result, seconds)``."""
+    started = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - started
+
+
+def engine_comparison_table(timings: Mapping[str, float],
+                            baseline: str | None = None) -> str:
+    """Seconds + speedup-vs-baseline table for an engine comparison.
+
+    ``baseline`` defaults to the slowest entry, so every speedup is >= 1
+    for the winners (used by ``benchmarks/bench_e8_vectorized.py`` to
+    report the vectorized-kernel speedup over ``engine="reference"``).
+    """
+    if not timings:
+        raise ValueError("need at least one timing")
+    if baseline is None:
+        baseline = max(timings, key=timings.get)
+    if baseline not in timings:
+        raise KeyError(f"baseline {baseline!r} not in {sorted(timings)}")
+    base_seconds = timings[baseline]
+    rows = [[label, f"{seconds:.3f}",
+             f"{base_seconds / seconds:.2f}x" if seconds > 0 else "inf"]
+            for label, seconds in timings.items()]
+    return format_table(["engine", "seconds", f"speedup vs {baseline}"], rows)
 
 
 def print_experiment(title: str, body: str) -> None:

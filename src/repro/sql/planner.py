@@ -27,7 +27,7 @@ from repro.engine.random_table import RandomTableSpec
 from repro.engine.table import Catalog
 from repro.sql.ast_nodes import AggCall, FromItem, SelectStmt
 
-__all__ = ["CompiledSelect", "compile_select"]
+__all__ = ["CompiledSelect", "compile_select", "describe_compiled"]
 
 
 @dataclass
@@ -273,3 +273,29 @@ def _default_output_name(expr: Expr, fallback: str) -> str:
     if isinstance(expr, Col):
         return expr.name.split(".", 1)[-1]
     return fallback
+
+
+def describe_compiled(compiled: CompiledSelect, tail_mode: bool) -> str:
+    """Pretty-print a compiled SELECT, leaf-last like the paper's Fig. 2.
+
+    Tail queries additionally show the pulled-up predicate and the
+    aggregate the GibbsLooper will drive — the planner decisions Appendix A
+    prescribes.  This is the text ``Session.explain`` returns, and the
+    golden surface the planner tests lock down.
+    """
+    lines = []
+    if tail_mode:
+        aggregate = compiled.aggregates[0]
+        lines.append(
+            f"GibbsLooper({aggregate.kind}({aggregate.expr!r})"
+            + (f", pulled-up: {compiled.pulled_up_predicate!r}"
+               if compiled.pulled_up_predicate is not None else "")
+            + ")")
+    elif compiled.aggregates:
+        names = ", ".join(
+            f"{a.kind}({a.expr!r})" for a in compiled.aggregates)
+        lines.append(f"Aggregate({names})"
+                     + (f" GROUP BY {compiled.group_by}"
+                        if compiled.group_by else ""))
+    plan_text = compiled.plan.describe(indent=1 if lines else 0)
+    return "\n".join(lines + [plan_text])

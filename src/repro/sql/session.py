@@ -33,11 +33,12 @@ from repro.engine.errors import PlanError
 from repro.engine.expressions import Col
 from repro.engine.mcdb import MonteCarloExecutor, MonteCarloResult
 from repro.engine.operators import ExecutionContext
+from repro.engine.options import ExecutionOptions
 from repro.engine.random_table import RandomColumnSpec, RandomTableSpec
 from repro.engine.table import Catalog, Table
 from repro.sql.ast_nodes import CreateRandomTable, SelectStmt
 from repro.sql.parser import parse
-from repro.sql.planner import compile_select
+from repro.sql.planner import compile_select, describe_compiled
 from repro.vg.base import VGRegistry, default_registry
 
 __all__ = ["Session", "QueryOutput"]
@@ -78,17 +79,25 @@ class Session:
         Stream values materialized per TS-seed per plan run (Sec. 5/9).
     gibbs_steps:
         ``k``, Gibbs sweeps per bootstrapping iteration.
+    options:
+        :class:`~repro.engine.options.ExecutionOptions` threaded into both
+        executors: ``engine`` picks the Gibbs kernel
+        (``"vectorized"``/``"reference"``), ``n_jobs`` shards Monte Carlo
+        repetitions across processes.  Results are identical for every
+        setting; only speed changes.
     """
 
     def __init__(self, base_seed: int = 0, registry: VGRegistry | None = None,
                  tail_budget: int = 1000, window: int = 1000,
-                 gibbs_steps: int = 1):
+                 gibbs_steps: int = 1,
+                 options: ExecutionOptions | None = None):
         self.catalog = Catalog()
         self.registry = registry or default_registry
         self.base_seed = base_seed
         self.tail_budget = tail_budget
         self.window = window
         self.gibbs_steps = gibbs_steps
+        self.options = options or ExecutionOptions()
 
     # -- data definition -------------------------------------------------------
 
@@ -117,22 +126,7 @@ class Session:
         spec = statement.result_spec
         tail_mode = spec is not None and spec.domain is not None
         compiled = compile_select(statement, self.catalog, tail_mode=tail_mode)
-        lines = []
-        if tail_mode:
-            aggregate = compiled.aggregates[0]
-            lines.append(
-                f"GibbsLooper({aggregate.kind}({aggregate.expr!r})"
-                + (f", pulled-up: {compiled.pulled_up_predicate!r}"
-                   if compiled.pulled_up_predicate is not None else "")
-                + ")")
-        elif compiled.aggregates:
-            names = ", ".join(
-                f"{a.kind}({a.expr!r})" for a in compiled.aggregates)
-            lines.append(f"Aggregate({names})"
-                         + (f" GROUP BY {compiled.group_by}"
-                            if compiled.group_by else ""))
-        plan_text = compiled.plan.describe(indent=1 if lines else 0)
-        return "\n".join(lines + [plan_text])
+        return describe_compiled(compiled, tail_mode=tail_mode)
 
     def _execute_create(self, statement: CreateRandomTable) -> QueryOutput:
         vg = self.registry.lookup(statement.vg_name)
@@ -193,7 +187,8 @@ class Session:
             result = MonteCarloExecutor(
                 compiled.plan, compiled.aggregates, self.catalog,
                 group_by=compiled.group_by,
-                base_seed=self.base_seed).run(spec.montecarlo)
+                base_seed=self.base_seed,
+                options=self.options).run(spec.montecarlo)
             if spec.frequency_table:
                 self._register_ftable(
                     spec.frequency_table,
@@ -232,7 +227,8 @@ class Session:
             final_predicate=compiled.pulled_up_predicate,
             k=self.gibbs_steps,
             window=max(self.window, max(params.n_steps)),
-            base_seed=self.base_seed)
+            base_seed=self.base_seed,
+            options=self.options)
         result = looper.run()
         if spec.frequency_table:
             self._register_ftable(spec.frequency_table,
@@ -244,6 +240,7 @@ class Session:
             result = MonteCarloExecutor(
                 compiled.plan, compiled.aggregates, self.catalog,
                 group_by=compiled.group_by, base_seed=self.base_seed).run(1)
+            # (no options: a single deterministic repetition never shards)
             # Group-key columns take their SELECT alias when one was given,
             # otherwise the bare (unqualified) column name.
             labels = {expr.name: name for name, expr in compiled.plain_outputs

@@ -15,7 +15,8 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
-from repro.vg.streams import DEFAULT_CHUNK, RandomStream, generator_for_chunk
+from repro.vg.streams import (
+    DEFAULT_CHUNK, RandomStream, gather_stream_values, generator_for_chunk)
 
 
 class VGFunction(ABC):
@@ -118,6 +119,12 @@ class BlockStream:
 
     def component_value_at(self, position: int, component: int) -> float:
         return float(self.block_at(position)[component])
+
+    def component_values_at(self, positions, component: int) -> np.ndarray:
+        """Vectorized :meth:`component_value_at` over a position array."""
+        return gather_stream_values(
+            positions, self._chunk,
+            lambda cid: self._chunk_values(cid)[:, component])
 
 
 class VGRegistry:

@@ -35,6 +35,36 @@ import numpy as np
 DEFAULT_CHUNK = 256
 
 
+def gather_stream_values(positions, chunk: int, chunk_values) -> np.ndarray:
+    """Gather deterministic stream values at arbitrary positions.
+
+    ``chunk_values(chunk_index)`` must return that chunk's ``(chunk,)``
+    value vector.  Ascending positions (the Instantiate/window case) hit a
+    fast path where each chunk covers one contiguous slice, avoiding a
+    per-chunk scan of the whole input.
+    """
+    positions = np.asarray(positions, dtype=np.int64)
+    if positions.size == 0:
+        return np.empty(0, dtype=np.float64)
+    if np.any(positions < 0):
+        raise IndexError("stream positions must be >= 0")
+    out = np.empty(positions.shape, dtype=np.float64)
+    chunk_ids = positions // chunk
+    offsets = positions % chunk
+    if positions.ndim == 1 and chunk_ids.size > 1 and np.all(
+            chunk_ids[1:] >= chunk_ids[:-1]):
+        starts = np.concatenate(
+            ([0], np.flatnonzero(np.diff(chunk_ids)) + 1, [chunk_ids.size]))
+        for i in range(len(starts) - 1):
+            lo, hi = int(starts[i]), int(starts[i + 1])
+            out[lo:hi] = chunk_values(int(chunk_ids[lo]))[offsets[lo:hi]]
+        return out
+    for cid in np.unique(chunk_ids):
+        mask = chunk_ids == cid
+        out[mask] = chunk_values(int(cid))[offsets[mask]]
+    return out
+
+
 def generator_for_chunk(seed: int, chunk_index: int) -> np.random.Generator:
     """Return a Generator positioned deterministically for one chunk.
 
@@ -86,18 +116,7 @@ class RandomStream:
 
     def values_at(self, positions: Sequence[int] | np.ndarray) -> np.ndarray:
         """Vectorized :meth:`value_at` over an array of positions."""
-        positions = np.asarray(positions, dtype=np.int64)
-        if positions.size == 0:
-            return np.empty(0, dtype=np.float64)
-        if np.any(positions < 0):
-            raise IndexError("stream positions must be >= 0")
-        out = np.empty(positions.shape, dtype=np.float64)
-        chunk_ids = positions // self._chunk
-        offsets = positions % self._chunk
-        for cid in np.unique(chunk_ids):
-            mask = chunk_ids == cid
-            out[mask] = self._chunk_values(int(cid))[offsets[mask]]
-        return out
+        return gather_stream_values(positions, self._chunk, self._chunk_values)
 
     def range_values(self, start: int, stop: int) -> np.ndarray:
         """Return positions ``[start, stop)`` as a contiguous array."""

@@ -61,9 +61,10 @@ class TestTailSampleNormalSum:
                            total_budget=budget, k=k,
                            rng=np.random.default_rng(seed))
 
+    @pytest.mark.slow
     def test_quantile_estimate_close_to_truth(self):
         true_q = stats.norm.ppf(1 - self.P, scale=np.sqrt(self.R))
-        estimates = [self._run(seed).quantile_estimate for seed in range(5)]
+        estimates = [self._run(seed).quantile_estimate for seed in range(4)]
         # Appendix C: relative error of the quantile is ~10x tighter than
         # the tail-probability error; a few percent is ample at this budget.
         assert abs(np.mean(estimates) - true_q) / true_q < 0.03
@@ -96,12 +97,13 @@ class TestTailSampleNormalSum:
         sizes = list(result.params.n_steps[1:]) + [100]
         assert [step.cloned_to for step in result.trace] == sizes
 
+    @pytest.mark.slow
     def test_tail_samples_follow_conditioned_distribution(self):
         """Figure 5's property: the empirical tail CDF clusters around the
         analytic conditional CDF at the estimated cutoff."""
         sd = np.sqrt(self.R)
         pvalues = []
-        for seed in range(4):
+        for seed in range(3):
             result = self._run(seed, k=2)
             c = result.quantile_estimate
             tail_mass = stats.norm.sf(c, scale=sd)
@@ -116,11 +118,12 @@ class TestTailSampleNormalSum:
         assert max(pvalues) > 0.05
         assert np.median(pvalues) > 0.005
 
+    @pytest.mark.slow
     def test_expected_shortfall_close_to_analytic(self):
         """E[Q | Q >= c] = sd * phi(c/sd) / (1 - Phi(c/sd)) for N(0, sd^2)."""
         sd = np.sqrt(self.R)
         shortfalls, analytic = [], []
-        for seed in range(5):
+        for seed in range(4):
             result = self._run(seed)
             c = result.quantile_estimate
             shortfalls.append(result.samples.mean())
@@ -143,6 +146,7 @@ class TestTailSampleNormalSum:
 
 
 class TestTailSampleOtherModels:
+    @pytest.mark.slow
     def test_exponential_sum_matches_gamma_quantile(self):
         r, p = 20, 0.01
         model = IndependentBlockModel.iid(
@@ -151,7 +155,7 @@ class TestTailSampleOtherModels:
         estimates = [
             tail_sample(model, query, p, num_samples=50, total_budget=3000,
                         rng=np.random.default_rng(seed)).quantile_estimate
-            for seed in range(4)]
+            for seed in range(3)]
         true_q = stats.gamma.ppf(1 - p, a=r)
         assert abs(np.mean(estimates) - true_q) / true_q < 0.05
 
@@ -239,3 +243,22 @@ class TestTailSampleValidation:
         result = tail_sample(model, query, 0.05, num_samples=5,
                              rng=np.random.default_rng(16))
         assert result.params.total_samples >= 900
+
+    def test_engine_selection(self):
+        model = _normal_model(3)
+        separable = SeparableSumQuery.simple_sum(3)
+        general = GeneralQuery(lambda x: float(x.sum()))
+        for engine in ("auto", "vectorized", "reference"):
+            result = tail_sample(model, separable, 0.05, num_samples=10,
+                                 total_budget=400, engine=engine,
+                                 rng=np.random.default_rng(20))
+            assert np.all(result.samples >= result.quantile_estimate)
+        # The scalar path serves general queries; vectorized refuses them.
+        tail_sample(model, general, 0.05, num_samples=5, total_budget=400,
+                    engine="reference", rng=np.random.default_rng(21))
+        with pytest.raises(ValueError, match="SeparableSumQuery"):
+            tail_sample(model, general, 0.05, num_samples=5,
+                        total_budget=400, engine="vectorized")
+        with pytest.raises(ValueError, match="unknown engine"):
+            tail_sample(model, separable, 0.05, num_samples=5,
+                        total_budget=400, engine="quantum")

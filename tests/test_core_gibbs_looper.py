@@ -44,9 +44,10 @@ class TestSumQuery:
             window=window, base_seed=seed, k=k)
         return looper.run(), means
 
+    @pytest.mark.slow
     def test_quantile_close_to_analytic(self):
         estimates = []
-        for seed in range(4):
+        for seed in range(3):
             result, means = self._run(seed)
             estimates.append(result.quantile_estimate)
         true_q = stats.norm.ppf(1 - PARAMS_5.p, loc=means.sum(), scale=np.sqrt(25))
@@ -82,11 +83,13 @@ class TestSumQuery:
         assert a.quantile_estimate == b.quantile_estimate
         np.testing.assert_array_equal(a.samples, b.samples)
 
+    @pytest.mark.slow
     def test_small_window_forces_replenishment(self):
         result, _ = self._run(5, window=110)
         assert result.plan_runs > 1
         assert sum(step.replenish_runs for step in result.trace) > 0
 
+    @pytest.mark.slow
     def test_larger_window_needs_fewer_plan_runs(self):
         # A wider window can't eliminate replenishment entirely (a version
         # holding an extreme value may reject tens of thousands of
@@ -104,6 +107,7 @@ class TestSumQuery:
             large.quantile_estimate, rel=1e-12)
         np.testing.assert_allclose(small.samples, large.samples, rtol=1e-12)
 
+    @pytest.mark.slow
     def test_multi_sweep_k(self):
         result, means = self._run(6, k=2)
         true_q = stats.norm.ppf(1 - PARAMS_5.p, loc=means.sum(), scale=5.0)

@@ -63,6 +63,7 @@ def _looper_estimates(seeds):
         for seed in seeds]
 
 
+@pytest.mark.slow
 class TestThreeWayAgreement:
     def test_cloner_and_looper_agree_with_analytic(self):
         cloner = np.mean(_cloner_estimates(range(5)))

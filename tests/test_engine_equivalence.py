@@ -1,0 +1,296 @@
+"""The gate for the vectorized execution layer.
+
+``engine="vectorized"`` and ``engine="reference"`` must produce *identical*
+results — same tail samples, same (handle -> position) assignments, same
+acceptance statistics, same replenishment schedule — for the same session
+seed, on randomized plans and seeds.  Likewise the sharded Monte Carlo
+executor must be invariant to ``n_jobs`` and shard geometry.  Nothing here
+is approximate: every comparison is exact.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.gibbs_looper import GibbsLooper
+from repro.core.params import TailParams
+from repro.engine.expressions import col, lit
+from repro.engine.mcdb import AggregateSpec, MonteCarloExecutor
+from repro.engine.operators import (
+    Join, Scan, Select, Split, random_table_pipeline)
+from repro.engine.options import ExecutionOptions
+from repro.engine.random_table import RandomColumnSpec, RandomTableSpec
+from repro.engine.table import Catalog, Table
+from repro.sql import Session
+from repro.vg.builtin import DISCRETE_CHOICE, NORMAL
+
+ENGINES = ("reference", "vectorized")
+
+
+def _losses_catalog(customers):
+    catalog = Catalog()
+    means = np.linspace(0.8, 3.5, customers)
+    catalog.add_table(Table("means", {
+        "CID": np.arange(customers), "m": means}))
+    spec = RandomTableSpec(
+        name="Losses", parameter_table="means", vg=NORMAL,
+        vg_params=(col("m"), lit(1.0)),
+        random_columns=(RandomColumnSpec("val"),),
+        passthrough_columns=("CID",))
+    return catalog, spec
+
+
+def _assert_identical(a, b):
+    """Exact equality of everything a LooperResult exposes."""
+    assert a.quantile_estimate == b.quantile_estimate
+    np.testing.assert_array_equal(a.samples, b.samples)
+    assert a.assignments == b.assignments
+    assert a.plan_runs == b.plan_runs
+    assert a.num_seeds == b.num_seeds
+    assert a.num_tuples == b.num_tuples
+    assert len(a.trace) == len(b.trace)
+    for step_a, step_b in zip(a.trace, b.trace):
+        assert step_a.cutoff == step_b.cutoff
+        assert step_a.elite_count == step_b.elite_count
+        assert step_a.replenish_runs == step_b.replenish_runs
+        assert (step_a.stats.proposals, step_a.stats.acceptances,
+                step_a.stats.stalls) == (step_b.stats.proposals,
+                                         step_b.stats.acceptances,
+                                         step_b.stats.stalls)
+
+
+class TestLooperEquivalence:
+    """Vectorized vs reference GibbsLooper on the portfolio family."""
+
+    def _run(self, engine, customers=20, window=250, base_seed=0,
+             aggregate_kind="sum", k=1, num_samples=25, m=2, p_step=0.3,
+             versions=40, predicate=None, max_proposals=100_000):
+        catalog, spec = _losses_catalog(customers)
+        plan = random_table_pipeline(spec)
+        if predicate is not None:
+            plan = Select(plan, predicate)
+        params = TailParams(p=p_step ** m, m=m, n_steps=(versions,) * m,
+                            p_steps=(p_step,) * m)
+        expr = None if aggregate_kind == "count" else col("val")
+        return GibbsLooper(
+            plan, catalog, params, num_samples,
+            aggregate_kind=aggregate_kind, aggregate_expr=expr,
+            window=window, base_seed=base_seed, k=k,
+            max_proposals=max_proposals,
+            options=ExecutionOptions(engine=engine)).run()
+
+    @given(customers=st.integers(3, 15),
+           window=st.integers(60, 300),
+           base_seed=st.integers(0, 10_000),
+           aggregate_kind=st.sampled_from(["sum", "count", "avg"]),
+           m=st.integers(1, 3))
+    @settings(max_examples=12, deadline=None)
+    def test_property_random_plans_and_seeds(self, customers, window,
+                                             base_seed, aggregate_kind, m):
+        kwargs = dict(customers=customers, window=window, base_seed=base_seed,
+                      aggregate_kind=aggregate_kind, m=m, versions=30,
+                      num_samples=15)
+        if aggregate_kind == "count":
+            kwargs["predicate"] = col("val") > lit(1.0)
+        _assert_identical(self._run("reference", **kwargs),
+                          self._run("vectorized", **kwargs))
+
+    def test_replenishment_heavy_window(self):
+        """A window barely above the population forces many plan re-runs —
+        both engines must replenish at the same points."""
+        kwargs = dict(customers=10, window=45, versions=40, m=2, base_seed=5)
+        _assert_identical(self._run("reference", **kwargs),
+                          self._run("vectorized", **kwargs))
+
+    def test_multi_sweep_k(self):
+        kwargs = dict(k=3, base_seed=17)
+        _assert_identical(self._run("reference", **kwargs),
+                          self._run("vectorized", **kwargs))
+
+    def test_single_seed_presence_predicate(self):
+        kwargs = dict(predicate=col("val") > lit(1.2), base_seed=23,
+                      window=400)
+        _assert_identical(self._run("reference", **kwargs),
+                          self._run("vectorized", **kwargs))
+
+    def test_tight_proposal_budget_stalls_identically(self):
+        """With a tiny max_proposals both engines must stall on the same
+        versions after consuming the same candidates."""
+        kwargs = dict(max_proposals=7, base_seed=29, window=400, m=2)
+        a = self._run("reference", **kwargs)
+        b = self._run("vectorized", **kwargs)
+        _assert_identical(a, b)
+        assert a.total_stats.stalls > 0  # the scenario must exercise stalls
+
+    def test_avg_aggregate_with_predicate(self):
+        kwargs = dict(aggregate_kind="avg", predicate=col("val") > lit(0.5),
+                      base_seed=31, window=400)
+        _assert_identical(self._run("reference", **kwargs),
+                          self._run("vectorized", **kwargs))
+
+
+class TestMultiSeedPlans:
+    """Plans whose Gibbs tuples carry several TS-seed handles."""
+
+    @staticmethod
+    def _salary_plan():
+        catalog = Catalog()
+        catalog.add_table(Table("emp", {
+            "eid": ["Joe", "Sue", "Jim", "Ann", "Sid"],
+            "msal": [26.0, 24.0, 77.0, 45.0, 50.0]}))
+        catalog.add_table(Table("sup", {
+            "boss": ["Sue", "Jim", "Sue"], "peon": ["Joe", "Ann", "Sid"]}))
+        spec = RandomTableSpec(
+            name="salaries", parameter_table="emp", vg=NORMAL,
+            vg_params=(col("msal"), lit(4.0)),
+            random_columns=(RandomColumnSpec("sal"),),
+            passthrough_columns=("eid",))
+        emp1 = random_table_pipeline(spec, prefix="e1.")
+        emp2 = random_table_pipeline(spec, prefix="e2.")
+        plan = Join(Join(Scan("sup"), emp1, ["boss"], ["e1.eid"]),
+                    emp2, ["peon"], ["e2.eid"])
+        return catalog, plan
+
+    def _run(self, engine, base_seed):
+        catalog, plan = self._salary_plan()
+        params = TailParams(p=0.1, m=1, n_steps=(60,), p_steps=(0.1,))
+        return GibbsLooper(
+            plan, catalog, params, 30, aggregate_kind="sum",
+            aggregate_expr=col("e2.sal") - col("e1.sal"),
+            final_predicate=col("e2.sal") > col("e1.sal"),
+            window=500, base_seed=base_seed,
+            options=ExecutionOptions(engine=engine)).run()
+
+    @pytest.mark.parametrize("base_seed", [0, 7, 101])
+    def test_salary_inversion_pulled_up_predicate(self, base_seed):
+        _assert_identical(self._run("reference", base_seed),
+                          self._run("vectorized", base_seed))
+
+    def test_split_join_on_random_attribute(self):
+        catalog = Catalog()
+        catalog.add_table(Table("people", {"pid": np.arange(8)}))
+        catalog.add_table(Table("bonus", {
+            "bage": [20.0, 21.0], "amount": [10.0, 100.0]}))
+        spec = RandomTableSpec(
+            name="Ages", parameter_table="people", vg=DISCRETE_CHOICE,
+            vg_params=(lit(20.0), lit(0.5), lit(21.0), lit(0.5)),
+            random_columns=(RandomColumnSpec("age"),),
+            passthrough_columns=("pid",))
+        params = TailParams(p=0.2, m=1, n_steps=(50,), p_steps=(0.2,))
+        results = []
+        for engine in ENGINES:
+            plan = Join(Split(random_table_pipeline(spec), "age"),
+                        Scan("bonus"), ["age"], ["bage"])
+            results.append(GibbsLooper(
+                plan, catalog, params, 25, aggregate_kind="sum",
+                aggregate_expr=col("amount"), window=300, base_seed=5,
+                options=ExecutionOptions(engine=engine)).run())
+        _assert_identical(*results)
+
+
+class TestMonteCarloSharding:
+    """MonteCarloExecutor results must not depend on n_jobs/shard layout."""
+
+    @staticmethod
+    def _executor(options=None, group_by=(), base_seed=3):
+        catalog, spec = _losses_catalog(12)
+        catalog.add_table(Table("segments", {
+            "CID2": np.arange(12), "seg": ["a"] * 5 + ["b"] * 7}))
+        plan = Join(Select(random_table_pipeline(spec),
+                           col("val") > lit(1.0)),
+                    Scan("segments"), ["CID"], ["CID2"])
+        aggregates = [
+            AggregateSpec("total", "sum", col("val")),
+            AggregateSpec("n", "count"),
+            AggregateSpec("mean", "avg", col("val")),
+            AggregateSpec("worst", "max", col("val")),
+        ]
+        return MonteCarloExecutor(plan, aggregates, catalog,
+                                  group_by=group_by, base_seed=base_seed,
+                                  options=options)
+
+    @staticmethod
+    def _assert_results_equal(a, b):
+        assert a.group_keys == b.group_keys
+        assert a.repetitions == b.repetitions
+        for key in a.group_keys:
+            for name in ("total", "n", "mean", "worst"):
+                np.testing.assert_array_equal(
+                    a.distribution(name, key).samples,
+                    b.distribution(name, key).samples)
+
+    @pytest.mark.parametrize("n_jobs", [2, 3])
+    def test_sharded_equals_serial(self, n_jobs):
+        serial = self._executor().run(200)
+        sharded = self._executor(
+            ExecutionOptions(n_jobs=n_jobs)).run(200)
+        self._assert_results_equal(serial, sharded)
+
+    def test_sharded_group_by(self):
+        serial = self._executor(group_by=["seg"]).run(150)
+        sharded = self._executor(
+            ExecutionOptions(n_jobs=2), group_by=["seg"]).run(150)
+        self._assert_results_equal(serial, sharded)
+
+    def test_shard_size_does_not_matter(self):
+        serial = self._executor().run(100)
+        for shard_size in (1, 33, 64):
+            sharded = self._executor(ExecutionOptions(
+                n_jobs=2, shard_size=shard_size)).run(100)
+            self._assert_results_equal(serial, sharded)
+
+    def test_uneven_split_covers_all_repetitions(self):
+        bounds = ExecutionOptions(n_jobs=3).shard_bounds(100)
+        assert bounds[0][0] == 0 and bounds[-1][1] == 100
+        assert all(hi == next_lo for (_, hi), (next_lo, _)
+                   in zip(bounds, bounds[1:]))
+
+    def test_options_validation(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            ExecutionOptions(engine="warp-drive")
+        with pytest.raises(ValueError, match="n_jobs"):
+            ExecutionOptions(n_jobs=0)
+        with pytest.raises(ValueError, match="shard_size"):
+            ExecutionOptions(shard_size=0)
+
+
+class TestSessionLevelEquivalence:
+    """The options thread end-to-end through the SQL surface."""
+
+    CREATE = """
+        CREATE TABLE Losses (CID, val) AS
+        FOR EACH CID IN means
+        WITH myVal AS Normal(VALUES(m, 1.0))
+        SELECT CID, myVal.* FROM myVal
+    """
+
+    def _session(self, options=None):
+        session = Session(base_seed=11, tail_budget=300, window=200,
+                          options=options)
+        session.add_table("means", {
+            "CID": np.arange(15), "m": np.linspace(1.0, 3.0, 15)})
+        session.execute(self.CREATE)
+        return session
+
+    def test_tail_query_same_result_under_both_engines(self):
+        query = """
+            SELECT SUM(val) AS loss FROM Losses WHERE CID < 12
+            WITH RESULTDISTRIBUTION MONTECARLO(40)
+            DOMAIN loss >= QUANTILE(0.95)
+        """
+        outputs = [
+            self._session(ExecutionOptions(engine=engine)).execute(query)
+            for engine in ENGINES]
+        _assert_identical(outputs[0].tail, outputs[1].tail)
+
+    def test_montecarlo_query_same_result_under_sharding(self):
+        query = """
+            SELECT SUM(val) AS loss FROM Losses
+            WITH RESULTDISTRIBUTION MONTECARLO(120)
+        """
+        serial = self._session().execute(query)
+        sharded = self._session(ExecutionOptions(n_jobs=2)).execute(query)
+        np.testing.assert_array_equal(
+            serial.distributions.distribution("loss").samples,
+            sharded.distributions.distribution("loss").samples)

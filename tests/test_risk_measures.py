@@ -1,0 +1,133 @@
+"""Unit tests for repro.risk.measures and the grouped-tail reduction."""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.risk import grouped
+from repro.risk.measures import (
+    expected_shortfall,
+    expected_shortfall_from_ftable,
+    tail_cdf,
+    value_at_risk,
+)
+from repro.sql import Session
+
+
+class _FakeTailResult:
+    """Anything exposing .samples / .quantile_estimate works as input."""
+
+    def __init__(self, samples, quantile_estimate=None):
+        self.samples = np.asarray(samples, dtype=np.float64)
+        if quantile_estimate is not None:
+            self.quantile_estimate = quantile_estimate
+
+
+class TestValueAtRisk:
+    def test_prefers_algorithm_estimate(self):
+        result = _FakeTailResult([5.0, 6.0, 7.0], quantile_estimate=4.5)
+        assert value_at_risk(result) == 4.5
+
+    def test_raw_samples_use_minimum(self):
+        assert value_at_risk(np.array([5.0, 6.0, 7.0])) == 5.0
+        assert value_at_risk(_FakeTailResult([3.0, 9.0])) == 3.0
+
+    def test_empty_samples_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            value_at_risk(np.array([]))
+
+
+class TestExpectedShortfall:
+    def test_mean_of_tail_samples(self):
+        samples = [10.0, 12.0, 14.0]
+        assert expected_shortfall(samples) == pytest.approx(12.0)
+        assert expected_shortfall(_FakeTailResult(samples)) == pytest.approx(12.0)
+
+    def test_empty_samples_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            expected_shortfall([])
+
+    def test_matches_analytic_normal_tail(self):
+        """ES of N(0,1) above its q-quantile is phi(z_q)/(1-q)."""
+        rng = np.random.default_rng(0)
+        draws = rng.normal(size=200_000)
+        q = 0.95
+        cut = np.quantile(draws, q)
+        tail = draws[draws >= cut]
+        analytic = stats.norm.pdf(stats.norm.ppf(q)) / (1 - q)
+        assert expected_shortfall(tail) == pytest.approx(analytic, rel=0.02)
+
+
+class TestExpectedShortfallFromFtable:
+    def test_weighted_sum(self):
+        values = [10.0, 20.0]
+        fractions = [0.25, 0.75]
+        assert expected_shortfall_from_ftable(values, fractions) == 17.5
+
+    def test_fractions_must_sum_to_one(self):
+        with pytest.raises(ValueError, match="sum to"):
+            expected_shortfall_from_ftable([1.0, 2.0], [0.5, 0.1])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="equal-length"):
+            expected_shortfall_from_ftable([1.0, 2.0], [1.0])
+        with pytest.raises(ValueError, match="equal-length"):
+            expected_shortfall_from_ftable([], [])
+
+
+class TestTailCdf:
+    def test_sorted_values_and_uniform_steps(self):
+        values, probabilities = tail_cdf(np.array([3.0, 1.0, 2.0]))
+        np.testing.assert_array_equal(values, [1.0, 2.0, 3.0])
+        np.testing.assert_allclose(probabilities, [1 / 3, 2 / 3, 1.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            tail_cdf(np.array([]))
+
+
+class TestGroupedTail:
+    CREATE = """
+        CREATE TABLE Losses (CID, val) AS
+        FOR EACH CID IN means
+        WITH v AS Normal(VALUES(m, 1.0))
+        SELECT CID, v.* FROM v
+    """
+    TEMPLATE = """
+        SELECT SUM(val) AS loss FROM Losses, segments
+        WHERE CID = CID2 AND seg = '{group}'
+        WITH RESULTDISTRIBUTION MONTECARLO(20)
+        DOMAIN loss >= QUANTILE(0.9)
+    """
+
+    def _session(self):
+        session = Session(base_seed=2, tail_budget=200, window=150)
+        session.add_table("means", {
+            "CID": np.arange(10), "m": np.linspace(1.0, 2.0, 10)})
+        session.add_table("segments", {
+            "CID2": np.arange(10), "seg": ["a"] * 5 + ["b"] * 5})
+        session.execute(self.CREATE)
+        return session
+
+    def test_one_tail_result_per_group(self):
+        results = grouped.grouped_tail(self._session(), self.TEMPLATE,
+                                       ["a", "b"])
+        assert set(results) == {"a", "b"}
+        for result in results.values():
+            assert len(result.samples) == 20
+            assert np.all(result.samples >= result.quantile_estimate)
+        # Segment b holds the larger means, so its VaR must dominate.
+        assert (value_at_risk(results["b"]) > value_at_risk(results["a"]))
+
+    def test_template_without_placeholder_rejected(self):
+        with pytest.raises(ValueError, match="placeholder"):
+            grouped.grouped_tail(self._session(), "SELECT 1", ["a"])
+
+    def test_non_tail_template_rejected(self):
+        template = """
+            SELECT SUM(val) AS loss FROM Losses, segments
+            WHERE CID = CID2 AND seg = '{group}'
+            WITH RESULTDISTRIBUTION MONTECARLO(5)
+        """
+        with pytest.raises(ValueError, match="DOMAIN"):
+            grouped.grouped_tail(self._session(), template, ["a"])

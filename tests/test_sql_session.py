@@ -251,3 +251,78 @@ class TestJoinPlanning:
     def test_unknown_column_rejected(self, session):
         with pytest.raises(PlanError, match="unknown column"):
             session.execute("SELECT SUM(zzz) AS s FROM means")
+
+
+class TestDocstringFlow:
+    """The exact Session docstring sequence (Sec. 2) must run verbatim."""
+
+    def test_sec2_docstring_sequence(self):
+        session = Session(base_seed=42, tail_budget=300, window=200)
+        session.add_table("means", {"CID": np.arange(10_000, 10_020),
+                                    "m": np.linspace(1.0, 2.0, 20)})
+        session.execute("""
+            CREATE TABLE Losses (CID, val) AS
+            FOR EACH CID IN means
+            WITH myVal AS Normal(VALUES(m, 1.0))
+            SELECT CID, myVal.* FROM myVal""")
+        output = session.execute("""
+            SELECT SUM(val) AS totalLoss FROM Losses
+            WHERE CID < 10010
+            WITH RESULTDISTRIBUTION MONTECARLO(100)
+            DOMAIN totalLoss >= QUANTILE(0.99)
+            FREQUENCYTABLE totalLoss""")
+        assert output.kind == "tail"
+        assert len(output.tail.samples) == 100
+        minimum = session.execute("SELECT MIN(totalLoss) FROM FTABLE")
+        assert minimum.rows.column("min0")[0] == pytest.approx(
+            output.tail.samples.min())
+
+
+class TestSessionOptions:
+    """ExecutionOptions thread from the Session into both executors."""
+
+    def _session(self, **kwargs):
+        from repro.engine.options import ExecutionOptions
+
+        session = Session(base_seed=7, tail_budget=300, window=200,
+                          options=ExecutionOptions(**kwargs) if kwargs else None)
+        session.add_table("means", {"CID": np.arange(12),
+                                    "m": np.linspace(1.0, 3.0, 12)})
+        session.execute(CREATE_LOSSES)
+        return session
+
+    def test_default_options_vectorized_serial(self):
+        session = self._session()
+        assert session.options.engine == "vectorized"
+        assert session.options.n_jobs == 1
+        assert not session.options.sharded
+
+    def test_engines_agree_through_sql(self):
+        query = """
+            SELECT SUM(val) AS loss FROM Losses
+            WITH RESULTDISTRIBUTION MONTECARLO(30)
+            DOMAIN loss >= QUANTILE(0.9)
+        """
+        reference = self._session(engine="reference").execute(query)
+        vectorized = self._session(engine="vectorized").execute(query)
+        assert (reference.tail.quantile_estimate
+                == vectorized.tail.quantile_estimate)
+        np.testing.assert_array_equal(reference.tail.samples,
+                                      vectorized.tail.samples)
+
+    def test_sharded_montecarlo_through_sql(self):
+        query = """
+            SELECT SUM(val) AS loss FROM Losses
+            WITH RESULTDISTRIBUTION MONTECARLO(90)
+        """
+        serial = self._session().execute(query)
+        sharded = self._session(n_jobs=3).execute(query)
+        np.testing.assert_array_equal(
+            serial.distributions.distribution("loss").samples,
+            sharded.distributions.distribution("loss").samples)
+
+    def test_deterministic_select_ignores_sharding(self):
+        session = self._session(n_jobs=4)
+        out = session.execute("SELECT SUM(m) AS total FROM means")
+        assert out.rows.column("total")[0] == pytest.approx(
+            np.linspace(1.0, 3.0, 12).sum())

@@ -241,3 +241,88 @@ def test_property_normal_stream_deterministic_and_finite(mean, variance, seed):
     assert np.all(np.isfinite(values))
     np.testing.assert_array_equal(
         values, builtin.NORMAL.make_stream(seed, (mean, variance)).range_values(0, 32))
+
+
+# Valid parameterizations covering *every* VG in the default registry (the
+# registry-completeness assertion below fails when a new VG is registered
+# without a case here).
+DETERMINISM_PARAMS = {
+    "normal": (3.0, 4.0),
+    "uniform": (-1.0, 5.0),
+    "gamma": (2.5, 1.5),
+    "inversegamma": (4.0, 1.0),
+    "lognormal": (0.2, 0.4),
+    "pareto": (4.0, 1.0),
+    "poisson": (6.0,),
+    "bernoulli": (0.3,),
+    "discretechoice": (1.0, 0.2, 5.0, 0.8),
+    "mixture": (0.4, 0.0, 1.0, 0.6, 10.0, 2.0),
+    "multivariatenormal": (1.0, -2.0, 4.0, 1.2, 1.2, 9.0),
+    "exponential": (1.5,),
+    "weibull": (1.5, 2.0),
+    "beta": (2.0, 3.0),
+    "studentt": (5.0, 1.0, 2.0),
+    "triangular": (0.0, 1.0, 2.0),
+    "deterministic": (7.5,),
+}
+
+
+class TestSeedDeterminism:
+    """Stream position i must be a pure function of (seed, params, i) for
+    every registered VG — the property replenishment (Sec. 9) relies on."""
+
+    def test_every_registered_vg_is_covered(self):
+        assert set(default_registry.names()) == set(DETERMINISM_PARAMS)
+
+    @pytest.mark.parametrize("name", sorted(DETERMINISM_PARAMS))
+    def test_same_seed_same_stream(self, name):
+        vg = default_registry.lookup(name)
+        params = DETERMINISM_PARAMS[name]
+        arity = vg.block_arity(params)
+        positions = np.array([0, 1, 7, 255, 256, 1000, 5003])
+        if arity == 1:
+            first = vg.make_stream(99, params).values_at(positions)
+            second = vg.make_stream(99, params).values_at(positions)
+        else:
+            first = vg.make_block_stream(99, params).component_values_at(
+                positions, arity - 1)
+            second = vg.make_block_stream(99, params).component_values_at(
+                positions, arity - 1)
+        np.testing.assert_array_equal(first, second)
+        assert np.all(np.isfinite(first))
+
+    @pytest.mark.parametrize("name", sorted(DETERMINISM_PARAMS))
+    def test_access_order_does_not_matter(self, name):
+        """Random access at position i equals sequential access at i."""
+        vg = default_registry.lookup(name)
+        params = DETERMINISM_PARAMS[name]
+        if vg.block_arity(params) != 1:
+            stream = vg.make_block_stream(7, params)
+            backwards = [stream.component_value_at(p, 0)
+                         for p in (600, 300, 3, 0)]
+            fresh = vg.make_block_stream(7, params)
+            forwards = [fresh.component_value_at(p, 0)
+                        for p in (0, 3, 300, 600)]
+            assert backwards == forwards[::-1]
+            return
+        stream = vg.make_stream(7, params)
+        backwards = [stream.value_at(p) for p in (600, 300, 3, 0)]
+        fresh = vg.make_stream(7, params)
+        forwards = [fresh.value_at(p) for p in (0, 3, 300, 600)]
+        assert backwards == forwards[::-1]
+
+    # "deterministic" is excluded: constant streams are seed-independent
+    # by design (Sec. 3.3's probability-1 convention).
+    @pytest.mark.parametrize(
+        "name", sorted(set(DETERMINISM_PARAMS) - {"deterministic"}))
+    def test_different_seeds_differ(self, name):
+        vg = default_registry.lookup(name)
+        params = DETERMINISM_PARAMS[name]
+        positions = np.arange(64)
+        if vg.block_arity(params) != 1:
+            a = vg.make_block_stream(1, params).component_values_at(positions, 0)
+            b = vg.make_block_stream(2, params).component_values_at(positions, 0)
+        else:
+            a = vg.make_stream(1, params).values_at(positions)
+            b = vg.make_stream(2, params).values_at(positions)
+        assert not np.array_equal(a, b)
