@@ -1,0 +1,100 @@
+"""Replenishment cost: full plan re-runs vs the delta materialization path.
+
+ROADMAP flagged replenishment (Sec. 9) as the dominant wall-clock cost for
+small Gibbs windows — the quickstart alone re-runs its plan 39 times.  The
+incremental materialization pipeline turns each of those re-runs into a
+*delta*: ``Instantiate`` merges only never-before-materialized stream
+positions into its previous output, and the GibbsLooper keeps its
+per-version caches when the tuple structure is unchanged.
+
+Two checks on the quickstart-style workload (520 customers, window 1000,
+the Sec. 2 portfolio-loss query):
+
+* **Fidelity** — ``replenishment="delta"`` and ``"full"`` must produce
+  identical samples, assignments and replenishment schedules (the full
+  gate lives in ``tests/test_engine_equivalence.py``).
+* **Speed** — the delta path must cut replenishment wall-clock by at
+  least 2x, and must never fall back to a full window rebuild (zero full
+  re-runs after the initial plan execution).
+"""
+
+import numpy as np
+
+from repro.engine.options import ExecutionOptions
+from repro.experiments import format_table, print_experiment, timed
+from repro.sql import Session
+
+CUSTOMERS = 520
+WINDOW = 1000
+BASE_SEED = 2026
+ROUNDS = 3
+
+CREATE = """
+    CREATE TABLE Losses (CID, val) AS
+    FOR EACH CID IN means
+    WITH myVal AS Normal(VALUES(m, 1.0))
+    SELECT CID, myVal.* FROM myVal
+"""
+QUERY = """
+    SELECT SUM(val) AS totalLoss
+    FROM Losses
+    WHERE CID < 500
+    WITH RESULTDISTRIBUTION MONTECARLO(100)
+    DOMAIN totalLoss >= QUANTILE(0.99)
+"""
+
+
+def _run_quickstart(replenishment: str):
+    session = Session(base_seed=BASE_SEED, tail_budget=1000, window=WINDOW,
+                      options=ExecutionOptions(replenishment=replenishment))
+    rng = np.random.default_rng(0)
+    session.add_table("means", {
+        "CID": np.arange(CUSTOMERS),
+        "m": rng.uniform(0.5, 3.0, size=CUSTOMERS)})
+    session.execute(CREATE)
+    output, seconds = timed(session.execute, QUERY)
+    return output.tail, seconds
+
+
+def test_replenishment_delta_vs_full():
+    results, totals, replenish = {}, {}, {}
+    for mode in ("full", "delta"):
+        best_total, best_replenish = np.inf, np.inf
+        for _ in range(ROUNDS):
+            tail, seconds = _run_quickstart(mode)
+            best_total = min(best_total, seconds)
+            best_replenish = min(best_replenish, tail.replenish_seconds)
+        results[mode] = tail
+        totals[mode] = best_total
+        replenish[mode] = best_replenish
+
+    full, delta = results["full"], results["delta"]
+    identical = (np.array_equal(full.samples, delta.samples)
+                 and full.assignments == delta.assignments
+                 and full.plan_runs == delta.plan_runs)
+    speedup = replenish["full"] / replenish["delta"]
+
+    body = format_table(
+        ["mode", "plan runs", "full rebuilds", "delta merges",
+         "replenish s", "total s"],
+        [[mode, results[mode].plan_runs,
+          results[mode].full_replenish_runs,
+          results[mode].delta_replenish_runs,
+          f"{replenish[mode]:.3f}", f"{totals[mode]:.3f}"]
+         for mode in ("full", "delta")])
+    body += "\n\n" + format_table(
+        ["", "value"],
+        [["identical samples/assignments", identical],
+         ["replenishment speedup", f"{speedup:.2f}x"],
+         ["re-runs avoided (full rebuilds in delta mode)",
+          delta.full_replenish_runs]])
+    print_experiment(
+        "Replenishment: delta materialization vs full plan re-runs", body)
+
+    assert identical, "delta replenishment diverged from full re-runs"
+    assert delta.full_replenish_runs == 0, (
+        f"delta mode fell back to {delta.full_replenish_runs} full rebuilds")
+    assert delta.delta_replenish_runs == delta.plan_runs - 1, (
+        "every replenishment should have used the delta path")
+    assert speedup >= 2.0, (
+        f"delta replenishment only {speedup:.2f}x faster; need >= 2x")

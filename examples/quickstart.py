@@ -6,15 +6,27 @@ computes value-at-risk and expected shortfall — including via the paper's
 ``FTABLE`` post-queries.
 
 Run:  python examples/quickstart.py
+
+Environment knobs (exercised by CI under both engines):
+  MCDBR_ENGINE=vectorized|reference       Gibbs perturbation kernel
+  MCDBR_REPLENISHMENT=delta|full          window-refuel strategy
+Every combination produces bit-identical output for the same base seed.
 """
+
+import os
 
 import numpy as np
 
+from repro.engine.options import ExecutionOptions
 from repro.risk import expected_shortfall, value_at_risk
 from repro.sql import Session
 
 # 1. A session and an ordinary parameter table: per-customer mean losses.
-session = Session(base_seed=2026, tail_budget=1000, window=1000)
+options = ExecutionOptions(
+    engine=os.environ.get("MCDBR_ENGINE", "vectorized"),
+    replenishment=os.environ.get("MCDBR_REPLENISHMENT", "delta"))
+session = Session(base_seed=2026, tail_budget=1000, window=1000,
+                  options=options)
 rng = np.random.default_rng(0)
 session.add_table("means", {
     "CID": np.arange(520),
@@ -47,7 +59,9 @@ print(f"expected shortfall      : {expected_shortfall(tail):,.1f}")
 print(f"bootstrapping schedule  : m={tail.params.m}, "
       f"n_i={tail.params.n_steps[0]}, p_i={tail.params.p_steps[0]:.3f}")
 print(f"plan executions         : {tail.plan_runs} "
-      f"(1 initial + {tail.plan_runs - 1} replenishment)")
+      f"(1 initial + {tail.plan_runs - 1} replenishment; "
+      f"{tail.delta_replenish_runs} delta / "
+      f"{tail.full_replenish_runs} full rebuilds)")
 
 # 4. The same quantities through SQL over the registered FTABLE (Sec. 2).
 minimum = session.execute("SELECT MIN(totalLoss) FROM FTABLE")

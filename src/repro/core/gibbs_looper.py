@@ -94,6 +94,12 @@ class LooperResult:
     #: One dict per final version: TS-seed handle -> assigned stream position
     #: (the compact representation of the sampled database instance).
     assignments: list[dict[int, int]]
+    #: Replenishment accounting (Sec. 9 / the delta protocol): how many
+    #: window refuels rebuilt every bundle from the streams vs. merged only
+    #: never-materialized positions, and the wall-clock spent in them.
+    full_replenish_runs: int = 0
+    delta_replenish_runs: int = 0
+    replenish_seconds: float = 0.0
 
     @property
     def total_stats(self) -> GibbsStats:
@@ -160,7 +166,8 @@ class GibbsLooper:
                  final_predicate: Expr | None = None,
                  k: int = 1, window: int = 1000, base_seed: int = 0,
                  max_proposals: int = 100_000,
-                 options: ExecutionOptions | None = None):
+                 options: ExecutionOptions | None = None,
+                 det_cache=None):
         if aggregate_kind not in _SUPPORTED_AGGREGATES:
             raise PlanError(
                 f"GibbsLooper supports {_SUPPORTED_AGGREGATES}, got "
@@ -188,6 +195,7 @@ class GibbsLooper:
         self.base_seed = base_seed
         self.max_proposals = max_proposals
         self.options = options or ExecutionOptions()
+        self.det_cache = det_cache
 
         # Run-time state (populated by run()).
         self._context: ExecutionContext | None = None
@@ -200,6 +208,10 @@ class GibbsLooper:
         self._versions = 0
         self._replenish_runs = 0
         self._replenished_flag = False
+        self._full_replenish_runs = 0
+        self._delta_replenish_runs = 0
+        self._replenish_seconds = 0.0
+        self._window_signature: tuple | None = None
 
     # -- public entry ---------------------------------------------------------
 
@@ -208,7 +220,9 @@ class GibbsLooper:
         versions = self.params.n_steps[0]
         self._context = ExecutionContext(
             self.catalog, positions=self.window, aligned=False,
-            base_seed=self.base_seed)
+            base_seed=self.base_seed, det_cache=self.det_cache)
+        self._context.delta_tracking = (
+            self.options.replenishment == "delta")
         relation = self.plan.execute(self._context)
         self._context.plan_runs += 1
         self._ingest(relation, versions, initial=True)
@@ -246,13 +260,31 @@ class GibbsLooper:
             quantile_estimate=cutoff, samples=samples, trace=trace,
             params=self.params, plan_runs=self._context.plan_runs,
             num_seeds=len(self._seeds), num_tuples=len(self._tuples),
-            assignments=assignments)
+            assignments=assignments,
+            full_replenish_runs=self._full_replenish_runs,
+            delta_replenish_runs=self._delta_replenish_runs,
+            replenish_seconds=self._replenish_seconds)
 
     # -- ingestion and caches ---------------------------------------------------
 
     def _ingest(self, relation: BundleRelation, versions: int,
                 initial: bool) -> None:
-        """(Re)build tuples, TS-seeds and per-version caches from a plan run."""
+        """(Re)build tuples, TS-seeds and per-version caches from a plan run.
+
+        Under delta replenishment, a re-run whose output has the same
+        tuple structure (rows, lineage, presence pattern) as the last one
+        takes a fast path: the per-version value/presence caches and the
+        accumulators are *kept* — replenishment never changes any
+        version's assigned values, only widens the windows — and only the
+        window views inside the Gibbs tuples are swapped for the merged
+        ones.
+        """
+        signature = self._relation_signature(relation)
+        if (not initial and self.options.replenishment == "delta"
+                and self._signatures_match(signature)):
+            self._refresh_windows(relation)
+            self._window_signature = signature
+            return
         self._versions = versions
         self._tuples = tuples_from_relation(relation)
         self._validate_columns(relation)
@@ -283,7 +315,77 @@ class GibbsLooper:
             for handle in gibbs_tuple.handles:
                 self._tuples_of_seed.setdefault(handle, []).append(index)
 
-        self._rebuild_states()
+        self._rebuild_states(relation)
+        self._window_signature = signature
+
+    @staticmethod
+    def _relation_signature(relation: BundleRelation) -> tuple:
+        """Structural identity of a plan output: rows, lineage, presence.
+
+        Two runs with equal signatures produced the same Gibbs tuples in
+        the same order (same surviving rows, same seed handles per random
+        column, same non-vacuous presence pattern) — only their window
+        contents may differ, which is exactly what the delta fast path
+        swaps in place.
+        """
+        rand = tuple((name, column.seed_handles)
+                     for name, column in relation.rand_columns.items())
+        presence = tuple((presence.seed_handles, presence.flags.all(axis=1))
+                         for presence in relation.presence)
+        return (relation.length, rand, presence)
+
+    def _signatures_match(self, signature: tuple) -> bool:
+        previous = self._window_signature
+        if previous is None or previous[0] != signature[0]:
+            return False
+        if len(previous[1]) != len(signature[1]) or \
+                len(previous[2]) != len(signature[2]):
+            return False
+        for (old_name, old_handles), (name, handles) in zip(
+                previous[1], signature[1]):
+            if old_name != name or not np.array_equal(old_handles, handles):
+                return False
+        for (old_handles, old_vacuous), (handles, vacuous) in zip(
+                previous[2], signature[2]):
+            if not (np.array_equal(old_handles, handles)
+                    and np.array_equal(old_vacuous, vacuous)):
+                return False
+        return True
+
+    def _refresh_windows(self, relation: BundleRelation) -> None:
+        """Swap merged window views into the existing tuples and seeds.
+
+        Values at every assigned position are unchanged (streams are pure
+        functions of position), so the per-version caches, accumulators,
+        states and the tuple/seed index structures all carry over; only
+        the materialized window arrays — consulted by future candidate
+        evaluations — and each seed's position list are new.
+        """
+        rand_items = list(relation.rand_columns.items())
+        vacuous = [presence.flags.all(axis=1) for presence in relation.presence]
+        for row, gibbs_tuple in enumerate(self._tuples):
+            for name, column in rand_items:
+                gibbs_tuple.rand[name].values = column.values[row]
+            slot = 0
+            for p_index, presence in enumerate(relation.presence):
+                if vacuous[p_index][row]:
+                    continue
+                gibbs_tuple.presences[slot].flags = presence.flags[row]
+                slot += 1
+        for handle, ts in self._seeds.items():
+            ts.positions = self._context.positions_for(handle)
+        if self._states:
+            # Re-derive the accumulators exactly as a full rebuild would:
+            # the incrementally updated sums carry += rounding drift, and a
+            # rebuild replaces them with fresh strict-order sums — skipping
+            # that would diverge from the reference path bit by bit.
+            value_matrix = np.stack([state.value for state in self._states])
+            present_matrix = np.stack(
+                [state.present for state in self._states])
+            self._sums = np.cumsum(
+                np.where(present_matrix, value_matrix, 0.0), axis=0)[-1]
+            self._counts = np.cumsum(present_matrix, axis=0,
+                                     dtype=np.float64)[-1]
 
     def _validate_columns(self, relation: BundleRelation) -> None:
         known = set(relation.det_columns) | set(relation.rand_columns)
@@ -298,51 +400,83 @@ class GibbsLooper:
                 f"aggregate/predicate reference unknown columns "
                 f"{sorted(missing)}; plan provides {sorted(known)}")
 
-    def _rebuild_states(self) -> None:
-        """Recompute per-version caches and accumulators from assignments."""
-        version_count = self._versions
+    def _rebuild_states(self, relation: BundleRelation) -> None:
+        """Recompute per-version caches and accumulators from assignments.
+
+        Fully vectorized over the tuple axis: every random column's
+        per-version values are gathered with one ``take_along_axis``, the
+        aggregate expression and predicates are evaluated once over
+        ``(tuples, versions)`` matrices, and the accumulators use
+        strict-row-order ``cumsum`` summation — elementwise identical to
+        the per-tuple reference loop, whose accumulation order it
+        reproduces exactly.
+        """
+        versions = self._versions
+        count = len(self._tuples)
         index_of = {
             handle: np.searchsorted(ts.positions, ts.assignment)
             for handle, ts in self._seeds.items()}
         self._states = []
-        sums = np.zeros(version_count)
-        counts = np.zeros(version_count)
-        for gibbs_tuple in self._tuples:
-            state = _TupleState()
-            for name, rand_field in gibbs_tuple.rand.items():
-                state.values[name] = rand_field.values[index_of[rand_field.handle]]
-            for presence_field in gibbs_tuple.presences:
-                state.presence.append(
-                    presence_field.flags[index_of[presence_field.handle]])
-            value, present = self._evaluate_tuple(gibbs_tuple, state)
-            state.value, state.present = value, present
-            sums += np.where(present, value, 0.0)
-            counts += present
-            self._states.append(state)
-        self._sums, self._counts = sums, counts
+        if not count:
+            self._sums = np.zeros(versions)
+            self._counts = np.zeros(versions)
+            return
 
-    def _evaluate_tuple(self, gibbs_tuple: GibbsTuple, state: _TupleState
-                        ) -> tuple[np.ndarray, np.ndarray]:
-        """Aggregate argument + presence for one tuple, per version."""
-        columns: dict[str, np.ndarray] = dict(state.values)
-        for name, det_value in gibbs_tuple.det.items():
-            columns[name] = np.asarray(det_value)
+        columns: dict[str, np.ndarray] = {}
+        gathered: dict[str, np.ndarray] = {}
+        for name, column in relation.rand_columns.items():
+            index_matrix = np.stack(
+                [index_of[int(handle)] for handle in column.seed_handles])
+            gathered[name] = np.take_along_axis(
+                column.values, index_matrix, axis=1)
+            columns[name] = gathered[name]
+        for name, det_values in relation.det_columns.items():
+            columns[name] = det_values.reshape(count, 1)
         context = DictContext(columns)
-        version_count = self._version_count()
+
         if self.aggregate_expr is None:
-            value = np.ones(version_count)
+            value_matrix = np.ones((count, versions))
         else:
-            value = np.broadcast_to(
-                np.asarray(self.aggregate_expr.evaluate(context), dtype=np.float64),
-                (version_count,)).copy()
-        present = np.ones(version_count, dtype=bool)
-        for flags in state.presence:
-            present &= flags
+            value_matrix = np.broadcast_to(
+                np.asarray(self.aggregate_expr.evaluate(context),
+                           dtype=np.float64), (count, versions))
+            if not value_matrix.flags.writeable:
+                value_matrix = value_matrix.copy()
+        present_matrix = np.ones((count, versions), dtype=bool)
+        gathered_presence = []
+        vacuous_rows = []
+        for presence in relation.presence:
+            index_matrix = np.stack(
+                [index_of[int(handle)] for handle in presence.seed_handles])
+            flags = np.take_along_axis(presence.flags, index_matrix, axis=1)
+            # Vacuous (all-true) rows were dropped from the Gibbs tuples;
+            # AND-ing them here is an exact no-op, so the combined
+            # presence matches the per-tuple loop.
+            present_matrix &= flags
+            gathered_presence.append(flags)
+            vacuous_rows.append(presence.flags.all(axis=1))
         if self.final_predicate is not None:
-            present &= np.broadcast_to(
-                np.asarray(self.final_predicate.evaluate(context), dtype=bool),
-                (version_count,))
-        return value, present
+            present_matrix &= np.broadcast_to(
+                np.asarray(self.final_predicate.evaluate(context),
+                           dtype=bool), (count, versions))
+
+        for row, gibbs_tuple in enumerate(self._tuples):
+            state = _TupleState()
+            for name in gibbs_tuple.rand:
+                state.values[name] = gathered[name][row]
+            for flags, vacuous in zip(gathered_presence, vacuous_rows):
+                if not vacuous[row]:
+                    state.presence.append(flags[row])
+            state.value = value_matrix[row]
+            state.present = present_matrix[row]
+            self._states.append(state)
+        # Strict row-order accumulation (cf. MonteCarloExecutor._ordered_sum):
+        # cumsum is sequential, so inserting the tuples one at a time — the
+        # reference behavior — rounds identically.
+        self._sums = np.cumsum(
+            np.where(present_matrix, value_matrix, 0.0), axis=0)[-1]
+        self._counts = np.cumsum(present_matrix, axis=0,
+                                 dtype=np.float64)[-1]
 
     def _version_count(self) -> int:
         return self._versions
@@ -772,7 +906,14 @@ class GibbsLooper:
     # -- replenishment ------------------------------------------------------------
 
     def _replenish(self) -> None:
-        """Sec. 9: re-run the plan to refuel every seed's stream window."""
+        """Sec. 9: re-run the plan to refuel every seed's stream window.
+
+        With ``options.replenishment == "delta"`` the run executes in
+        incremental mode: ``Instantiate`` merges never-before-materialized
+        positions into its previous output instead of regenerating every
+        window (the context tracks which refuels were full vs. delta).
+        """
+        started = time.perf_counter()
         plans = {handle: ts.replenish_plan(self.window)
                  for handle, ts in self._seeds.items()}
         width = max(len(plan) for plan in plans.values())
@@ -781,7 +922,14 @@ class GibbsLooper:
         context.position_plan = {
             handle: self._seeds[handle].pad_plan(plan, width)
             for handle, plan in plans.items()}
+        context.delta_mode = context.delta_tracking
+        delta_before, full_before = context.delta_runs, context.full_runs
         relation = self.plan.execute(context)
+        context.delta_mode = False
+        if context.full_runs > full_before:
+            self._full_replenish_runs += 1
+        elif context.delta_runs > delta_before:
+            self._delta_replenish_runs += 1
         context.plan_runs += 1
         self._replenish_runs += 1
         self._replenished_flag = True
@@ -795,3 +943,4 @@ class GibbsLooper:
             raise EngineError(
                 "replenishment changed query results; stream/cache "
                 "inconsistency (this is a bug)")
+        self._replenish_seconds += time.perf_counter() - started

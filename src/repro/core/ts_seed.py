@@ -41,6 +41,18 @@ class TSSeed:
     max_used: int
     #: ``assignment[v]`` = stream position currently held by DB version v.
     assignment: np.ndarray
+    #: Replenish-plan memo: ``(fresh, plan)`` valid while the seed is
+    #: untouched.  A replenishment refuels *every* seed, but between two
+    #: replenishments only the seeds actually perturbed change state — the
+    #: others' plans (``unique(assignment)`` + fresh range) are identical,
+    #: so recomputing them each time is pure waste.
+    _plan_memo: tuple[int, np.ndarray] | None = field(
+        default=None, repr=False, compare=False)
+    #: Padded-plan memo: ``(plan_object, width, padded)``.  Keyed on the
+    #: plan array's *identity*, so it is only ever served for a memoized
+    #: (untouched) plan — which in turn lets the delta merge recognize an
+    #: unchanged window by object identity instead of comparing contents.
+    _pad_memo: tuple | None = field(default=None, repr=False, compare=False)
 
     @property
     def handle(self) -> int:
@@ -77,9 +89,11 @@ class TSSeed:
                 f"stream position {position} already consumed "
                 f"(max_used={self.max_used})")
         self.max_used = int(position)
+        self._plan_memo = None
 
     def assign(self, version: int, position: int) -> None:
         self.assignment[version] = position
+        self._plan_memo = None
 
     # -- cloning and resizing ------------------------------------------------
 
@@ -92,6 +106,7 @@ class TSSeed:
         elite-to-version mapping, possibly changing the version count.
         """
         self.assignment = self.assignment[np.asarray(source_indices, dtype=np.int64)]
+        self._plan_memo = None
 
     # -- replenishment --------------------------------------------------------
 
@@ -104,12 +119,16 @@ class TSSeed:
         """
         if fresh < 1:
             raise ValueError(f"fresh count must be >= 1, got {fresh}")
+        if self._plan_memo is not None and self._plan_memo[0] == fresh:
+            return self._plan_memo[1]
         assigned = np.unique(self.assignment)
         new = np.arange(self.max_used + 1, self.max_used + 1 + fresh,
                         dtype=np.int64)
         # Assigned positions are all <= max_used < new[0] and both parts are
         # sorted and duplicate-free, so the concatenation already is too.
-        return np.concatenate([assigned, new])
+        plan = np.concatenate([assigned, new])
+        self._plan_memo = (fresh, plan)
+        return plan
 
     def pad_plan(self, plan: np.ndarray, width: int) -> np.ndarray:
         """Extend a replenish plan with further fresh positions to ``width``.
@@ -123,8 +142,13 @@ class TSSeed:
             raise ValueError(f"plan already wider than {width}")
         if extra == 0:
             return plan
+        if (self._pad_memo is not None and self._pad_memo[0] is plan
+                and self._pad_memo[1] == width):
+            return self._pad_memo[2]
         tail = np.arange(plan[-1] + 1, plan[-1] + 1 + extra, dtype=np.int64)
-        return np.concatenate([plan, tail])
+        padded = np.concatenate([plan, tail])
+        self._pad_memo = (plan, width, padded)
+        return padded
 
     def index_of_position(self, position: int) -> int:
         """Index of ``position`` within the materialized list (or raise)."""

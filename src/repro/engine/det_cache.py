@@ -1,0 +1,132 @@
+"""Deterministic sub-plan caches — the tiers behind ``det_cache=...``.
+
+Sec. 9 observes that "the result of each deterministic part of the query
+plan is materialized and saved" so that replenishment re-runs skip all
+deterministic work.  The seed implementation scoped that cache to one
+:class:`~repro.engine.operators.ExecutionContext`, which dies with the
+query; this module generalizes it into pluggable tiers:
+
+* :class:`ContextDetCache` — the original behavior: entries are keyed by
+  ``node_id`` and live exactly as long as the execution context (one query
+  including all its replenishment re-runs).
+* :class:`SessionDetCache` — a cross-query cache owned by the
+  :class:`~repro.sql.session.Session`.  Entries are keyed by the
+  *structural fingerprint* of the plan subtree
+  (:meth:`~repro.engine.operators.PlanNode.fingerprint`), so a freshly
+  compiled plan hits the entries an earlier, structurally identical plan
+  populated.  The cache records the catalog version it was filled under
+  and drops everything when the catalog mutates — a ``CREATE TABLE``,
+  ``add_table`` or ``FTABLE`` registration may change what a ``Scan``
+  would produce.
+* :class:`NullDetCache` — caching disabled (``det_cache="off"``); every
+  deterministic subtree re-runs on every plan execution.
+
+All tiers hold :class:`~repro.engine.bundles.BundleRelation` objects that
+operators treat as immutable; when a cached relation's window metadata
+disagrees with the requesting context it is re-stamped (copied with new
+``positions``/``aligned``) by the caller, never mutated in place.
+"""
+
+from __future__ import annotations
+
+__all__ = ["ContextDetCache", "SessionDetCache", "NullDetCache",
+           "make_det_cache"]
+
+
+class ContextDetCache:
+    """Per-execution-context cache keyed by plan-node identity."""
+
+    def __init__(self):
+        self._entries: dict[int, object] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, node, context):
+        cached = self._entries.get(node.node_id)
+        if cached is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return cached
+
+    def store(self, node, relation) -> None:
+        self._entries[node.node_id] = relation
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class SessionDetCache:
+    """Cross-query cache keyed by structural plan fingerprint.
+
+    The fingerprint identifies *what* a deterministic subtree computes
+    (operator types, tables, predicates, column lists); the catalog
+    version identifies what the referenced tables *contain*.  A lookup
+    under a newer catalog version invalidates the whole cache — coarse,
+    but catalog mutation is rare compared to query execution, and
+    correctness never depends on guessing which tables a mutation touched.
+    """
+
+    def __init__(self):
+        self._entries: dict[str, object] = {}
+        self._catalog_version: int | None = None
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    def _sync_catalog(self, context) -> None:
+        version = context.catalog.version
+        if self._catalog_version != version:
+            if self._entries:
+                self.invalidations += 1
+            self._entries.clear()
+            self._catalog_version = version
+
+    def lookup(self, node, context):
+        self._sync_catalog(context)
+        cached = self._entries.get(node.fingerprint())
+        if cached is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return cached
+
+    def store(self, node, relation) -> None:
+        self._entries[node.fingerprint()] = relation
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._catalog_version = None
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class NullDetCache:
+    """``det_cache="off"``: never caches anything."""
+
+    hits = 0
+    misses = 0
+
+    def lookup(self, node, context):
+        return None
+
+    def store(self, node, relation) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return 0
+
+
+def make_det_cache(mode: str):
+    """Cache instance for an ``ExecutionOptions.det_cache`` mode.
+
+    ``"session"`` is intentionally absent: a session cache must be *owned*
+    by a long-lived object (the Session) to be worth anything, so callers
+    construct :class:`SessionDetCache` themselves and pass it down.
+    """
+    if mode == "context":
+        return ContextDetCache()
+    if mode == "off":
+        return NullDetCache()
+    raise ValueError(f"make_det_cache does not build {mode!r} caches")

@@ -101,7 +101,8 @@ class MonteCarloExecutor:
 
     def __init__(self, plan: PlanNode, aggregates: Sequence[AggregateSpec],
                  catalog: Catalog, group_by: Sequence[str] = (),
-                 base_seed: int = 0, options: ExecutionOptions | None = None):
+                 base_seed: int = 0, options: ExecutionOptions | None = None,
+                 det_cache=None):
         if not aggregates:
             raise PlanError("at least one aggregate is required")
         names = [aggregate.name for aggregate in aggregates]
@@ -113,6 +114,11 @@ class MonteCarloExecutor:
         self.group_by = list(group_by)
         self.base_seed = base_seed
         self.options = options or ExecutionOptions()
+        #: Deterministic sub-plan cache shared with the execution contexts;
+        #: a Session passes its cross-query cache here.  Workers receive a
+        #: pickled copy, so pre-populated entries save work per shard but
+        #: shard-local fills do not flow back.
+        self.det_cache = det_cache
 
     def run(self, repetitions: int) -> MonteCarloResult:
         if self.options.sharded and repetitions > 1:
@@ -123,7 +129,8 @@ class MonteCarloExecutor:
         """Execute repetitions ``[lo, hi)`` — the whole run when lo=0."""
         context = ExecutionContext(
             self.catalog, positions=hi - lo, aligned=True,
-            base_seed=self.base_seed, position_offset=lo)
+            base_seed=self.base_seed, position_offset=lo,
+            det_cache=self.det_cache)
         relation = self.plan.execute(context)
         context.plan_runs += 1
         return self.aggregate(relation, hi - lo)

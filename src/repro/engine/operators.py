@@ -36,11 +36,13 @@ from typing import Mapping, Sequence
 import numpy as np
 
 from repro.engine.bundles import BundleRelation, PresenceColumn, RandomColumn
+from repro.engine.det_cache import ContextDetCache
 from repro.engine.errors import EngineError, PlanError
 from repro.engine.expressions import Expr
 from repro.engine.random_table import RandomTableSpec
 from repro.engine.seeds import SeedInfo, derive_prng_seed, label_id_of, seed_handle
 from repro.engine.table import Catalog
+from repro.vg.streams import gather_stream_windows
 
 __all__ = [
     "ExecutionContext", "PlanNode", "Scan", "Seed", "Instantiate",
@@ -66,11 +68,20 @@ class ExecutionContext:
         First stream position to materialize (Monte Carlo sharding): a
         worker handling repetitions ``[lo, hi)`` materializes positions
         ``[lo, hi)`` of every stream, so the shards of one run partition
-        the exact position axis a serial run would produce.
+        the exact position axis a serial run would produce.  Mutually
+        exclusive with an explicit ``position_plan`` — sharding slides the
+        whole window while a replenishment plan pins per-seed positions,
+        and combining the two would silently misalign the shard.
+    det_cache:
+        Deterministic sub-plan cache to consult; defaults to a fresh
+        per-context :class:`~repro.engine.det_cache.ContextDetCache`.
+        Pass a :class:`~repro.engine.det_cache.SessionDetCache` to share
+        materialized deterministic relations across queries.
     """
 
     def __init__(self, catalog: Catalog, positions: int, aligned: bool,
-                 base_seed: int = 0, position_offset: int = 0):
+                 base_seed: int = 0, position_offset: int = 0,
+                 det_cache=None):
         if positions < 1:
             raise EngineError(f"positions must be >= 1, got {positions}")
         if position_offset < 0:
@@ -87,9 +98,24 @@ class ExecutionContext:
         #: "only adds new or currently assigned values", Sec. 9).  When a
         #: handle is absent, the contiguous default window is used.
         self.position_plan: dict[int, np.ndarray] = {}
-        self.det_cache: dict[int, BundleRelation] = {}
+        self.det_cache = det_cache if det_cache is not None else ContextDetCache()
+        #: Incremental materialization (delta replenishment).  With
+        #: ``delta_tracking`` on, every Instantiate records its output and
+        #: the per-seed positions it materialized; with ``delta_mode`` also
+        #: on (set during replenishment runs), Instantiate *merges* — it
+        #: gathers from the streams only positions absent from its previous
+        #: materialization and copies everything else from the recorded
+        #: windows.
+        self.delta_tracking = False
+        self.delta_mode = False
+        self.materialized: dict[int, "_Materialization"] = {}
         self.plan_runs = 0
         self.node_executions = 0
+        #: Plan runs that regenerated every window from the streams vs.
+        #: runs that merged deltas into previous bundles (diagnostics for
+        #: the replenishment benchmark).
+        self.full_runs = 0
+        self.delta_runs = 0
         self._labels: dict[int, str] = {}
 
     def register_label(self, label: str) -> int:
@@ -106,6 +132,11 @@ class ExecutionContext:
 
     def positions_for(self, handle: int) -> np.ndarray:
         """The stream positions a random column materializes for ``handle``."""
+        if self.position_plan and self.position_offset:
+            raise EngineError(
+                "position_offset and an explicit position_plan are mutually "
+                "exclusive: sharded (offset) execution would silently "
+                "misalign with a replenishment position plan")
         explicit = self.position_plan.get(handle)
         if explicit is not None:
             explicit = np.asarray(explicit, dtype=np.int64)
@@ -132,6 +163,7 @@ class PlanNode(ABC):
     def __init__(self, children: Sequence["PlanNode"]):
         self.node_id = next(PlanNode._id_counter)
         self.children = list(children)
+        self._fingerprint: str | None = None
 
     @property
     def contains_random(self) -> bool:
@@ -139,20 +171,44 @@ class PlanNode(ABC):
 
     def execute(self, context: ExecutionContext) -> BundleRelation:
         if not self.contains_random:
-            cached = context.det_cache.get(self.node_id)
+            cached = context.det_cache.lookup(self, context)
             if cached is not None:
-                if cached.positions != context.positions:
-                    # Replenishment may widen the window; deterministic
-                    # relations hold no positional arrays, so re-stamping
-                    # the metadata is sufficient.
-                    cached = _restamp(cached, context.positions)
-                    context.det_cache[self.node_id] = cached
+                if (cached.positions != context.positions
+                        or cached.aligned != context.aligned):
+                    # Replenishment may widen the window, and a cross-query
+                    # cache may serve a tail-mode plan from a Monte Carlo
+                    # run (or vice versa); deterministic relations hold no
+                    # positional arrays, so re-stamping the metadata is
+                    # sufficient.
+                    cached = _restamp(cached, context.positions,
+                                      context.aligned)
+                    context.det_cache.store(self, cached)
                 return cached
         context.node_executions += 1
         result = self._run(context)
         if not self.contains_random:
-            context.det_cache[self.node_id] = result
+            context.det_cache.store(self, result)
         return result
+
+    def fingerprint(self) -> str:
+        """Structural identity of this subtree, stable across compilations.
+
+        Two plan nodes with equal fingerprints compute the same relation
+        from the same catalog — the key for the cross-query
+        :class:`~repro.engine.det_cache.SessionDetCache` (what the node
+        computes; the catalog version guards what the tables contain).
+        Memoized: plans are immutable after construction.
+        """
+        if self._fingerprint is None:
+            parts = ":".join(str(part) for part in self._fingerprint_parts())
+            children = ",".join(child.fingerprint() for child in self.children)
+            self._fingerprint = f"{type(self).__name__}[{parts}]({children})"
+        return self._fingerprint
+
+    def _fingerprint_parts(self) -> tuple:
+        """Operator-specific identity fields; subclasses must override."""
+        raise EngineError(
+            f"{type(self).__name__} does not define a structural fingerprint")
 
     @abstractmethod
     def _run(self, context: ExecutionContext) -> BundleRelation:
@@ -167,13 +223,29 @@ class PlanNode(ABC):
         return type(self).__name__
 
 
-def _restamp(relation: BundleRelation, positions: int) -> BundleRelation:
-    """Copy a deterministic relation with a new window width."""
+def _restamp(relation: BundleRelation, positions: int,
+             aligned: bool) -> BundleRelation:
+    """Copy a deterministic relation with new window metadata."""
     if relation.rand_columns or relation.presence:
         raise EngineError("only deterministic relations can be re-stamped")
-    out = BundleRelation(relation.length, positions, relation.aligned)
+    out = BundleRelation(relation.length, positions, aligned)
     out.det_columns = dict(relation.det_columns)
     return out
+
+
+@dataclass
+class _Materialization:
+    """What an Instantiate produced last run (the delta-merge baseline).
+
+    ``positions[handle]`` is the ascending stream-position vector whose
+    values fill that handle's row in every ``columns[name]`` matrix; a
+    delta run copies the overlap from ``columns`` and gathers only
+    positions outside it from the streams.
+    """
+
+    handles: np.ndarray
+    positions: dict[int, np.ndarray]
+    columns: dict[str, np.ndarray]
 
 
 class Scan(PlanNode):
@@ -188,6 +260,9 @@ class Scan(PlanNode):
         table = context.catalog.table(self.table_name)
         return BundleRelation.from_table(
             table, context.positions, context.aligned, prefix=self.prefix)
+
+    def _fingerprint_parts(self):
+        return (self.table_name, self.prefix)
 
     def _describe_line(self):
         alias = f" AS {self.prefix.rstrip('.')}" if self.prefix else ""
@@ -215,6 +290,14 @@ class Seed(PlanNode):
     def handle_column(self) -> str:
         return self._column_name or f"{self.label}#seed"
 
+    def execute(self, context: ExecutionContext) -> BundleRelation:
+        # Register the label even when the subtree is served from a
+        # cross-query cache: the hash-collision guard lives in the
+        # context, and a cached hit would otherwise skip it — letting a
+        # later Seed whose label collides share handles silently.
+        context.register_label(self.label)
+        return super().execute(context)
+
     def _run(self, context):
         relation = self.children[0].execute(context)
         label_id = context.register_label(self.label)
@@ -224,6 +307,9 @@ class Seed(PlanNode):
         out = relation.take(np.arange(relation.length))
         out.add_det_column(self.handle_column, handles)
         return out
+
+    def _fingerprint_parts(self):
+        return (self.label, self.handle_column)
 
     def _describe_line(self):
         return f"Seed({self.label})"
@@ -236,6 +322,23 @@ class Instantiate(PlanNode):
     giving the VG parameters per tuple.  ``outputs`` maps new random-column
     names to VG output components.  The handle column written by the
     matching :class:`Seed` supplies lineage.
+
+    Rows are processed *by parameter signature*, not one at a time: the
+    distinct parameter tuples are found with one ``np.unique`` over the
+    parameter matrix, each signature is validated once, and — whenever all
+    rows share one position window (every non-replenishment run) — each
+    signature group's windows are filled by a single batched gather
+    (:func:`repro.vg.streams.gather_stream_windows`) instead of one
+    ``values_at`` call per row.
+
+    Under delta replenishment (``context.delta_mode``) the operator does
+    not rebuild its output: it gathers from the streams only positions
+    that were never materialized before (those past each seed's
+    ``max_used``) and copies every other value from the recorded previous
+    windows — "materialize only what's new", cf. the LCG MCDB's reuse of
+    already-produced Monte Carlo samples (PAPERS.md).  Streams are pure
+    functions of position, so the merged bundle is bit-identical to a full
+    rebuild.
     """
 
     def __init__(self, child: PlanNode, vg, param_exprs: Sequence[Expr],
@@ -252,38 +355,207 @@ class Instantiate(PlanNode):
     def contains_random(self) -> bool:
         return True
 
+    def _fingerprint_parts(self):
+        return (self.vg.name, tuple(repr(e) for e in self.param_exprs),
+                tuple(self.outputs), self.handle_column)
+
     def _run(self, context):
         relation = self.children[0].execute(context)
+        length = relation.length
         handles = relation.det_columns[self.handle_column].astype(np.int64)
-        param_columns = [
-            np.asarray(relation.evaluate_scalar(expr), dtype=np.float64)
-            for expr in self.param_exprs]
-        arity = max(component for _, component in self.outputs) + 1
+        self._register_seeds(context, relation, handles)
 
-        out = relation.take(np.arange(relation.length))
-        windows = {name: np.empty((relation.length, context.positions))
+        out = relation.take(np.arange(length))
+        windows = {name: np.empty((length, context.positions))
                    for name, _ in self.outputs}
-        bases = np.empty(relation.length, dtype=np.int64)
-        for row in range(relation.length):
-            handle = int(handles[row])
-            info = context.seeds.get(handle)
-            if info is None:
-                params = tuple(column[row] for column in param_columns)
-                self.vg.validate_params(params)
-                info = SeedInfo(
-                    handle=handle,
-                    prng_seed=derive_prng_seed(context.base_seed, handle),
-                    vg=self.vg, params=params,
-                    arity=max(arity, self.vg.block_arity(params)))
-                context.seeds[handle] = info
-            positions = context.positions_for(handle)
-            bases[row] = positions[0]
-            for name, component in self.outputs:
-                windows[name][row] = info.values_at(positions, component)
+        bases = np.empty(length, dtype=np.int64)
+        previous = (context.materialized.get(self.node_id)
+                    if context.delta_mode else None)
+        if previous is not None and not np.array_equal(
+                previous.handles, handles):
+            previous = None  # row set changed; delta baseline unusable
+
+        if previous is not None:
+            positions_by_handle = self._merge_delta(
+                context, handles, windows, bases, previous)
+            context.delta_runs += 1
+        elif not context.position_plan and not context.window_bases:
+            positions_by_handle = self._gather_shared(
+                context, handles, windows, bases)
+            context.full_runs += 1
+        else:
+            positions_by_handle = self._gather_per_row(
+                context, handles, windows, bases)
+            context.full_runs += 1
+
         for name, _ in self.outputs:
             out.add_rand_column(name, RandomColumn(
                 windows[name], seed_handles=handles.copy(), bases=bases.copy()))
+        if context.delta_tracking:
+            context.materialized[self.node_id] = _Materialization(
+                handles=handles, positions=positions_by_handle,
+                columns={name: windows[name] for name, _ in self.outputs})
         return out
+
+    def _register_seeds(self, context, relation, handles) -> None:
+        """Create SeedInfo entries, validating once per parameter signature.
+
+        ``validate_params``/``block_arity`` are hoisted out of the row
+        loop: one call per *distinct* parameter tuple, however many rows
+        share it.
+        """
+        param_columns = [
+            np.asarray(relation.evaluate_scalar(expr), dtype=np.float64)
+            for expr in self.param_exprs]
+        base_arity = max(component for _, component in self.outputs) + 1
+        if param_columns and relation.length:
+            matrix = np.column_stack(param_columns)
+            uniq, inverse = np.unique(matrix, axis=0, return_inverse=True)
+            inverse = inverse.reshape(-1)  # numpy 2.0 returned (n, 1) here
+            signatures = [tuple(row) for row in uniq]
+        else:
+            signatures = [()] if relation.length else []
+            inverse = np.zeros(relation.length, dtype=np.int64)
+        arities = []
+        for params in signatures:
+            self.vg.validate_params(params)
+            arities.append(max(base_arity, self.vg.block_arity(params)))
+        seeds = context.seeds
+        base_seed = context.base_seed
+        for row in range(relation.length):
+            handle = int(handles[row])
+            if handle not in seeds:
+                group = int(inverse[row])
+                seeds[handle] = SeedInfo(
+                    handle=handle,
+                    prng_seed=derive_prng_seed(base_seed, handle),
+                    vg=self.vg, params=signatures[group],
+                    arity=arities[group])
+
+    def _gather_shared(self, context, handles, windows, bases):
+        """Full run, no position plan: all seeds share one window.
+
+        Every handle materializes the same ascending position vector, so
+        the whole relation is filled with one batched gather per output
+        column — the chunk segmentation is computed once and each stream
+        contributes one sliced copy per chunk.
+        """
+        length = handles.shape[0]
+        if not length:
+            return {}
+        accessors: dict[int, dict[int, object]] = {
+            component: {} for _, component in self.outputs}
+        shared = context.positions_for(int(handles[0]))
+        row_infos = [context.seeds[int(handle)] for handle in handles]
+        bases[:] = shared[0]
+        for name, component in self.outputs:
+            chunk = None
+            row_accessors = []
+            uniform = True
+            for info in row_infos:
+                info_chunk, accessor = self._accessor_of(
+                    accessors[component], info, component)
+                if chunk is None:
+                    chunk = info_chunk
+                elif info_chunk != chunk:
+                    uniform = False
+                row_accessors.append(accessor)
+            if length and uniform:
+                windows[name][:] = gather_stream_windows(
+                    shared, chunk, row_accessors)
+            else:  # mixed chunk sizes: per-row fallback
+                for row, info in enumerate(row_infos):
+                    windows[name][row] = info.values_at(shared, component)
+        return {int(handle): shared for handle in handles}
+
+    @staticmethod
+    def _accessor_of(cache, info, component):
+        entry = cache.get(info.handle)
+        if entry is None:
+            entry = info.chunk_accessor(component)
+            cache[info.handle] = entry
+        return entry
+
+    def _gather_per_row(self, context, handles, windows, bases):
+        """Full run under a position plan: windows differ per seed."""
+        positions_by_handle: dict[int, np.ndarray] = {}
+        for row in range(handles.shape[0]):
+            handle = int(handles[row])
+            info = context.seeds[handle]
+            positions = positions_by_handle.get(handle)
+            if positions is None:
+                positions = context.positions_for(handle)
+                positions_by_handle[handle] = positions
+            bases[row] = positions[0]
+            for name, component in self.outputs:
+                windows[name][row] = info.values_at(positions, component)
+        return positions_by_handle
+
+    def _merge_delta(self, context, handles, windows, bases, previous):
+        """Delta replenishment: copy overlap, gather only new positions.
+
+        For each row, the new window's positions are matched against the
+        previously materialized ones with one ``searchsorted``; matched
+        values are copied from the recorded windows and only the rest —
+        typically just the seeds that actually consumed candidates since
+        the last run, everything past their ``max_used`` — touch the
+        streams.
+        """
+        names = [name for name, _ in self.outputs]
+        prev_columns = [previous.columns[name] for name in names]
+        positions_by_handle: dict[int, np.ndarray] = {}
+        unchanged_rows: list[int] = []
+        for row in range(handles.shape[0]):
+            handle = int(handles[row])
+            new_positions = positions_by_handle.get(handle)
+            if new_positions is None:
+                new_positions = context.positions_for(handle)
+                positions_by_handle[handle] = new_positions
+            bases[row] = new_positions[0]
+            old_positions = previous.positions.get(handle)
+            if old_positions is None:
+                info = context.seeds[handle]
+                for (name, component) in self.outputs:
+                    windows[name][row] = info.values_at(
+                        new_positions, component)
+                continue
+            if new_positions is old_positions:
+                # Identity: the seed was untouched since the last run and
+                # its memoized padded plan was reused verbatim (see
+                # TSSeed.pad_plan) — the whole window carries over.
+                unchanged_rows.append(row)
+                continue
+            overlap = min(old_positions.size, new_positions.size)
+            if np.array_equal(new_positions[:overlap],
+                              old_positions[:overlap]):
+                # Untouched seed: its plan is unchanged except for width
+                # padding, so the new window is a prefix extension (or
+                # truncation) of the old one — copy the overlap and gather
+                # only the contiguous fresh tail.
+                for (name, component), prev_values in zip(self.outputs,
+                                                          prev_columns):
+                    target = windows[name][row]
+                    target[:overlap] = prev_values[row][:overlap]
+                    if overlap < new_positions.size:
+                        target[overlap:] = context.seeds[handle].values_at(
+                            new_positions[overlap:], component)
+                continue
+            index = np.searchsorted(old_positions, new_positions)
+            index[index == old_positions.size] = 0  # clamp; masked below
+            found = old_positions[index] == new_positions
+            missing = np.nonzero(~found)[0]
+            for (name, component), prev_values in zip(self.outputs,
+                                                      prev_columns):
+                target = windows[name][row]
+                target[found] = prev_values[row][index[found]]
+                if missing.size:
+                    target[missing] = context.seeds[handle].values_at(
+                        new_positions[missing], component)
+        if unchanged_rows:
+            rows = np.asarray(unchanged_rows, dtype=np.int64)
+            for name, prev_values in zip(names, prev_columns):
+                windows[name][rows] = prev_values[rows]
+        return positions_by_handle
 
     def _describe_line(self):
         names = ", ".join(name for name, _ in self.outputs)
@@ -323,6 +595,9 @@ class Select(PlanNode):
         out.add_presence(PresenceColumn(flags, seed_handles, bases))
         alive = flags.any(axis=1)
         return out.filter_rows(alive)
+
+    def _fingerprint_parts(self):
+        return (repr(self.predicate),)
 
     def _describe_line(self):
         return f"Select({self.predicate!r})"
@@ -368,6 +643,10 @@ class Project(PlanNode):
                 column = RandomColumn(values, lineage.seed_handles, lineage.bases)
             out.add_rand_column(name, column)
         return out
+
+    def _fingerprint_parts(self):
+        return (tuple((name, repr(expr)) for name, expr in self.outputs),
+                None if self.keep is None else tuple(self.keep))
 
     def _describe_line(self):
         added = ", ".join(name for name, _ in self.outputs)
@@ -425,6 +704,9 @@ class Join(PlanNode):
         out.presence = taken_left.presence + taken_right.presence
         return out
 
+    def _fingerprint_parts(self):
+        return (tuple(self.left_keys), tuple(self.right_keys))
+
     def _describe_line(self):
         keys = ", ".join(f"{l}={r}" for l, r in zip(self.left_keys, self.right_keys))
         return f"Join({keys})"
@@ -477,6 +759,9 @@ class Split(PlanNode):
             gathered.rand_columns[self.column].seed_handles,
             gathered.rand_columns[self.column].bases))
         return out
+
+    def _fingerprint_parts(self):
+        return (self.column,)
 
     def _describe_line(self):
         return f"Split({self.column})"

@@ -26,10 +26,24 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["ENGINES", "ExecutionOptions"]
+__all__ = ["ENGINES", "REPLENISHMENT_MODES", "DET_CACHE_MODES",
+           "ExecutionOptions"]
 
 #: Supported Gibbs perturbation kernels.
 ENGINES = ("vectorized", "reference")
+
+#: Replenishment strategies (Sec. 9).  ``"delta"`` materializes only stream
+#: positions that were never produced before and merges them into the
+#: previous tuple bundles; ``"full"`` rebuilds every window from scratch
+#: (the paper-literal behavior, kept for verification).
+REPLENISHMENT_MODES = ("delta", "full")
+
+#: Deterministic sub-plan cache tiers.  ``"session"`` shares materialized
+#: deterministic relations across queries (keyed by structural plan
+#: fingerprint, invalidated on catalog mutation); ``"context"`` scopes the
+#: cache to one plan execution context (the seed behavior); ``"off"``
+#: disables caching entirely.
+DET_CACHE_MODES = ("session", "context", "off")
 
 
 @dataclass(frozen=True)
@@ -48,11 +62,26 @@ class ExecutionOptions:
     shard_size:
         Optional maximum repetitions per shard.  ``None`` splits the
         repetitions evenly across ``n_jobs`` workers.
+    replenishment:
+        ``"delta"`` (default) re-runs the plan in incremental mode when a
+        Gibbs window runs dry: ``Instantiate`` gathers only stream
+        positions never materialized before and merges them into its
+        previous output.  ``"full"`` rebuilds every window from the
+        streams each time.  Both are bit-identical (the streams are pure
+        functions of position), only speed differs.
+    det_cache:
+        Cache tier for deterministic sub-plan results: ``"session"``
+        (cross-query, the default under :class:`repro.sql.Session`),
+        ``"context"`` (per plan execution) or ``"off"``.  Executors used
+        directly fall back to ``"context"`` scoping unless a session cache
+        object is handed to them.
     """
 
     engine: str = "vectorized"
     n_jobs: int = 1
     shard_size: int | None = None
+    replenishment: str = "delta"
+    det_cache: str = "session"
 
     def __post_init__(self):
         if self.engine not in ENGINES:
@@ -63,6 +92,14 @@ class ExecutionOptions:
         if self.shard_size is not None and self.shard_size < 1:
             raise ValueError(
                 f"shard_size must be >= 1 or None, got {self.shard_size}")
+        if self.replenishment not in REPLENISHMENT_MODES:
+            raise ValueError(
+                f"unknown replenishment mode {self.replenishment!r}; "
+                f"supported: {REPLENISHMENT_MODES}")
+        if self.det_cache not in DET_CACHE_MODES:
+            raise ValueError(
+                f"unknown det_cache mode {self.det_cache!r}; "
+                f"supported: {DET_CACHE_MODES}")
 
     @property
     def sharded(self) -> bool:

@@ -92,12 +92,30 @@ class SeedInfo:
         return self._block().component_values_at(
             np.asarray(positions, dtype=np.int64), component)
 
+    def chunk_accessor(self, component: int = 0):
+        """``(chunk_size, chunk_values_fn)`` for batched window gathers.
+
+        ``chunk_values_fn(chunk_index)`` returns that chunk's value vector
+        for ``component``; feeding many seeds' accessors into
+        :func:`repro.vg.streams.gather_stream_windows` materializes all
+        their windows in one call (the signature-batched Instantiate path).
+        """
+        if self.arity == 1:
+            stream = self._scalar()
+            return stream.chunk, stream.chunk_values
+        block = self._block()
+        return block.chunk, block.component_chunk_values(component)
+
     def _scalar(self) -> RandomStream:
         if self._scalar_stream is None:
-            self._scalar_stream = self.vg.make_stream(self.prng_seed, self.params)
+            # Params were validated when this SeedInfo was registered
+            # (once per distinct signature), so the stream skips it.
+            self._scalar_stream = self.vg.make_stream(
+                self.prng_seed, self.params, validate=False)
         return self._scalar_stream
 
     def _block(self) -> BlockStream:
         if self._block_stream is None:
-            self._block_stream = self.vg.make_block_stream(self.prng_seed, self.params)
+            self._block_stream = self.vg.make_block_stream(
+                self.prng_seed, self.params, validate=False)
         return self._block_stream

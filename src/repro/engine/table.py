@@ -87,17 +87,25 @@ class Table:
 
 
 class Catalog:
-    """Name → table/random-table-spec lookup for a session."""
+    """Name → table/random-table-spec lookup for a session.
+
+    ``version`` counts catalog mutations; cross-query caches key their
+    validity on it (a mutation may change what any plan would compute, so
+    the :class:`~repro.engine.det_cache.SessionDetCache` drops all entries
+    when the version moves).
+    """
 
     def __init__(self) -> None:
         self._tables: dict[str, Table] = {}
         self._random_specs: dict[str, object] = {}  # RandomTableSpec, untyped to avoid cycle
+        self.version = 0
 
     def add_table(self, table: Table) -> Table:
         key = table.name.lower()
         if key in self._random_specs:
             raise ValueError(f"{table.name!r} already names a random table")
         self._tables[key] = table
+        self.version += 1
         return table
 
     def add_random_table(self, spec) -> None:
@@ -105,6 +113,7 @@ class Catalog:
         if key in self._tables:
             raise ValueError(f"{spec.name!r} already names a base table")
         self._random_specs[key] = spec
+        self.version += 1
 
     def table(self, name: str) -> Table:
         try:
@@ -128,8 +137,10 @@ class Catalog:
         return name.lower() in self._tables or name.lower() in self._random_specs
 
     def drop(self, name: str) -> None:
-        self._tables.pop(name.lower(), None)
-        self._random_specs.pop(name.lower(), None)
+        dropped_table = self._tables.pop(name.lower(), None)
+        dropped_spec = self._random_specs.pop(name.lower(), None)
+        if dropped_table is not None or dropped_spec is not None:
+            self.version += 1
 
     def table_names(self) -> list[str]:
         return sorted(self._tables)

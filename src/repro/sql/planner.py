@@ -275,13 +275,19 @@ def _default_output_name(expr: Expr, fallback: str) -> str:
     return fallback
 
 
-def describe_compiled(compiled: CompiledSelect, tail_mode: bool) -> str:
+def describe_compiled(compiled: CompiledSelect, tail_mode: bool,
+                      det_markers: bool = False) -> str:
     """Pretty-print a compiled SELECT, leaf-last like the paper's Fig. 2.
 
     Tail queries additionally show the pulled-up predicate and the
     aggregate the GibbsLooper will drive — the planner decisions Appendix A
     prescribes.  This is the text ``Session.explain`` returns, and the
     golden surface the planner tests lock down.
+
+    ``det_markers`` annotates the roots of deterministic subtrees — the
+    units the det-cache tiers (context/session) materialize and serve, so
+    a replenishment re-run or a structurally overlapping later query
+    executes only the unmarked nodes.
     """
     lines = []
     if tail_mode:
@@ -297,5 +303,21 @@ def describe_compiled(compiled: CompiledSelect, tail_mode: bool) -> str:
         lines.append(f"Aggregate({names})"
                      + (f" GROUP BY {compiled.group_by}"
                         if compiled.group_by else ""))
-    plan_text = compiled.plan.describe(indent=1 if lines else 0)
+    if det_markers:
+        plan_text = _describe_with_det_markers(
+            compiled.plan, indent=1 if lines else 0)
+    else:
+        plan_text = compiled.plan.describe(indent=1 if lines else 0)
     return "\n".join(lines + [plan_text])
+
+
+def _describe_with_det_markers(node: PlanNode, indent: int) -> str:
+    """``PlanNode.describe`` with ``[det-cached]`` on cacheable roots."""
+    line = "  " * indent + node._describe_line()
+    if not node.contains_random:
+        # The whole subtree is served from the deterministic cache; its
+        # children never re-execute, so one marker at the root suffices.
+        return line + "  [det-cached]"
+    return "\n".join([line] + [
+        _describe_with_det_markers(child, indent + 1)
+        for child in node.children])

@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.core.gibbs_looper import GibbsLooper, LooperResult
 from repro.core.params import TailParams, choose_parameters
+from repro.engine.det_cache import NullDetCache, SessionDetCache
 from repro.engine.errors import PlanError
 from repro.engine.expressions import Col
 from repro.engine.mcdb import MonteCarloExecutor, MonteCarloResult
@@ -98,6 +99,25 @@ class Session:
         self.window = window
         self.gibbs_steps = gibbs_steps
         self.options = options or ExecutionOptions()
+        #: Cross-query deterministic sub-plan cache (``det_cache="session"``,
+        #: the default): materialized deterministic relations keyed by
+        #: structural plan fingerprint, invalidated whenever the catalog
+        #: mutates.  Re-running a query — or a structurally overlapping one —
+        #: skips every deterministic subtree.
+        self.det_cache = SessionDetCache()
+
+    def _det_cache_for_run(self):
+        """The cache object handed to executors under the current options.
+
+        ``None`` tells the execution context to build its own per-context
+        cache (mode ``"context"``, the seed behavior).
+        """
+        mode = self.options.det_cache
+        if mode == "session":
+            return self.det_cache
+        if mode == "off":
+            return NullDetCache()
+        return None
 
     # -- data definition -------------------------------------------------------
 
@@ -114,11 +134,13 @@ class Session:
             return self._execute_create(statement)
         return self._execute_select(statement)
 
-    def explain(self, sql: str) -> str:
+    def explain(self, sql: str, det_markers: bool = False) -> str:
         """Return the physical plan for a SELECT, leaf-last like Fig. 2.
 
         Tail queries additionally show the pulled-up predicate and the
-        aggregate the GibbsLooper will drive.
+        aggregate the GibbsLooper will drive.  ``det_markers`` flags the
+        deterministic subtree roots the det-cache tiers serve without
+        re-execution.
         """
         statement = parse(sql)
         if not isinstance(statement, SelectStmt):
@@ -126,7 +148,8 @@ class Session:
         spec = statement.result_spec
         tail_mode = spec is not None and spec.domain is not None
         compiled = compile_select(statement, self.catalog, tail_mode=tail_mode)
-        return describe_compiled(compiled, tail_mode=tail_mode)
+        return describe_compiled(compiled, tail_mode=tail_mode,
+                                 det_markers=det_markers)
 
     def _execute_create(self, statement: CreateRandomTable) -> QueryOutput:
         vg = self.registry.lookup(statement.vg_name)
@@ -188,7 +211,8 @@ class Session:
                 compiled.plan, compiled.aggregates, self.catalog,
                 group_by=compiled.group_by,
                 base_seed=self.base_seed,
-                options=self.options).run(spec.montecarlo)
+                options=self.options,
+                det_cache=self._det_cache_for_run()).run(spec.montecarlo)
             if spec.frequency_table:
                 self._register_ftable(
                     spec.frequency_table,
@@ -228,7 +252,8 @@ class Session:
             k=self.gibbs_steps,
             window=max(self.window, max(params.n_steps)),
             base_seed=self.base_seed,
-            options=self.options)
+            options=self.options,
+            det_cache=self._det_cache_for_run())
         result = looper.run()
         if spec.frequency_table:
             self._register_ftable(spec.frequency_table,
@@ -239,7 +264,8 @@ class Session:
         if compiled.aggregates:
             result = MonteCarloExecutor(
                 compiled.plan, compiled.aggregates, self.catalog,
-                group_by=compiled.group_by, base_seed=self.base_seed).run(1)
+                group_by=compiled.group_by, base_seed=self.base_seed,
+                det_cache=self._det_cache_for_run()).run(1)
             # (no options: a single deterministic repetition never shards)
             # Group-key columns take their SELECT alias when one was given,
             # otherwise the bare (unqualified) column name.
@@ -259,7 +285,8 @@ class Session:
             return QueryOutput(kind="rows", rows=Table("result", columns))
 
         context = ExecutionContext(self.catalog, positions=1, aligned=True,
-                                   base_seed=self.base_seed)
+                                   base_seed=self.base_seed,
+                                   det_cache=self._det_cache_for_run())
         relation = compiled.plan.execute(context)
         columns = {
             name: relation.evaluate_scalar(expr)

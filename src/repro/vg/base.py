@@ -64,13 +64,20 @@ class VGFunction(ABC):
     # -- stream construction ------------------------------------------------
 
     def make_stream(self, seed: int, params: Sequence[float],
-                    chunk: int = DEFAULT_CHUNK) -> RandomStream:
-        """Deterministic scalar stream of invocations of this VG function."""
+                    chunk: int = DEFAULT_CHUNK,
+                    validate: bool = True) -> RandomStream:
+        """Deterministic scalar stream of invocations of this VG function.
+
+        ``validate=False`` skips parameter validation for callers that
+        already validated the signature (the signature-batched Instantiate
+        validates once per distinct parameter tuple, not once per seed).
+        """
         if self.block_arity(params) != 1:
             raise ValueError(
                 f"{type(self).__name__} produces {self.block_arity(params)}-value "
                 "blocks; use make_block_stream")
-        self.validate_params(params)
+        if validate:
+            self.validate_params(params)
         params = tuple(float(p) for p in params)
 
         def sampler(rng: np.random.Generator, size: int) -> np.ndarray:
@@ -79,9 +86,11 @@ class VGFunction(ABC):
         return RandomStream(seed, sampler, chunk=chunk)
 
     def make_block_stream(self, seed: int, params: Sequence[float],
-                          chunk: int = DEFAULT_CHUNK) -> "BlockStream":
+                          chunk: int = DEFAULT_CHUNK,
+                          validate: bool = True) -> "BlockStream":
         """Deterministic stream of whole blocks (for multi-value VGs)."""
-        self.validate_params(params)
+        if validate:
+            self.validate_params(params)
         return BlockStream(seed, self, tuple(float(p) for p in params), chunk=chunk)
 
 
@@ -110,6 +119,20 @@ class BlockStream:
             blocks = blocks.reshape(self._chunk, self.arity)
             self._cache[chunk_index] = blocks
         return blocks
+
+    @property
+    def chunk(self) -> int:
+        """Chunk size — the generation granularity of this stream."""
+        return self._chunk
+
+    def component_chunk_values(self, component: int):
+        """Chunk-vector accessor for one output component.
+
+        Returns a callable ``f(chunk_index) -> (chunk,) values`` usable
+        with :func:`repro.vg.streams.gather_stream_windows` — the batched
+        multi-stream gather path of ``Instantiate``.
+        """
+        return lambda cid: self._chunk_values(cid)[:, component]
 
     def block_at(self, position: int) -> np.ndarray:
         if position < 0:

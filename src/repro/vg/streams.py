@@ -65,6 +65,41 @@ def gather_stream_values(positions, chunk: int, chunk_values) -> np.ndarray:
     return out
 
 
+def gather_stream_windows(positions, chunk: int, row_chunk_values) -> np.ndarray:
+    """One vectorized gather over many streams sharing a position vector.
+
+    ``row_chunk_values[r](chunk_index)`` must return stream ``r``'s chunk
+    value vector.  This is the batched form of :func:`gather_stream_values`
+    used by the signature-batched ``Instantiate``: the chunk segmentation
+    of ``positions`` is computed *once* and reused for every stream, so
+    the per-row cost collapses to one sliced copy per (row, chunk) pair.
+    Positions must be chunk-ascending (ascending chunk indices; any order
+    within a chunk) — the Instantiate window case.  Callers with
+    arbitrary position order fall back to per-row gathers.
+    """
+    positions = np.asarray(positions, dtype=np.int64)
+    rows = len(row_chunk_values)
+    out = np.empty((rows, positions.size), dtype=np.float64)
+    if positions.size == 0 or rows == 0:
+        return out
+    if np.any(positions < 0):
+        raise IndexError("stream positions must be >= 0")
+    chunk_ids = positions // chunk
+    offsets = positions % chunk
+    if np.any(chunk_ids[1:] < chunk_ids[:-1]):
+        raise ValueError("gather_stream_windows requires ascending positions")
+    starts = np.concatenate(
+        ([0], np.flatnonzero(np.diff(chunk_ids)) + 1, [chunk_ids.size]))
+    segments = [(int(starts[i]), int(starts[i + 1]),
+                 int(chunk_ids[starts[i]]), offsets[starts[i]:starts[i + 1]])
+                for i in range(len(starts) - 1)]
+    for row, chunk_values in enumerate(row_chunk_values):
+        target = out[row]
+        for lo, hi, cid, segment_offsets in segments:
+            target[lo:hi] = chunk_values(cid)[segment_offsets]
+    return out
+
+
 def generator_for_chunk(seed: int, chunk_index: int) -> np.random.Generator:
     """Return a Generator positioned deterministically for one chunk.
 
@@ -106,6 +141,15 @@ class RandomStream:
                     f"sampler returned shape {values.shape}, expected ({self._chunk},)")
             self._cache[chunk_index] = values
         return values
+
+    @property
+    def chunk(self) -> int:
+        """Chunk size — the generation granularity of this stream."""
+        return self._chunk
+
+    def chunk_values(self, chunk_index: int) -> np.ndarray:
+        """The ``(chunk,)`` value vector of one chunk (cached)."""
+        return self._chunk_values(chunk_index)
 
     def value_at(self, position: int) -> float:
         """Return the stream element at ``position`` (0-based)."""

@@ -65,7 +65,8 @@ class TestLooperEquivalence:
 
     def _run(self, engine, customers=20, window=250, base_seed=0,
              aggregate_kind="sum", k=1, num_samples=25, m=2, p_step=0.3,
-             versions=40, predicate=None, max_proposals=100_000):
+             versions=40, predicate=None, max_proposals=100_000,
+             replenishment="delta"):
         catalog, spec = _losses_catalog(customers)
         plan = random_table_pipeline(spec)
         if predicate is not None:
@@ -78,7 +79,8 @@ class TestLooperEquivalence:
             aggregate_kind=aggregate_kind, aggregate_expr=expr,
             window=window, base_seed=base_seed, k=k,
             max_proposals=max_proposals,
-            options=ExecutionOptions(engine=engine)).run()
+            options=ExecutionOptions(engine=engine,
+                                     replenishment=replenishment)).run()
 
     @given(customers=st.integers(3, 15),
            window=st.integers(60, 300),
@@ -128,6 +130,94 @@ class TestLooperEquivalence:
                       base_seed=31, window=400)
         _assert_identical(self._run("reference", **kwargs),
                           self._run("vectorized", **kwargs))
+
+
+class TestDeltaReplenishmentEquivalence:
+    """``replenishment="delta"`` must be bit-identical to full re-runs.
+
+    The delta path merges never-materialized stream positions into the
+    previous bundles and keeps the looper's per-version caches; streams
+    are pure functions of position, so nothing observable may change —
+    samples, assignments, acceptance statistics and the replenishment
+    schedule itself all stay exact, for both engines.
+    """
+
+    _runner = TestLooperEquivalence()
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_delta_equals_full_heavy_replenishment(self, engine):
+        kwargs = dict(customers=10, window=45, versions=40, m=2, base_seed=5,
+                      engine=engine)
+        full = self._runner._run(replenishment="full", **kwargs)
+        delta = self._runner._run(replenishment="delta", **kwargs)
+        _assert_identical(full, delta)
+        assert full.plan_runs > 1  # the scenario must replenish
+        assert full.full_replenish_runs == full.plan_runs - 1
+        assert full.delta_replenish_runs == 0
+        assert delta.delta_replenish_runs == delta.plan_runs - 1
+        assert delta.full_replenish_runs == 0
+
+    @given(customers=st.integers(3, 12), window=st.integers(60, 200),
+           base_seed=st.integers(0, 10_000),
+           aggregate_kind=st.sampled_from(["sum", "count", "avg"]))
+    @settings(max_examples=8, deadline=None)
+    def test_property_delta_equals_full(self, customers, window, base_seed,
+                                        aggregate_kind):
+        kwargs = dict(customers=customers, window=window, base_seed=base_seed,
+                      aggregate_kind=aggregate_kind, versions=30,
+                      num_samples=15)
+        if aggregate_kind == "count":
+            kwargs["predicate"] = col("val") > lit(1.0)
+        _assert_identical(
+            self._runner._run("vectorized", replenishment="full", **kwargs),
+            self._runner._run("vectorized", replenishment="delta", **kwargs))
+
+    def test_presence_predicate_under_delta(self):
+        kwargs = dict(predicate=col("val") > lit(1.2), base_seed=23,
+                      window=60, customers=8, versions=40)
+        full = self._runner._run("vectorized", replenishment="full", **kwargs)
+        delta = self._runner._run("vectorized", replenishment="delta",
+                                  **kwargs)
+        _assert_identical(full, delta)
+        assert full.plan_runs > 1
+
+    def test_multi_seed_delta_equals_full(self):
+        results = {}
+        for replenishment in ("full", "delta"):
+            catalog, plan = TestMultiSeedPlans._salary_plan()
+            params = TailParams(p=0.1, m=1, n_steps=(60,), p_steps=(0.1,))
+            results[replenishment] = GibbsLooper(
+                plan, catalog, params, 30, aggregate_kind="sum",
+                aggregate_expr=col("e2.sal") - col("e1.sal"),
+                final_predicate=col("e2.sal") > col("e1.sal"),
+                window=70, base_seed=3,
+                options=ExecutionOptions(
+                    replenishment=replenishment)).run()
+        _assert_identical(results["full"], results["delta"])
+        assert results["full"].plan_runs > 1
+
+    def test_split_join_delta_equals_full(self):
+        catalog = Catalog()
+        catalog.add_table(Table("people", {"pid": np.arange(8)}))
+        catalog.add_table(Table("bonus", {
+            "bage": [20.0, 21.0], "amount": [10.0, 100.0]}))
+        spec = RandomTableSpec(
+            name="Ages", parameter_table="people", vg=DISCRETE_CHOICE,
+            vg_params=(lit(20.0), lit(0.5), lit(21.0), lit(0.5)),
+            random_columns=(RandomColumnSpec("age"),),
+            passthrough_columns=("pid",))
+        params = TailParams(p=0.2, m=1, n_steps=(50,), p_steps=(0.2,))
+        results = {}
+        for replenishment in ("full", "delta"):
+            plan = Join(Split(random_table_pipeline(spec), "age"),
+                        Scan("bonus"), ["age"], ["bage"])
+            results[replenishment] = GibbsLooper(
+                plan, catalog, params, 25, aggregate_kind="sum",
+                aggregate_expr=col("amount"), window=60, base_seed=5,
+                options=ExecutionOptions(
+                    replenishment=replenishment)).run()
+        _assert_identical(results["full"], results["delta"])
+        assert results["full"].plan_runs > 1
 
 
 class TestMultiSeedPlans:
@@ -294,3 +384,43 @@ class TestSessionLevelEquivalence:
         np.testing.assert_array_equal(
             serial.distributions.distribution("loss").samples,
             sharded.distributions.distribution("loss").samples)
+
+    TAIL_QUERY = """
+        SELECT SUM(val) AS loss FROM Losses WHERE CID < 12
+        WITH RESULTDISTRIBUTION MONTECARLO(40)
+        DOMAIN loss >= QUANTILE(0.95)
+    """
+
+    @pytest.mark.parametrize("det_cache", ["session", "context", "off"])
+    @pytest.mark.parametrize("replenishment", ["delta", "full"])
+    def test_tail_query_invariant_to_cache_and_replenishment(
+            self, det_cache, replenishment):
+        """The full mode matrix: every (det_cache, replenishment) pair must
+        reproduce the default configuration's tail result exactly."""
+        baseline = self._session().execute(self.TAIL_QUERY)
+        other = self._session(ExecutionOptions(
+            det_cache=det_cache, replenishment=replenishment)
+        ).execute(self.TAIL_QUERY)
+        _assert_identical(baseline.tail, other.tail)
+
+    @pytest.mark.parametrize("det_cache", ["session", "off"])
+    def test_sharded_montecarlo_with_cache_modes(self, det_cache):
+        query = """
+            SELECT SUM(val) AS loss FROM Losses
+            WITH RESULTDISTRIBUTION MONTECARLO(90)
+        """
+        serial = self._session().execute(query)
+        sharded = self._session(ExecutionOptions(
+            n_jobs=2, shard_size=25, det_cache=det_cache)).execute(query)
+        np.testing.assert_array_equal(
+            serial.distributions.distribution("loss").samples,
+            sharded.distributions.distribution("loss").samples)
+
+    def test_repeated_tail_query_hits_session_cache_identically(self):
+        """Cross-query det-cache hits must not change tail results."""
+        session = self._session()
+        first = session.execute(self.TAIL_QUERY)
+        assert len(session.det_cache) > 0
+        second = session.execute(self.TAIL_QUERY)
+        assert session.det_cache.hits > 0
+        _assert_identical(first.tail, second.tail)

@@ -73,3 +73,29 @@ class TestExplain:
                 WITH v AS Normal(VALUES(m, 1.0))
                 SELECT CID, v.* FROM v
             """)
+
+
+class TestDetMarkers:
+    def test_det_markers_flag_cacheable_subtrees(self, session):
+        text = session.explain("""
+            SELECT SUM(val) AS t FROM Losses WHERE CID < 3
+            WITH RESULTDISTRIBUTION MONTECARLO(10)
+            DOMAIN t >= QUANTILE(0.99)
+        """, det_markers=True)
+        # The Seed subtree (Scan -> Seed) is deterministic and served from
+        # the det cache on every replenishment re-run; the random operators
+        # above it are not.
+        assert "Seed(Losses)  [det-cached]" in text
+        assert "Instantiate" in text
+        assert "Instantiate(Normal -> Losses.val)  [det-cached]" not in text
+        # Children of a marked root are folded into it.
+        assert "Scan(means)" not in text
+
+    def test_default_explain_unchanged(self, session):
+        text = session.explain("""
+            SELECT SUM(val) AS t FROM Losses WHERE CID < 3
+            WITH RESULTDISTRIBUTION MONTECARLO(10)
+            DOMAIN t >= QUANTILE(0.99)
+        """)
+        assert "[det-cached]" not in text
+        assert "Scan(means" in text
