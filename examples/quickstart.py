@@ -7,9 +7,11 @@ computes value-at-risk and expected shortfall — including via the paper's
 
 Run:  python examples/quickstart.py
 
-Environment knobs (exercised by CI under both engines):
+Environment knobs (exercised by CI under both engines and all backends):
   MCDBR_ENGINE=vectorized|reference       Gibbs perturbation kernel
   MCDBR_REPLENISHMENT=delta|full          window-refuel strategy
+  MCDBR_BACKEND=process|thread|serial     shard transport
+  MCDBR_N_JOBS=<n>                        shard workers (1 = no sharding)
 Every combination produces bit-identical output for the same base seed.
 """
 
@@ -24,7 +26,9 @@ from repro.sql import Session
 # 1. A session and an ordinary parameter table: per-customer mean losses.
 options = ExecutionOptions(
     engine=os.environ.get("MCDBR_ENGINE", "vectorized"),
-    replenishment=os.environ.get("MCDBR_REPLENISHMENT", "delta"))
+    replenishment=os.environ.get("MCDBR_REPLENISHMENT", "delta"),
+    backend=os.environ.get("MCDBR_BACKEND", "process"),
+    n_jobs=int(os.environ.get("MCDBR_N_JOBS", "1")))
 session = Session(base_seed=2026, tail_budget=1000, window=1000,
                   options=options)
 rng = np.random.default_rng(0)
@@ -70,3 +74,7 @@ print(f"SELECT MIN(totalLoss) FROM FTABLE        -> "
       f"{minimum.rows.column('min0')[0]:,.1f}")
 print(f"SELECT SUM(totalLoss*FRAC) FROM FTABLE   -> "
       f"{shortfall.rows.column('es')[0]:,.1f}")
+
+# 5. Release the session's worker pool (a no-op when MCDBR_N_JOBS=1; with
+#    sharding, the pool persisted across every query above).
+session.close()

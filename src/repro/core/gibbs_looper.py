@@ -45,6 +45,7 @@ from repro.core.gibbs import GibbsStats
 from repro.core.gibbs_tuple import GibbsTuple, tuples_from_relation
 from repro.core.params import TailParams
 from repro.core.ts_seed import TSSeed
+from repro.engine.backends import make_backend
 from repro.engine.bundles import BundleRelation
 from repro.engine.errors import EngineError, PlanError
 from repro.engine.expressions import DictContext, Expr
@@ -52,7 +53,8 @@ from repro.engine.operators import ExecutionContext, PlanNode
 from repro.engine.options import ExecutionOptions
 from repro.engine.table import Catalog
 
-__all__ = ["LooperStepTrace", "LooperResult", "GibbsLooper"]
+__all__ = ["LooperStepTrace", "LooperResult", "GibbsLooper",
+           "candidate_window_matrices"]
 
 _SUPPORTED_AGGREGATES = ("sum", "count", "avg")
 _PROPOSAL_BATCH = 64
@@ -64,6 +66,10 @@ _PROPOSAL_BATCH = 64
 _VECTOR_BATCH = 128
 _WINDOW_MAX_WIDTH = 4096
 _WINDOW_TARGET_VERSIONS = 32
+#: Upper bound for adaptive window growth (``options.window_growth``):
+#: past a megaposition window, replenishment cost is gather-dominated and
+#: growing further only inflates the bundle matrices.
+_WINDOW_GROWTH_CAP = 1 << 20
 _INFINITY_KEY = (1 << 62)
 
 
@@ -100,6 +106,11 @@ class LooperResult:
     full_replenish_runs: int = 0
     delta_replenish_runs: int = 0
     replenish_seconds: float = 0.0
+    #: Candidate windows served from the seed-axis shard prefetch (0 when
+    #: the run was serial, the plan was multi-seed, or the engine was
+    #: ``"reference"``).  Diagnostics only — sharding never changes any
+    #: other field.
+    sharded_windows: int = 0
 
     @property
     def total_stats(self) -> GibbsStats:
@@ -132,6 +143,125 @@ class _TupleState:
         self.present: np.ndarray | None = None
 
 
+def candidate_window_matrices(tuples: list[GibbsTuple],
+                              states: list[_TupleState], handle: int,
+                              aggregate_expr: Expr | None,
+                              final_predicate: Expr | None,
+                              first_version: int, count: int,
+                              start: int, stop: int):
+    """Batched candidate deltas for one seed's window — the Gibbs hot loop.
+
+    Element ``[v, b]`` of the returned ``delta_sum``/``delta_count`` is
+    exactly what the scalar reference path computes for version
+    ``first_version + v`` and window slot ``start + b``: the per-tuple
+    accumulation order and every elementwise operation are identical, so
+    the floating-point results (and therefore the accept/reject
+    decisions) match bit for bit.
+
+    A *pure* module-level function on purpose: it reads only the Gibbs
+    tuples/states passed in (never global looper state), which is what
+    lets the seed-axis sharding ship it to backend workers — by thread
+    (shared references) or by process (pickled copies) — and still land
+    on the same bits the in-process path produces.
+    """
+    width = stop - start
+    remaining = slice(first_version, first_version + count)
+    delta_sum = np.zeros((count, width))
+    delta_count = np.zeros((count, width))
+    cand_values, cand_present = [], []
+    for gibbs_tuple, state in zip(tuples, states):
+        columns: dict[str, np.ndarray] = {}
+        for name, det_value in gibbs_tuple.det.items():
+            columns[name] = np.asarray(det_value)
+        for name, rand_field in gibbs_tuple.rand.items():
+            if rand_field.handle == handle:
+                columns[name] = rand_field.values[start:stop]
+            else:
+                columns[name] = state.values[name][remaining, None]
+        context = DictContext(columns)
+        if aggregate_expr is None:
+            value = np.ones((count, width))
+        else:
+            value = np.broadcast_to(
+                np.asarray(aggregate_expr.evaluate(context),
+                           dtype=np.float64), (count, width))
+        present = np.ones((count, width), dtype=bool)
+        for presence_field, cached in zip(gibbs_tuple.presences,
+                                          state.presence):
+            if presence_field.handle == handle:
+                present = present & presence_field.flags[start:stop]
+            else:
+                present = present & cached[remaining, None]
+        if final_predicate is not None:
+            present = present & np.broadcast_to(
+                np.asarray(final_predicate.evaluate(context),
+                           dtype=bool), (count, width))
+        old_contribution = np.where(
+            state.present[remaining], state.value[remaining], 0.0)[:, None]
+        delta_sum += np.where(present, value, 0.0) - old_contribution
+        delta_count += (present.astype(np.float64)
+                        - state.present[remaining]
+                        .astype(np.float64)[:, None])
+        cand_values.append(value)
+        cand_present.append(present)
+    return delta_sum, delta_count, cand_values, cand_present
+
+
+@dataclass
+class _SeedWindowTask:
+    """One seed's first-window inputs, frozen at sweep start."""
+
+    handle: int
+    start: int
+    stop: int
+    count: int
+    tuples: list[GibbsTuple]
+    states: list[_TupleState]
+
+
+@dataclass
+class _WindowPrefetchJob:
+    """Seed-axis shard job: first candidate windows for a handle range.
+
+    The Gibbs sweep is a Gauss–Seidel pass — each seed's accept/reject
+    thresholds consult the *running* totals, so commits are inherently
+    sequential in handle order.  What is NOT sequential, on plans whose
+    Gibbs tuples carry a single seed handle each, is the expensive part:
+    a seed's first candidate window of a sweep depends only on that
+    seed's own tuples, windows and consumption pointer, all frozen since
+    the sweep began.  Workers therefore evaluate the delta matrices for
+    disjoint handle ranges in parallel, and the looper replays the
+    sequential scan/commit over them in ascending handle order — merging
+    in handle order is what keeps every shard geometry bit-identical to
+    the serial sweep.
+
+    Transport economics: the tuple/state snapshot changes every sweep
+    (commits mutate it), so under the process backend the job is pickled
+    per sweep — unlike the Monte Carlo executor there is no cross-sweep
+    payload for the keyed shared channel to amortize.  Worth it when the
+    window evaluation (``count × width`` expression matrices per tuple)
+    outweighs the snapshot, i.e. expression-heavy plans with many
+    versions; for small plans prefer ``backend="thread"``, which shares
+    the live references and ships nothing.  (ROADMAP: worker-owned seed
+    state would amortize the snapshot across sweeps.)
+    """
+
+    tasks: list[_SeedWindowTask]
+    aggregate_expr: Expr | None
+    final_predicate: Expr | None
+
+    def run_shard(self, lo: int, hi: int) -> list:
+        out = []
+        for task in self.tasks[lo:hi]:
+            matrices = candidate_window_matrices(
+                task.tuples, task.states, task.handle,
+                self.aggregate_expr, self.final_predicate,
+                0, task.count, task.start, task.stop)
+            out.append((task.handle, task.start, task.stop, task.count,
+                        matrices))
+        return out
+
+
 class GibbsLooper:
     """Tail sampling over a tuple-bundle query plan.
 
@@ -155,9 +285,16 @@ class GibbsLooper:
         :class:`~repro.engine.options.ExecutionOptions`; ``engine``
         selects between the batched NumPy perturbation kernel
         (``"vectorized"``, default) and the scalar per-version path
-        (``"reference"``).  Both produce bit-identical results for the
-        same ``base_seed`` — the contract tested by
-        ``tests/test_engine_equivalence.py``.
+        (``"reference"``); ``n_jobs > 1`` shards the seed axis of the
+        vectorized kernel's candidate-window evaluation across backend
+        workers; ``window_growth > 1`` grows the refuel window
+        geometrically after each replenishment.  Every combination
+        produces bit-identical samples for the same ``base_seed`` — the
+        contract tested by ``tests/test_engine_equivalence.py``.
+    backend:
+        Persistent :class:`~repro.engine.backends.ExecutionBackend` for
+        seed-axis sharding (a Session passes its pool).  ``None`` with
+        ``n_jobs > 1`` builds an ephemeral backend for the run.
     """
 
     def __init__(self, plan: PlanNode, catalog: Catalog, params: TailParams,
@@ -167,7 +304,7 @@ class GibbsLooper:
                  k: int = 1, window: int = 1000, base_seed: int = 0,
                  max_proposals: int = 100_000,
                  options: ExecutionOptions | None = None,
-                 det_cache=None):
+                 det_cache=None, backend=None):
         if aggregate_kind not in _SUPPORTED_AGGREGATES:
             raise PlanError(
                 f"GibbsLooper supports {_SUPPORTED_AGGREGATES}, got "
@@ -196,6 +333,7 @@ class GibbsLooper:
         self.max_proposals = max_proposals
         self.options = options or ExecutionOptions()
         self.det_cache = det_cache
+        self.backend = backend
 
         # Run-time state (populated by run()).
         self._context: ExecutionContext | None = None
@@ -212,11 +350,22 @@ class GibbsLooper:
         self._delta_replenish_runs = 0
         self._replenish_seconds = 0.0
         self._window_signature: tuple | None = None
+        self._single_seed = False
+        self._sharded_windows = 0
+        self._owned_backend = None
 
     # -- public entry ---------------------------------------------------------
 
     def run(self) -> LooperResult:
         """Execute the full tail-sampling pipeline and return the result."""
+        try:
+            return self._run()
+        finally:
+            if self._owned_backend is not None:
+                self._owned_backend.close()
+                self._owned_backend = None
+
+    def _run(self) -> LooperResult:
         versions = self.params.n_steps[0]
         self._context = ExecutionContext(
             self.catalog, positions=self.window, aligned=False,
@@ -263,7 +412,8 @@ class GibbsLooper:
             assignments=assignments,
             full_replenish_runs=self._full_replenish_runs,
             delta_replenish_runs=self._delta_replenish_runs,
-            replenish_seconds=self._replenish_seconds)
+            replenish_seconds=self._replenish_seconds,
+            sharded_windows=self._sharded_windows)
 
     # -- ingestion and caches ---------------------------------------------------
 
@@ -288,6 +438,11 @@ class GibbsLooper:
         self._versions = versions
         self._tuples = tuples_from_relation(relation)
         self._validate_columns(relation)
+        # Seed-axis sharding precondition: with one handle per tuple, the
+        # tuple/state partition across seeds is disjoint, so a seed's
+        # candidate matrices depend on no other seed's in-sweep commits.
+        self._single_seed = all(
+            len(gibbs_tuple.handles) == 1 for gibbs_tuple in self._tuples)
         handles_in_play = set()
         for gibbs_tuple in self._tuples:
             handles_in_play.update(gibbs_tuple.handles)
@@ -375,10 +530,11 @@ class GibbsLooper:
         for handle, ts in self._seeds.items():
             ts.positions = self._context.positions_for(handle)
         if self._states:
-            # Re-derive the accumulators exactly as a full rebuild would:
-            # the incrementally updated sums carry += rounding drift, and a
-            # rebuild replaces them with fresh strict-order sums — skipping
-            # that would diverge from the reference path bit by bit.
+            # Re-derive the accumulators exactly as a full rebuild would,
+            # so the replenish invariant check can compare them against
+            # the incrementally updated ones (which _replenish restores
+            # afterwards — the refuel schedule must not leave a rounding
+            # fingerprint on the accumulator trajectory).
             value_matrix = np.stack([state.value for state in self._states])
             present_matrix = np.stack(
                 [state.present for state in self._states])
@@ -526,8 +682,61 @@ class GibbsLooper:
             heapq.heappush(queue, (key, index))
         return queue
 
+    def _ensure_backend(self):
+        """The shard backend: the injected (session) one, else an owned one."""
+        if self.backend is not None:
+            return self.backend
+        if self._owned_backend is None:
+            self._owned_backend = make_backend(self.options)
+        return self._owned_backend
+
+    def _prefetch_first_windows(self) -> dict:
+        """Seed-axis sharding: evaluate first candidate windows in parallel.
+
+        Partitions the TS-seed handles (ascending) into
+        ``options.shard_bounds`` ranges and has backend workers evaluate
+        each seed's first window of the sweep.  Applies only when Gibbs
+        tuples are single-seed — then a seed's window depends on no other
+        seed's in-sweep commits, so the pre-sweep snapshot the workers
+        read is exactly what the serial path would read.  The sweep
+        itself stays sequential in handle order (the acceptance totals
+        are Gauss–Seidel state), which is why any shard geometry merges
+        back bit-identical.  Dry seeds are skipped — the sweep replenishes
+        when it reaches them, discarding all prefetches anyway.
+        """
+        options = self.options
+        if (options.n_jobs <= 1 or options.engine != "vectorized"
+                or not self._single_seed or len(self._tuples_of_seed) < 2):
+            return {}
+        tasks = []
+        for handle in sorted(self._tuples_of_seed):
+            ts = self._seeds[handle]
+            start, stop = ts.fresh_index_range()
+            if start >= stop:
+                continue
+            width, max_rows = self._window_geometry(stop - start, 0, 0)
+            count = min(self._version_count(), max_rows)
+            affected = self._tuples_of_seed[handle]
+            tasks.append(_SeedWindowTask(
+                handle, start, start + width, count,
+                [self._tuples[index] for index in affected],
+                [self._states[index] for index in affected]))
+        if len(tasks) < 2:
+            return {}
+        bounds = options.shard_bounds(len(tasks))
+        if len(bounds) == 1:
+            return {}
+        job = _WindowPrefetchJob(tasks, self.aggregate_expr,
+                                 self.final_predicate)
+        prefetched = {}
+        for shard in self._ensure_backend().run_job(job, bounds):
+            for handle, start, stop, count, matrices in shard:
+                prefetched[handle] = (start, stop, count, matrices)
+        return prefetched
+
     def _perturb_all_seeds(self, cutoff: float, stats: GibbsStats) -> None:
         """One systematic Gibbs step over every seed, seed-major (Sec. 7)."""
+        prefetched = self._prefetch_first_windows()
         queue = self._build_queue(resume_after=None)
         while queue and queue[0][0] != _INFINITY_KEY:
             handle = queue[0][0]
@@ -535,10 +744,14 @@ class GibbsLooper:
             while queue and queue[0][0] == handle:
                 members.append(heapq.heappop(queue)[1])
             self._replenished_flag = False
-            self._perturb_seed(handle, cutoff, stats)
+            self._perturb_seed(handle, cutoff, stats,
+                               prefetched.pop(handle, None))
             if self._replenished_flag:
                 # All Gibbs tuples were discarded and recreated; empty the
-                # queue and rebuild it for the remaining handles (Sec. 9).
+                # queue and rebuild it for the remaining handles (Sec. 9),
+                # and drop the prefetched windows — they index into the
+                # discarded tuples' old window views.
+                prefetched = {}
                 queue = self._build_queue(resume_after=handle)
                 continue
             for index in members:
@@ -548,11 +761,11 @@ class GibbsLooper:
                     (next_handle if next_handle is not None else _INFINITY_KEY,
                      index))
 
-    def _perturb_seed(self, handle: int, cutoff: float,
-                      stats: GibbsStats) -> None:
+    def _perturb_seed(self, handle: int, cutoff: float, stats: GibbsStats,
+                      prefetch=None) -> None:
         """Gibbs-update every version's value for one TS-seed."""
         if self.options.engine == "vectorized":
-            self._perturb_seed_vectorized(handle, cutoff, stats)
+            self._perturb_seed_vectorized(handle, cutoff, stats, prefetch)
             return
         ts = self._seeds[handle]
         for version in range(self._version_count()):
@@ -562,8 +775,28 @@ class GibbsLooper:
                 return
             self._update_version(ts, affected, version, cutoff, stats)
 
+    @staticmethod
+    def _window_geometry(fresh: int, consumed_total: int,
+                         served_total: int) -> tuple[int, int]:
+        """Adaptive ``(width, max_rows)`` for the next candidate window.
+
+        A pure function of the seed's fresh-range length and the
+        consumption counters of the current perturbation call — shared
+        between the in-process path and the seed-axis shard prefetch so
+        both derive the exact same window, which is what makes a
+        prefetched first window interchangeable with a locally built one.
+        """
+        # Candidates consumed per version completed (prior-smoothed).
+        rate = (consumed_total + 4.0) / (served_total + 1.0)
+        width = int(min(fresh,
+                        max(_VECTOR_BATCH,
+                            rate * _WINDOW_TARGET_VERSIONS),
+                        _WINDOW_MAX_WIDTH))
+        max_rows = int(min(width, max(8.0, 2.0 * width / rate + 1.0)))
+        return width, max_rows
+
     def _perturb_seed_vectorized(self, handle: int, cutoff: float,
-                                 stats: GibbsStats) -> None:
+                                 stats: GibbsStats, prefetch=None) -> None:
         """Batched rejection sampling over the whole version axis of a seed.
 
         Semantically identical to the reference path: stream positions are
@@ -574,6 +807,14 @@ class GibbsLooper:
         aggregate deltas are evaluated once per fresh-window batch as dense
         ``(versions, batch)`` matrices instead of once per (version, batch)
         pair, amortizing expression evaluation across all DB versions.
+
+        ``prefetch`` optionally carries this seed's first window of the
+        sweep, evaluated by a backend worker (seed-axis sharding).  It was
+        derived from the same frozen pre-sweep state with the same
+        geometry and the same kernel, so consuming it instead of building
+        the window locally changes nothing downstream; the acceptance
+        mask is still computed *here*, against the running totals at the
+        moment this seed's turn comes up in the sweep.
         """
         versions = self._version_count()
         version = 0
@@ -587,6 +828,7 @@ class GibbsLooper:
                 return
             start, stop = ts.fresh_index_range()
             if start >= stop:
+                prefetch = None
                 self._replenish()
                 ts = self._seeds[handle]
                 affected = self._tuples_of_seed.get(handle, ())
@@ -597,16 +839,23 @@ class GibbsLooper:
                     raise EngineError(
                         f"replenishment produced no fresh values for seed "
                         f"{ts.handle}")
-            # Candidates consumed per version completed (prior-smoothed).
-            rate = (consumed_total + 4.0) / (served_total + 1.0)
-            width = int(min(stop - start,
-                            max(_VECTOR_BATCH,
-                                rate * _WINDOW_TARGET_VERSIONS),
-                            _WINDOW_MAX_WIDTH))
-            max_rows = int(min(width, max(8.0, 2.0 * width / rate + 1.0)))
-            window = self._build_window(
-                ts, affected, version, cutoff, start, start + width,
-                max_rows)
+            window = None
+            if prefetch is not None:
+                p_start, p_stop, p_count, matrices = prefetch
+                prefetch = None
+                if p_start == start and version == 0:
+                    # Untouched since sweep start (nothing but this seed's
+                    # own processing moves its pointer), so the worker's
+                    # window is the one we would build right now.
+                    window = self._window_from_matrices(
+                        version, p_start, p_stop, p_count, matrices, cutoff)
+                    self._sharded_windows += 1
+            if window is None:
+                width, max_rows = self._window_geometry(
+                    stop - start, consumed_total, served_total)
+                window = self._build_window(
+                    ts, affected, version, cutoff, start, start + width,
+                    max_rows)
             accepted, consumed, version, proposals_used = self._scan_window(
                 ts, window, version, proposals_used, stats)
             consumed_total += consumed
@@ -717,70 +966,31 @@ class GibbsLooper:
         only mutates version ``v``'s cached state.
         """
         count = min(self._version_count() - first_version, max_rows)
-        delta_sum, delta_count, cand_values, cand_present = \
-            self._candidate_delta_matrix(ts, affected, first_version,
-                                         count, start, stop)
+        matrices = candidate_window_matrices(
+            [self._tuples[index] for index in affected],
+            [self._states[index] for index in affected],
+            ts.handle, self.aggregate_expr, self.final_predicate,
+            first_version, count, start, stop)
+        return self._window_from_matrices(first_version, start, stop, count,
+                                          matrices, cutoff)
+
+    def _window_from_matrices(self, first_version: int, start: int,
+                              stop: int, count: int, matrices,
+                              cutoff: float):
+        """Acceptance mask from candidate deltas + the *current* totals.
+
+        Kept separate from the delta computation because the totals are
+        the one input that changes as the sweep commits earlier seeds —
+        prefetched (worker-evaluated) deltas flow through this exact code
+        at the moment their seed is processed.
+        """
+        delta_sum, delta_count, cand_values, cand_present = matrices
         served = slice(first_version, first_version + count)
         new_totals = self._combine(
             self._sums[served, None] + delta_sum,
             self._counts[served, None] + delta_count)
         return (start, stop, first_version, new_totals >= cutoff,
                 cand_values, cand_present)
-
-    def _candidate_delta_matrix(self, ts: TSSeed, affected,
-                                first_version: int, count: int,
-                                start: int, stop: int):
-        """Batched :meth:`_candidate_deltas`: one row per DB version.
-
-        Element ``[v, b]`` is exactly what the scalar path computes for
-        version ``first_version + v`` and window slot ``start + b`` — the
-        per-tuple accumulation order and every elementwise operation are
-        identical, so the floating-point results (and therefore the
-        accept/reject decisions) match bit for bit.
-        """
-        width = stop - start
-        remaining = slice(first_version, first_version + count)
-        delta_sum = np.zeros((count, width))
-        delta_count = np.zeros((count, width))
-        cand_values, cand_present = [], []
-        for index in affected:
-            gibbs_tuple = self._tuples[index]
-            state = self._states[index]
-            columns: dict[str, np.ndarray] = {}
-            for name, det_value in gibbs_tuple.det.items():
-                columns[name] = np.asarray(det_value)
-            for name, rand_field in gibbs_tuple.rand.items():
-                if rand_field.handle == ts.handle:
-                    columns[name] = rand_field.values[start:stop]
-                else:
-                    columns[name] = state.values[name][remaining, None]
-            context = DictContext(columns)
-            if self.aggregate_expr is None:
-                value = np.ones((count, width))
-            else:
-                value = np.broadcast_to(
-                    np.asarray(self.aggregate_expr.evaluate(context),
-                               dtype=np.float64), (count, width))
-            present = np.ones((count, width), dtype=bool)
-            for presence_field, cached in zip(gibbs_tuple.presences,
-                                              state.presence):
-                if presence_field.handle == ts.handle:
-                    present = present & presence_field.flags[start:stop]
-                else:
-                    present = present & cached[remaining, None]
-            if self.final_predicate is not None:
-                present = present & np.broadcast_to(
-                    np.asarray(self.final_predicate.evaluate(context),
-                               dtype=bool), (count, width))
-            old_contribution = np.where(
-                state.present[remaining], state.value[remaining], 0.0)[:, None]
-            delta_sum += np.where(present, value, 0.0) - old_contribution
-            delta_count += (present.astype(np.float64)
-                            - state.present[remaining]
-                            .astype(np.float64)[:, None])
-            cand_values.append(value)
-            cand_present.append(present)
-        return delta_sum, delta_count, cand_values, cand_present
 
     def _update_version(self, ts: TSSeed, affected, version: int,
                         cutoff: float, stats: GibbsStats) -> None:
@@ -943,4 +1153,21 @@ class GibbsLooper:
             raise EngineError(
                 "replenishment changed query results; stream/cache "
                 "inconsistency (this is a bug)")
+        # Keep the *pre-replenish* accumulators: the re-derived sums are
+        # equal up to summation rounding, but adopting them would tie the
+        # accumulator trajectory to WHERE refuels happen — and the refuel
+        # schedule is exactly what knobs like ``window_growth`` change.
+        # Restoring makes every downstream bit independent of it.
+        self._sums, self._counts = old_sums, old_counts
+        if self.options.window_growth > 1.0 and self.window < _WINDOW_GROWTH_CAP:
+            # Adaptive refuel sizing: each refuel grows the next window
+            # geometrically, making the refuel count logarithmic in the
+            # stream depth rejection-heavy seeds burn through.  Window
+            # boundaries never change which candidate is accepted (the
+            # consumption pointer resumes across refuels), so everything
+            # except the replenishment schedule stays bit-identical.
+            self.window = min(
+                max(int(self.window * self.options.window_growth),
+                    self.window + 1),
+                _WINDOW_GROWTH_CAP)
         self._replenish_seconds += time.perf_counter() - started

@@ -24,13 +24,26 @@ from repro.engine.expressions import (
     col,
     lit,
 )
-from repro.engine.options import ENGINES, ExecutionOptions
+from repro.engine.options import BACKENDS, ENGINES, ExecutionOptions
+from repro.engine.backends import (
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    make_backend,
+)
 from repro.engine.random_table import RandomColumnSpec, RandomTableSpec
 from repro.engine.mcdb import MonteCarloExecutor, MonteCarloResult
 
 __all__ = [
+    "BACKENDS",
     "ENGINES",
     "ExecutionOptions",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "make_backend",
     "Catalog",
     "Table",
     "Expr",

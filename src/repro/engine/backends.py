@@ -1,0 +1,390 @@
+"""Pluggable execution backends: where shard tasks actually run.
+
+Sec. 1's observation that Monte Carlo repetitions are embarrassingly
+parallel fixes *what* can run concurrently; this module fixes *where*.
+Both executors (:class:`~repro.engine.mcdb.MonteCarloExecutor` and the
+seed-axis-sharded :class:`~repro.core.gibbs_looper.GibbsLooper`) describe
+their parallel work as a **shard job** — an object with a
+``run_shard(lo, hi)`` method — plus a list of contiguous ``[lo, hi)``
+bounds, and hand the pair to a backend:
+
+* :class:`SerialBackend` — runs every shard in-process, in order.  Useful
+  to exercise the exact sharded code paths (splitting, merging) without
+  any concurrency, and as the reference the equivalence suite compares
+  the real backends against.
+* :class:`ThreadBackend` — a persistent ``ThreadPoolExecutor``.  Jobs are
+  shared by reference (zero pickling); NumPy releases the GIL inside its
+  kernels, so bundle-heavy shards overlap usefully.
+* :class:`ProcessBackend` — a persistent pool of worker *processes*
+  owned by the session and reused across queries (cf. the service-level
+  scaling of Monte Carlo production in the LCG MCDB, PAPERS.md).  The job
+  payload is pickled **once** per query and broadcast to each worker
+  once; the per-shard task message is a ``(job_id, lo, hi)`` triple a few
+  dozen bytes long.  Objects that outlive a query — the catalog above
+  all — go through a *keyed shared channel*: a job exposes them via
+  ``shared_payload()`` and they are pickled once per ``(object,
+  version)`` key and re-sent to a worker only when the key changes, so a
+  session running many queries against the same catalog ships it to each
+  worker exactly once.
+
+Shard-job transport contract (only :class:`ProcessBackend` exercises it):
+
+* ``job.run_shard(lo, hi)`` returns the shard result (any picklable).
+* ``job.shared_payload()`` (optional) returns ``{key: object}`` for the
+  keyed shared channel; the job's ``__getstate__`` must then *exclude*
+  those objects and ``job.attach_shared(mapping)`` must re-bind them on
+  the worker after unpickling.
+
+Every backend is results-transparent: ``run_job(job, bounds)`` returns
+``[job.run_shard(lo, hi) for lo, hi in bounds]`` exactly — same values,
+same order — whatever the transport.  The equivalence suite holds all
+three to that contract.
+"""
+
+from __future__ import annotations
+
+import pickle
+import traceback
+from concurrent.futures import ThreadPoolExecutor
+from multiprocessing import get_context
+from multiprocessing.connection import wait
+
+from repro.engine.errors import EngineError
+
+__all__ = [
+    "ExecutionBackend", "SerialBackend", "ThreadBackend", "ProcessBackend",
+    "make_backend", "catalog_share_key",
+]
+
+#: Keep at most this many distinct shared-channel entries pinned in the
+#: parent (a strong reference per entry keeps ``id()``-based keys honest).
+_SHARED_CACHE_LIMIT = 8
+
+
+def catalog_share_key(catalog) -> tuple:
+    """Shared-channel key for a catalog: identity + mutation version.
+
+    Two queries in one session share the key while the catalog is
+    unmutated, so the broadcast is skipped; any ``CREATE TABLE`` /
+    ``add_table`` / ``FTABLE`` registration bumps ``Catalog.version`` and
+    forces a re-broadcast.  The parent-side cache holds a strong
+    reference to the catalog while the key is live, so ``id()`` cannot be
+    recycled under it.
+    """
+    return ("catalog", id(catalog), catalog.version)
+
+
+class ExecutionBackend:
+    """Protocol: run a shard job over ``[lo, hi)`` bounds, results in order.
+
+    ``run_job`` must behave exactly like the serial loop
+    ``[job.run_shard(lo, hi) for lo, hi in bounds]``; ``close`` releases
+    any persistent workers and is idempotent (a closed backend may be
+    reused — workers respawn lazily).
+    """
+
+    name = "abstract"
+
+    def run_job(self, job, bounds) -> list:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        raise NotImplementedError
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
+
+class SerialBackend(ExecutionBackend):
+    """In-process, in-order execution — the reference transport."""
+
+    name = "serial"
+
+    def run_job(self, job, bounds) -> list:
+        return [job.run_shard(lo, hi) for lo, hi in bounds]
+
+    def close(self) -> None:
+        pass
+
+
+class ThreadBackend(ExecutionBackend):
+    """Persistent thread pool; jobs shared by reference, never pickled."""
+
+    name = "thread"
+
+    def __init__(self, n_workers: int):
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        self.n_workers = n_workers
+        self._pool: ThreadPoolExecutor | None = None
+
+    def run_job(self, job, bounds) -> list:
+        bounds = list(bounds)
+        if len(bounds) <= 1:
+            return [job.run_shard(lo, hi) for lo, hi in bounds]
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.n_workers,
+                thread_name_prefix="mcdbr-shard")
+        futures = [self._pool.submit(job.run_shard, lo, hi)
+                   for lo, hi in bounds]
+        return [future.result() for future in futures]
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+class _WorkerHandle:
+    """Parent-side record of one worker process."""
+
+    __slots__ = ("process", "conn", "shared_keys")
+
+    def __init__(self, process, conn):
+        self.process = process
+        self.conn = conn
+        self.shared_keys: set = set()
+
+
+def _worker_main(conn) -> None:
+    """Worker loop: install broadcast payloads, run ``(job_id, lo, hi)``.
+
+    ``jobs`` holds the per-query broadcast payloads, ``shared`` the keyed
+    cross-query channel (catalogs).  Shard results — or a formatted
+    traceback on failure — go back on the same pipe tagged with the task
+    index so the parent can merge out-of-order completions.
+    """
+    jobs: dict[int, object] = {}
+    shared: dict[tuple, object] = {}
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        kind = message[0]
+        if kind == "stop":
+            break
+        try:
+            if kind == "share":
+                shared[message[1]] = pickle.loads(message[2])
+            elif kind == "unshare":
+                shared.pop(message[1], None)
+            elif kind == "job":
+                job = pickle.loads(message[2])
+                attach = getattr(job, "attach_shared", None)
+                if attach is not None:
+                    attach(shared)
+                jobs[message[1]] = job
+            elif kind == "forget":
+                jobs.pop(message[1], None)
+            elif kind == "run":
+                _, job_id, index, lo, hi = message
+                conn.send(("ok", index, jobs[job_id].run_shard(lo, hi)))
+        except BaseException:
+            index = message[2] if kind == "run" else None
+            try:
+                conn.send(("error", index, traceback.format_exc()))
+            except (BrokenPipeError, OSError):
+                break
+    conn.close()
+
+
+class ProcessBackend(ExecutionBackend):
+    """Persistent worker processes with broadcast-once job transport.
+
+    Workers spawn lazily on the first multi-shard job and stay alive
+    until :meth:`close` — a session amortizes pool startup, job
+    broadcasts and catalog shipping across every query it runs.  Any
+    worker failure tears the pool down (so no stale replies survive) and
+    surfaces as :class:`~repro.engine.errors.EngineError` carrying the
+    worker traceback.
+    """
+
+    name = "process"
+
+    def __init__(self, n_workers: int):
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        self.n_workers = n_workers
+        self._workers: list[_WorkerHandle] = []
+        self._next_job_id = 0
+        self._shared_cache: dict[tuple, tuple] = {}  # key -> (obj, blob)
+        #: Transport accounting, exposed for the scaling benchmark and the
+        #: payload regression tests: ``jobs``/``tasks`` count dispatches,
+        #: ``job_bytes`` is the last broadcast blob size, ``task_bytes``
+        #: the last task message size, ``shared_pickles``/``shared_sends``
+        #: count keyed-channel work (pickles happen once per key).
+        self.stats = {"jobs": 0, "tasks": 0, "job_bytes": 0, "task_bytes": 0,
+                      "shared_pickles": 0, "shared_sends": 0, "spawns": 0}
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def workers_alive(self) -> int:
+        return sum(1 for worker in self._workers
+                   if worker.process.is_alive())
+
+    def worker_pids(self) -> list[int]:
+        return [worker.process.pid for worker in self._workers]
+
+    def _ensure_workers(self) -> None:
+        if self._workers:
+            return
+        context = get_context()
+        for _ in range(self.n_workers):
+            parent_conn, child_conn = context.Pipe(duplex=True)
+            process = context.Process(
+                target=_worker_main, args=(child_conn,), daemon=True)
+            process.start()
+            child_conn.close()
+            self._workers.append(_WorkerHandle(process, parent_conn))
+            self.stats["spawns"] += 1
+
+    def close(self) -> None:
+        for worker in self._workers:
+            try:
+                worker.conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        for worker in self._workers:
+            worker.process.join(timeout=5)
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(timeout=5)
+            worker.conn.close()
+        self._workers = []
+        self._shared_cache = {}
+
+    # -- transport -----------------------------------------------------------
+
+    @staticmethod
+    def task_message(job_id: int, index: int, lo: int, hi: int) -> tuple:
+        """The per-shard wire message — a constant-size integer tuple.
+
+        Exposed so the payload regression test can pin its pickled size:
+        shard tasks must never regrow a catalog/plan payload.
+        """
+        return ("run", job_id, index, lo, hi)
+
+    def _send_shared(self, worker: _WorkerHandle, key: tuple,
+                     obj: object) -> None:
+        if key not in self._shared_cache:
+            blob = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+            self._shared_cache[key] = (obj, blob)
+            self.stats["shared_pickles"] += 1
+            while len(self._shared_cache) > _SHARED_CACHE_LIMIT:
+                evicted = next(iter(self._shared_cache))
+                del self._shared_cache[evicted]
+                for other in self._workers:
+                    if evicted in other.shared_keys:
+                        other.shared_keys.discard(evicted)
+                        other.conn.send(("unshare", evicted))
+        if key in worker.shared_keys:
+            return
+        worker.conn.send(("share", key, self._shared_cache[key][1]))
+        worker.shared_keys.add(key)
+        self.stats["shared_sends"] += 1
+
+    def run_job(self, job, bounds) -> list:
+        bounds = list(bounds)
+        if len(bounds) <= 1:
+            return [job.run_shard(lo, hi) for lo, hi in bounds]
+        self._ensure_workers()
+        job_id = self._next_job_id
+        self._next_job_id += 1
+        shared = getattr(job, "shared_payload", dict)()
+        blob = pickle.dumps(job, protocol=pickle.HIGHEST_PROTOCOL)
+        self.stats["jobs"] += 1
+        self.stats["job_bytes"] = len(blob)
+        active = self._workers[:min(len(bounds), len(self._workers))]
+        try:
+            for worker in active:
+                for key, obj in shared.items():
+                    self._send_shared(worker, key, obj)
+                worker.conn.send(("job", job_id, blob))
+            results = self._dispatch(active, job_id, bounds)
+            for worker in active:
+                worker.conn.send(("forget", job_id))
+        except (BrokenPipeError, OSError) as exc:
+            # A worker died between jobs (OOM kill, crash): sending to its
+            # pipe raises here.  Reset the pool and surface it as the
+            # EngineError the backend contract promises.
+            self.close()
+            raise EngineError(
+                f"shard worker process died ({exc}); the worker pool has "
+                "been reset") from exc
+        except BaseException:
+            # A worker errored mid-job or the dispatch was interrupted
+            # (KeyboardInterrupt included): reset the pool so no stale
+            # in-flight replies can be mistaken for the *next* job's
+            # results.
+            self.close()
+            raise
+        return results
+
+    def _dispatch(self, active: list[_WorkerHandle], job_id: int,
+                  bounds: list) -> list:
+        """Feed ``(job_id, lo, hi)`` triples to idle workers, merge in order."""
+        results: list = [None] * len(bounds)
+        by_conn = {worker.conn: worker for worker in active}
+        pending = iter(enumerate(bounds))
+        busy: dict = {}
+        outstanding = 0
+        # Task messages are constant-shape integer tuples; size one of
+        # them per job for the transport accounting instead of paying an
+        # extra pickle per task on the dispatch hot path.
+        self.stats["task_bytes"] = len(pickle.dumps(
+            self.task_message(job_id, 0, *bounds[0]),
+            protocol=pickle.HIGHEST_PROTOCOL))
+
+        def feed(conn) -> None:
+            nonlocal outstanding
+            task = next(pending, None)
+            if task is None:
+                busy.pop(conn, None)
+                return
+            index, (lo, hi) = task
+            self.stats["tasks"] += 1
+            conn.send(self.task_message(job_id, index, lo, hi))
+            busy[conn] = index
+            outstanding += 1
+
+        for conn in by_conn:
+            feed(conn)
+        while outstanding:
+            for conn in wait(list(busy)):
+                try:
+                    reply = conn.recv()
+                except (EOFError, OSError):
+                    raise EngineError(
+                        "shard worker process died; the worker pool has "
+                        "been reset") from None
+                status, index, payload = reply
+                if status == "error":
+                    raise EngineError(
+                        f"shard task failed in worker:\n{payload}")
+                results[index] = payload
+                outstanding -= 1
+                feed(conn)
+        return results
+
+
+def make_backend(options) -> ExecutionBackend:
+    """Backend instance for an :class:`ExecutionOptions`.
+
+    Callers that own no long-lived scope (an executor used directly,
+    outside a :class:`~repro.sql.session.Session`) build one of these per
+    run and close it afterwards; a session builds one and keeps it.
+    """
+    if options.backend == "serial":
+        return SerialBackend()
+    if options.backend == "thread":
+        return ThreadBackend(options.n_jobs)
+    if options.backend == "process":
+        return ProcessBackend(options.n_jobs)
+    raise ValueError(f"unknown backend {options.backend!r}")

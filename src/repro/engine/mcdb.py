@@ -14,16 +14,23 @@ run would compute — every worker re-derives the same per-seed PRNG keys
 via :func:`repro.engine.seeds.derive_prng_seed`, so the merged result is
 bit-identical for every ``n_jobs`` (cf. the service-level scaling of Monte
 Carlo production in the LCG MCDB, PAPERS.md).
+
+*Where* the shards run is the backend's business
+(:mod:`repro.engine.backends`): the executor is itself the shard job —
+broadcast once per query to the persistent worker pool, with the catalog
+riding the keyed shared channel so a session ships it to each worker once
+per :attr:`~repro.engine.table.Catalog.version`, and each shard costing
+only a ``(job_id, lo, hi)`` task message.
 """
 
 from __future__ import annotations
 
-import concurrent.futures
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 import numpy as np
 
+from repro.engine.backends import catalog_share_key, make_backend
 from repro.engine.bundles import BundleRelation
 from repro.engine.errors import EngineError, PlanError
 from repro.engine.expressions import Expr
@@ -89,20 +96,20 @@ class MonteCarloResult:
                 f"groups={len(self._groups)}, group_by={self.group_by})")
 
 
-def _execute_shard(job: tuple["MonteCarloExecutor", int, int]
-                   ) -> "MonteCarloResult":
-    """Worker entry point (module-level so the executor pickles cleanly)."""
-    executor, lo, hi = job
-    return executor.run_shard(lo, hi)
-
-
 class MonteCarloExecutor:
-    """Execute a plan in Monte Carlo mode and aggregate per repetition."""
+    """Execute a plan in Monte Carlo mode and aggregate per repetition.
+
+    The executor doubles as its own shard job: ``run_shard(lo, hi)`` is
+    the worker entry point, the pickled executor is the once-per-query
+    broadcast payload, and the catalog travels on the backend's keyed
+    shared channel (see the transport contract in
+    :mod:`repro.engine.backends`).
+    """
 
     def __init__(self, plan: PlanNode, aggregates: Sequence[AggregateSpec],
                  catalog: Catalog, group_by: Sequence[str] = (),
                  base_seed: int = 0, options: ExecutionOptions | None = None,
-                 det_cache=None):
+                 det_cache=None, backend=None):
         if not aggregates:
             raise PlanError("at least one aggregate is required")
         names = [aggregate.name for aggregate in aggregates]
@@ -115,18 +122,55 @@ class MonteCarloExecutor:
         self.base_seed = base_seed
         self.options = options or ExecutionOptions()
         #: Deterministic sub-plan cache shared with the execution contexts;
-        #: a Session passes its cross-query cache here.  Workers receive a
-        #: pickled copy, so pre-populated entries save work per shard but
-        #: shard-local fills do not flow back.
+        #: a Session passes its cross-query cache here.  Shard semantics
+        #: follow the transport (``tests/test_backends.py`` pins both):
+        #: under the *process* backend workers are pre-warmed with a
+        #: snapshot of this cache at broadcast time — once per query, not
+        #: once per shard task — and worker-local fills never flow back;
+        #: under the *thread* backend shards share this very object, so
+        #: their fills are immediately visible to later queries.
         self.det_cache = det_cache
+        #: Persistent :class:`~repro.engine.backends.ExecutionBackend` to
+        #: run shards on (a Session passes its pool); ``None`` makes the
+        #: executor build an ephemeral one per sharded run.
+        self.backend = backend
+        self._shared_catalog_key = None
+
+    # -- shard-job transport contract (ProcessBackend) -----------------------
+
+    def shared_payload(self) -> dict:
+        return {catalog_share_key(self.catalog): self.catalog}
+
+    def __getstate__(self) -> dict:
+        """Broadcast form: no backend, and the catalog by shared-channel key.
+
+        The catalog is the bulk of the payload and outlives the query, so
+        it rides the keyed shared channel instead of the per-query job
+        blob; ``attach_shared`` re-binds it worker-side.
+        """
+        state = self.__dict__.copy()
+        state["backend"] = None
+        state["catalog"] = None
+        state["_shared_catalog_key"] = catalog_share_key(self.catalog)
+        return state
+
+    def attach_shared(self, shared: Mapping) -> None:
+        if self.catalog is None:
+            self.catalog = shared[self._shared_catalog_key]
 
     def run(self, repetitions: int) -> MonteCarloResult:
         if self.options.sharded and repetitions > 1:
-            return self._run_sharded(repetitions)
+            bounds = self.options.shard_bounds(repetitions)
+            if len(bounds) > 1:
+                return self._run_sharded(bounds, repetitions)
         return self.run_shard(0, repetitions)
 
     def run_shard(self, lo: int, hi: int) -> MonteCarloResult:
         """Execute repetitions ``[lo, hi)`` — the whole run when lo=0."""
+        if self.catalog is None:
+            raise EngineError(
+                "executor has no catalog bound; a broadcast copy must be "
+                "re-bound via attach_shared before running shards")
         context = ExecutionContext(
             self.catalog, positions=hi - lo, aligned=True,
             base_seed=self.base_seed, position_offset=lo,
@@ -135,20 +179,23 @@ class MonteCarloExecutor:
         context.plan_runs += 1
         return self.aggregate(relation, hi - lo)
 
-    def _run_sharded(self, repetitions: int) -> MonteCarloResult:
-        """Partition the repetition axis across worker processes (Sec. 1's
+    def _run_sharded(self, bounds: Sequence[tuple[int, int]],
+                     repetitions: int) -> MonteCarloResult:
+        """Partition the repetition axis across backend workers (Sec. 1's
         "embarrassingly parallel" observation made executable).
 
         Shard results are merged in slice order, so the sample vector of
         every (group, aggregate) pair equals the serial run's exactly.
         """
-        bounds = self.options.shard_bounds(repetitions)
-        if len(bounds) == 1:
-            return self.run_shard(*bounds[0])
-        with concurrent.futures.ProcessPoolExecutor(
-                max_workers=self.options.n_jobs) as pool:
-            shards = list(pool.map(_execute_shard,
-                                   [(self, lo, hi) for lo, hi in bounds]))
+        backend = self.backend
+        owned = backend is None
+        if owned:
+            backend = make_backend(self.options)
+        try:
+            shards = backend.run_job(self, bounds)
+        finally:
+            if owned:
+                backend.close()
         return self._merge_shards(shards, repetitions)
 
     def _merge_shards(self, shards: Sequence[MonteCarloResult],

@@ -14,23 +14,35 @@ enforced by ``tests/test_engine_equivalence.py``.
   TS-seed at once.  ``"reference"`` is the scalar per-version path kept for
   verification.
 
-* ``n_jobs`` shards independent Monte Carlo repetitions across
-  ``concurrent.futures`` workers.  Shards are contiguous slices of the
-  repetition (stream-position) axis, so every worker re-derives the same
-  per-seed PRNG keys via :func:`repro.engine.seeds.derive_prng_seed` and
-  materializes disjoint windows of the same streams — merging shard results
-  in order reproduces the serial run exactly.
+* ``n_jobs`` shards independent work across workers: Monte Carlo
+  repetitions as contiguous slices of the repetition (stream-position)
+  axis — every worker re-derives the same per-seed PRNG keys via
+  :func:`repro.engine.seeds.derive_prng_seed` and materializes disjoint
+  windows of the same streams, so merging shard results in order
+  reproduces the serial run exactly — and, in tail mode, the TS-seed
+  handle axis of the GibbsLooper's candidate-window evaluation.
+
+* ``backend`` selects *where* shards run
+  (:mod:`repro.engine.backends`): ``"process"`` (persistent worker pool,
+  broadcast-once job transport), ``"thread"``, or ``"serial"`` (the
+  sharded code paths without any concurrency).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["ENGINES", "REPLENISHMENT_MODES", "DET_CACHE_MODES",
+__all__ = ["ENGINES", "BACKENDS", "REPLENISHMENT_MODES", "DET_CACHE_MODES",
            "ExecutionOptions"]
 
 #: Supported Gibbs perturbation kernels.
 ENGINES = ("vectorized", "reference")
+
+#: Shard transports (see :mod:`repro.engine.backends`).  ``"process"``
+#: (default) is a persistent worker pool reused across a session's
+#: queries; ``"thread"`` a persistent thread pool; ``"serial"`` runs the
+#: sharded code paths in-process, in order.
+BACKENDS = ("process", "thread", "serial")
 
 #: Replenishment strategies (Sec. 9).  ``"delta"`` materializes only stream
 #: positions that were never produced before and merges them into the
@@ -57,11 +69,18 @@ class ExecutionOptions:
         (the paper-literal scalar path).  Both produce identical results
         for identical seeds.
     n_jobs:
-        Worker processes for Monte Carlo repetition sharding; ``1`` runs
-        serially in-process.  Results are independent of ``n_jobs``.
+        Workers for shard execution — Monte Carlo repetition slices and
+        tail-mode seed-axis candidate windows; ``1`` runs serially
+        in-process.  Results are independent of ``n_jobs``.
+    backend:
+        Shard transport: ``"process"`` (persistent worker pool owned by
+        the session, job broadcast once, ``(job_id, lo, hi)`` shard
+        tasks), ``"thread"`` or ``"serial"``.  Inert while
+        ``n_jobs == 1``.
     shard_size:
-        Optional maximum repetitions per shard.  ``None`` splits the
-        repetitions evenly across ``n_jobs`` workers.
+        Optional maximum repetitions (or seeds, on the tail path) per
+        shard.  ``None`` splits the work evenly across ``n_jobs``
+        workers.
     replenishment:
         ``"delta"`` (default) re-runs the plan in incremental mode when a
         Gibbs window runs dry: ``Instantiate`` gathers only stream
@@ -75,20 +94,37 @@ class ExecutionOptions:
         ``"context"`` (per plan execution) or ``"off"``.  Executors used
         directly fall back to ``"context"`` scoping unless a session cache
         object is handed to them.
+    window_growth:
+        Geometric growth factor applied to the GibbsLooper's window after
+        each replenishment (``1.0`` — the default — disables growth).
+        Rejection-heavy seeds refuel dozens of times at a fixed window;
+        growing it makes the refuel count logarithmic in the consumption
+        depth.  Window sizing never changes which candidate is accepted
+        (the consumption pointer walks the same stream either way), so
+        results stay bit-identical — only the replenishment schedule,
+        and therefore ``plan_runs``, shrinks.
     """
 
     engine: str = "vectorized"
     n_jobs: int = 1
+    backend: str = "process"
     shard_size: int | None = None
     replenishment: str = "delta"
     det_cache: str = "session"
+    window_growth: float = 1.0
 
     def __post_init__(self):
         if self.engine not in ENGINES:
             raise ValueError(
                 f"unknown engine {self.engine!r}; supported: {ENGINES}")
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; supported: {BACKENDS}")
         if self.n_jobs < 1:
             raise ValueError(f"n_jobs must be >= 1, got {self.n_jobs}")
+        if not self.window_growth >= 1.0:
+            raise ValueError(
+                f"window_growth must be >= 1.0, got {self.window_growth}")
         if self.shard_size is not None and self.shard_size < 1:
             raise ValueError(
                 f"shard_size must be >= 1 or None, got {self.shard_size}")

@@ -18,16 +18,19 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.core.gibbs_looper import GibbsLooper
+from repro.core.params import choose_parameters
 from repro.engine.errors import PlanError
 from repro.engine.expressions import BinOp, Col, Expr, Lit, Not, and_all
-from repro.engine.mcdb import AggregateSpec
+from repro.engine.mcdb import AggregateSpec, MonteCarloExecutor
 from repro.engine.operators import (
     Join, PlanNode, Scan, Select, Split, random_table_pipeline)
 from repro.engine.random_table import RandomTableSpec
 from repro.engine.table import Catalog
 from repro.sql.ast_nodes import AggCall, FromItem, SelectStmt
 
-__all__ = ["CompiledSelect", "compile_select", "describe_compiled"]
+__all__ = ["CompiledSelect", "compile_select", "describe_compiled",
+           "validate_tail_select", "monte_carlo_executor", "tail_looper"]
 
 
 @dataclass
@@ -273,6 +276,76 @@ def _default_output_name(expr: Expr, fallback: str) -> str:
     if isinstance(expr, Col):
         return expr.name.split(".", 1)[-1]
     return fallback
+
+
+def validate_tail_select(compiled: CompiledSelect, spec) -> AggregateSpec:
+    """Tail-mode shape rules (Sec. 2 + the Appendix A planning contract).
+
+    ``DOMAIN <agg> >= QUANTILE(q)`` demands exactly one aggregate, no
+    grouping (the paper treats a g-group query as g separate queries) and
+    a DOMAIN target naming that aggregate; returns it for the looper.
+    """
+    domain = spec.domain
+    if domain.quantile is None:
+        raise PlanError(
+            "DOMAIN with an explicit threshold is not supported; use "
+            "DOMAIN <agg> >= QUANTILE(q) (the paper's tail-sampling "
+            "form)")
+    if compiled.group_by:
+        raise PlanError(
+            "GROUP BY with DOMAIN is not supported in one statement; "
+            "run one conditioned query per group (the paper treats a "
+            "g-group query as g separate queries)")
+    if len(compiled.aggregates) != 1:
+        raise PlanError(
+            "tail sampling requires exactly one aggregate in SELECT")
+    aggregate = compiled.aggregates[0]
+    if aggregate.name != domain.target:
+        raise PlanError(
+            f"DOMAIN target {domain.target!r} does not name the "
+            f"aggregate {aggregate.name!r}")
+    return aggregate
+
+
+def monte_carlo_executor(compiled: CompiledSelect, catalog: Catalog, *,
+                         base_seed: int = 0, options=None, det_cache=None,
+                         backend=None) -> MonteCarloExecutor:
+    """Bind a compiled SELECT to the naive-MCDB executor.
+
+    The single place the execution policy — options, det-cache tier and
+    the session's shard backend — is threaded from the SQL layer into a
+    Monte Carlo run.
+    """
+    return MonteCarloExecutor(
+        compiled.plan, compiled.aggregates, catalog,
+        group_by=compiled.group_by, base_seed=base_seed, options=options,
+        det_cache=det_cache, backend=backend)
+
+
+def tail_looper(compiled: CompiledSelect, catalog: Catalog, spec, *,
+                tail_budget: int, window: int, gibbs_steps: int = 1,
+                base_seed: int = 0, options=None, det_cache=None,
+                backend=None) -> GibbsLooper:
+    """Bind a compiled tail SELECT to a GibbsLooper.
+
+    Validates the tail-mode shape, runs the Appendix C parameter chooser
+    for the requested quantile, and threads the execution policy (options
+    + det cache + shard backend) down — mirroring
+    :func:`monte_carlo_executor` for the MCDB-R side of the system.
+    """
+    aggregate = validate_tail_select(compiled, spec)
+    p = 1.0 - spec.domain.quantile
+    params = choose_parameters(p, tail_budget)
+    return GibbsLooper(
+        compiled.plan, catalog, params,
+        num_samples=spec.montecarlo,
+        aggregate_kind=aggregate.kind,
+        aggregate_expr=aggregate.expr,
+        final_predicate=compiled.pulled_up_predicate,
+        k=gibbs_steps,
+        window=max(window, max(params.n_steps)),
+        base_seed=base_seed, options=options, det_cache=det_cache,
+        backend=backend)
 
 
 def describe_compiled(compiled: CompiledSelect, tail_mode: bool,

@@ -27,19 +27,20 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
-from repro.core.gibbs_looper import GibbsLooper, LooperResult
-from repro.core.params import TailParams, choose_parameters
+from repro.core.gibbs_looper import LooperResult
+from repro.engine.backends import make_backend
 from repro.engine.det_cache import NullDetCache, SessionDetCache
 from repro.engine.errors import PlanError
 from repro.engine.expressions import Col
-from repro.engine.mcdb import MonteCarloExecutor, MonteCarloResult
+from repro.engine.mcdb import MonteCarloResult
 from repro.engine.operators import ExecutionContext
 from repro.engine.options import ExecutionOptions
 from repro.engine.random_table import RandomColumnSpec, RandomTableSpec
 from repro.engine.table import Catalog, Table
 from repro.sql.ast_nodes import CreateRandomTable, SelectStmt
 from repro.sql.parser import parse
-from repro.sql.planner import compile_select, describe_compiled
+from repro.sql.planner import (
+    compile_select, describe_compiled, monte_carlo_executor, tail_looper)
 from repro.vg.base import VGRegistry, default_registry
 
 __all__ = ["Session", "QueryOutput"]
@@ -83,9 +84,20 @@ class Session:
     options:
         :class:`~repro.engine.options.ExecutionOptions` threaded into both
         executors: ``engine`` picks the Gibbs kernel
-        (``"vectorized"``/``"reference"``), ``n_jobs`` shards Monte Carlo
-        repetitions across processes.  Results are identical for every
-        setting; only speed changes.
+        (``"vectorized"``/``"reference"``), ``n_jobs``/``backend`` shard
+        Monte Carlo repetitions and tail-mode candidate windows across
+        workers.  Results are identical for every setting; only speed
+        changes.
+
+    With ``n_jobs > 1`` the session owns a persistent shard backend —
+    under ``backend="process"`` a pool of worker processes spawned on the
+    first sharded query and reused by every later one, with the catalog
+    broadcast to each worker once per
+    :attr:`~repro.engine.table.Catalog.version`.  Call :meth:`close` (or
+    use the session as a context manager) to release the pool::
+
+        with Session(options=ExecutionOptions(n_jobs=4)) as session:
+            ...
     """
 
     def __init__(self, base_seed: int = 0, registry: VGRegistry | None = None,
@@ -105,6 +117,38 @@ class Session:
         #: mutates.  Re-running a query — or a structurally overlapping one —
         #: skips every deterministic subtree.
         self.det_cache = SessionDetCache()
+        #: Persistent shard backend (``n_jobs > 1``), built lazily on the
+        #: first sharded query and kept until :meth:`close`.
+        self._backend = None
+
+    # -- worker-pool lifecycle -------------------------------------------------
+
+    @property
+    def backend(self):
+        """The session's shard backend, or ``None`` if none is live."""
+        return self._backend
+
+    def _backend_for_run(self):
+        """The persistent backend handed to executors (``None`` unsharded)."""
+        if not self.options.sharded:
+            return None
+        if self._backend is None:
+            self._backend = make_backend(self.options)
+        return self._backend
+
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent; the session stays usable —
+        a later sharded query simply spawns a fresh pool)."""
+        if self._backend is not None:
+            self._backend.close()
+            self._backend = None
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
 
     def _det_cache_for_run(self):
         """The cache object handed to executors under the current options.
@@ -207,12 +251,12 @@ class Session:
             return self._run_deterministic(compiled)
 
         if spec.domain is None:
-            result = MonteCarloExecutor(
-                compiled.plan, compiled.aggregates, self.catalog,
-                group_by=compiled.group_by,
+            result = monte_carlo_executor(
+                compiled, self.catalog,
                 base_seed=self.base_seed,
                 options=self.options,
-                det_cache=self._det_cache_for_run()).run(spec.montecarlo)
+                det_cache=self._det_cache_for_run(),
+                backend=self._backend_for_run()).run(spec.montecarlo)
             if spec.frequency_table:
                 self._register_ftable(
                     spec.frequency_table,
@@ -222,38 +266,15 @@ class Session:
         return self._run_tail(compiled, statement, spec)
 
     def _run_tail(self, compiled, statement: SelectStmt, spec) -> QueryOutput:
-        domain = spec.domain
-        if domain.quantile is None:
-            raise PlanError(
-                "DOMAIN with an explicit threshold is not supported; use "
-                "DOMAIN <agg> >= QUANTILE(q) (the paper's tail-sampling "
-                "form)")
-        if compiled.group_by:
-            raise PlanError(
-                "GROUP BY with DOMAIN is not supported in one statement; "
-                "run one conditioned query per group (the paper treats a "
-                "g-group query as g separate queries)")
-        if len(compiled.aggregates) != 1:
-            raise PlanError(
-                "tail sampling requires exactly one aggregate in SELECT")
-        aggregate = compiled.aggregates[0]
-        if aggregate.name != domain.target:
-            raise PlanError(
-                f"DOMAIN target {domain.target!r} does not name the "
-                f"aggregate {aggregate.name!r}")
-        p = 1.0 - domain.quantile
-        params = choose_parameters(p, self.tail_budget)
-        looper = GibbsLooper(
-            compiled.plan, self.catalog, params,
-            num_samples=spec.montecarlo,
-            aggregate_kind=aggregate.kind,
-            aggregate_expr=aggregate.expr,
-            final_predicate=compiled.pulled_up_predicate,
-            k=self.gibbs_steps,
-            window=max(self.window, max(params.n_steps)),
+        looper = tail_looper(
+            compiled, self.catalog, spec,
+            tail_budget=self.tail_budget,
+            window=self.window,
+            gibbs_steps=self.gibbs_steps,
             base_seed=self.base_seed,
             options=self.options,
-            det_cache=self._det_cache_for_run())
+            det_cache=self._det_cache_for_run(),
+            backend=self._backend_for_run())
         result = looper.run()
         if spec.frequency_table:
             self._register_ftable(spec.frequency_table,
@@ -262,9 +283,8 @@ class Session:
 
     def _run_deterministic(self, compiled) -> QueryOutput:
         if compiled.aggregates:
-            result = MonteCarloExecutor(
-                compiled.plan, compiled.aggregates, self.catalog,
-                group_by=compiled.group_by, base_seed=self.base_seed,
+            result = monte_carlo_executor(
+                compiled, self.catalog, base_seed=self.base_seed,
                 det_cache=self._det_cache_for_run()).run(1)
             # (no options: a single deterministic repetition never shards)
             # Group-key columns take their SELECT alias when one was given,

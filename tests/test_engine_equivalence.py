@@ -4,8 +4,10 @@
 results — same tail samples, same (handle -> position) assignments, same
 acceptance statistics, same replenishment schedule — for the same session
 seed, on randomized plans and seeds.  Likewise the sharded Monte Carlo
-executor must be invariant to ``n_jobs`` and shard geometry.  Nothing here
-is approximate: every comparison is exact.
+executor must be invariant to ``n_jobs`` and shard geometry, and every
+``backend × n_jobs × engine × replenishment`` combination — including
+seed-axis-sharded GibbsLooper runs — must be bit-identical to the serial
+reference.  Nothing here is approximate: every comparison is exact.
 """
 
 import numpy as np
@@ -26,6 +28,7 @@ from repro.sql import Session
 from repro.vg.builtin import DISCRETE_CHOICE, NORMAL
 
 ENGINES = ("reference", "vectorized")
+BACKENDS = ("serial", "thread", "process")
 
 
 def _losses_catalog(customers):
@@ -66,7 +69,8 @@ class TestLooperEquivalence:
     def _run(self, engine, customers=20, window=250, base_seed=0,
              aggregate_kind="sum", k=1, num_samples=25, m=2, p_step=0.3,
              versions=40, predicate=None, max_proposals=100_000,
-             replenishment="delta"):
+             replenishment="delta", n_jobs=1, backend="process",
+             shard_size=None, window_growth=1.0):
         catalog, spec = _losses_catalog(customers)
         plan = random_table_pipeline(spec)
         if predicate is not None:
@@ -80,7 +84,10 @@ class TestLooperEquivalence:
             window=window, base_seed=base_seed, k=k,
             max_proposals=max_proposals,
             options=ExecutionOptions(engine=engine,
-                                     replenishment=replenishment)).run()
+                                     replenishment=replenishment,
+                                     n_jobs=n_jobs, backend=backend,
+                                     shard_size=shard_size,
+                                     window_growth=window_growth)).run()
 
     @given(customers=st.integers(3, 15),
            window=st.integers(60, 300),
@@ -403,6 +410,25 @@ class TestSessionLevelEquivalence:
         ).execute(self.TAIL_QUERY)
         _assert_identical(baseline.tail, other.tail)
 
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_session_backend_axis_tail_and_montecarlo(self, backend):
+        """The whole SQL surface, sharded on each backend over the
+        session's persistent pool, equals the serial session."""
+        serial_tail = self._session().execute(self.TAIL_QUERY)
+        mc_query = """
+            SELECT SUM(val) AS loss FROM Losses
+            WITH RESULTDISTRIBUTION MONTECARLO(90)
+        """
+        serial_mc = self._session().execute(mc_query)
+        with self._session(ExecutionOptions(
+                n_jobs=2, backend=backend)) as session:
+            sharded_tail = session.execute(self.TAIL_QUERY)
+            sharded_mc = session.execute(mc_query)
+        _assert_identical(serial_tail.tail, sharded_tail.tail)
+        np.testing.assert_array_equal(
+            serial_mc.distributions.distribution("loss").samples,
+            sharded_mc.distributions.distribution("loss").samples)
+
     @pytest.mark.parametrize("det_cache", ["session", "off"])
     def test_sharded_montecarlo_with_cache_modes(self, det_cache):
         query = """
@@ -424,3 +450,141 @@ class TestSessionLevelEquivalence:
         second = session.execute(self.TAIL_QUERY)
         assert session.det_cache.hits > 0
         _assert_identical(first.tail, second.tail)
+
+
+class TestBackendMatrix:
+    """The backend axis: every backend × n_jobs × engine × replenishment
+    combination must be bit-identical to the serial reference run —
+    including seed-axis-sharded GibbsLooper runs, where workers evaluate
+    candidate windows for disjoint handle ranges and the sweep merges
+    them in handle order.
+    """
+
+    _runner = TestLooperEquivalence()
+    #: Replenishment-heavy Gibbs workload: the window barely covers the
+    #: population, so sharded sweeps also cross refuel boundaries.
+    GIBBS = dict(customers=12, window=60, versions=30, num_samples=15,
+                 m=2, base_seed=9)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("n_jobs", [2, 3])
+    def test_monte_carlo_backends_equal_serial(self, backend, n_jobs):
+        serial = TestMonteCarloSharding._executor().run(120)
+        sharded = TestMonteCarloSharding._executor(
+            ExecutionOptions(n_jobs=n_jobs, backend=backend)).run(120)
+        TestMonteCarloSharding._assert_results_equal(serial, sharded)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("replenishment", ["delta", "full"])
+    def test_gibbs_seed_sharding_equals_serial(self, backend, replenishment):
+        serial = self._runner._run("vectorized", replenishment=replenishment,
+                                   **self.GIBBS)
+        sharded = self._runner._run("vectorized", replenishment=replenishment,
+                                    n_jobs=2, backend=backend, **self.GIBBS)
+        _assert_identical(serial, sharded)
+        assert serial.sharded_windows == 0
+        assert sharded.sharded_windows > 0  # the shard path actually ran
+        assert serial.plan_runs > 1  # …and crossed replenishments
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    @pytest.mark.parametrize("n_jobs", [2, 3])
+    def test_gibbs_engine_axis_under_process_backend(self, engine, n_jobs):
+        """Both engines, sharded, must still match the scalar reference
+        (the reference engine ignores seed sharding by design)."""
+        reference = self._runner._run("reference", **self.GIBBS)
+        sharded = self._runner._run(engine, n_jobs=n_jobs,
+                                    backend="process", **self.GIBBS)
+        _assert_identical(reference, sharded)
+
+    @pytest.mark.parametrize("n_jobs", [2, 5])
+    def test_gibbs_shard_size_geometry_invariance(self, n_jobs):
+        """Seed-axis shard geometry (shard_size cuts the handle list) must
+        not matter, down to one-seed shards."""
+        serial = self._runner._run("vectorized", **self.GIBBS)
+        for shard_size in (1, 3):
+            sharded = self._runner._run(
+                "vectorized", n_jobs=n_jobs, backend="serial",
+                shard_size=shard_size, **self.GIBBS)
+            _assert_identical(serial, sharded)
+            assert sharded.sharded_windows > 0
+
+    def test_multi_seed_plans_fall_back_to_serial_sweeps(self):
+        """Tuples carrying several handles couple seeds through shared
+        state; sharding must detect that and stay serial (bit-identity
+        the easy way), serving zero prefetched windows."""
+        runner = TestMultiSeedPlans()
+        serial = runner._run("vectorized", base_seed=7)
+        catalog, plan = TestMultiSeedPlans._salary_plan()
+        params = TailParams(p=0.1, m=1, n_steps=(60,), p_steps=(0.1,))
+        sharded = GibbsLooper(
+            plan, catalog, params, 30, aggregate_kind="sum",
+            aggregate_expr=col("e2.sal") - col("e1.sal"),
+            final_predicate=col("e2.sal") > col("e1.sal"),
+            window=500, base_seed=7,
+            options=ExecutionOptions(n_jobs=2, backend="process")).run()
+        _assert_identical(serial, sharded)
+        assert sharded.sharded_windows == 0
+
+    @given(base_seed=st.integers(0, 10_000),
+           n_jobs=st.integers(2, 4),
+           aggregate_kind=st.sampled_from(["sum", "count", "avg"]))
+    @settings(max_examples=8, deadline=None)
+    def test_property_seed_sharding_invariance(self, base_seed, n_jobs,
+                                               aggregate_kind):
+        kwargs = dict(customers=10, window=80, versions=25, num_samples=12,
+                      m=2, base_seed=base_seed, aggregate_kind=aggregate_kind)
+        if aggregate_kind == "count":
+            kwargs["predicate"] = col("val") > lit(1.0)
+        _assert_identical(
+            self._runner._run("vectorized", **kwargs),
+            self._runner._run("vectorized", n_jobs=n_jobs, backend="serial",
+                              **kwargs))
+
+
+class TestWindowGrowth:
+    """``window_growth`` must change only the replenishment schedule.
+
+    Window sizing never changes which candidate is accepted — the
+    consumption pointer resumes across refuels — so samples, assignments
+    and acceptance statistics stay bit-identical while the refuel count
+    drops.
+    """
+
+    _runner = TestLooperEquivalence()
+    #: ROADMAP's lever: a window barely above the population refuels
+    #: dozens of times at fixed size.
+    HEAVY = dict(customers=10, window=45, versions=40, m=2, base_seed=5)
+
+    @staticmethod
+    def _assert_same_samples(a, b):
+        assert a.quantile_estimate == b.quantile_estimate
+        np.testing.assert_array_equal(a.samples, b.samples)
+        assert a.assignments == b.assignments
+        stats_a, stats_b = a.total_stats, b.total_stats
+        assert (stats_a.proposals, stats_a.acceptances, stats_a.stalls) == \
+            (stats_b.proposals, stats_b.acceptances, stats_b.stalls)
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_growth_preserves_results_and_cuts_refuels(self, engine):
+        flat = self._runner._run(engine, **self.HEAVY)
+        grown = self._runner._run(engine, window_growth=2.0, **self.HEAVY)
+        self._assert_same_samples(flat, grown)
+        assert flat.plan_runs > 2  # the scenario must refuel repeatedly
+        assert grown.plan_runs < flat.plan_runs
+
+    def test_growth_composes_with_seed_sharding(self):
+        flat = self._runner._run("vectorized", **self.HEAVY)
+        grown = self._runner._run("vectorized", window_growth=1.5,
+                                  n_jobs=2, backend="process", **self.HEAVY)
+        self._assert_same_samples(flat, grown)
+        assert grown.plan_runs < flat.plan_runs
+
+    @given(growth=st.sampled_from([1.3, 2.0, 3.0]),
+           base_seed=st.integers(0, 1_000))
+    @settings(max_examples=6, deadline=None)
+    def test_property_growth_invariance(self, growth, base_seed):
+        kwargs = dict(customers=10, window=50, versions=30, num_samples=15,
+                      m=2, base_seed=base_seed)
+        self._assert_same_samples(
+            self._runner._run("vectorized", **kwargs),
+            self._runner._run("vectorized", window_growth=growth, **kwargs))
