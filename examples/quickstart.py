@@ -12,6 +12,8 @@ Environment knobs (exercised by CI under both engines and all backends):
   MCDBR_REPLENISHMENT=delta|full          window-refuel strategy
   MCDBR_BACKEND=process|thread|serial     shard transport
   MCDBR_N_JOBS=<n>                        shard workers (1 = no sharding)
+  MCDBR_GIBBS_STATE=worker|broadcast      seed-state placement (stateful
+                                          workers vs snapshot re-ship)
 Every combination produces bit-identical output for the same base seed.
 """
 
@@ -28,7 +30,8 @@ options = ExecutionOptions(
     engine=os.environ.get("MCDBR_ENGINE", "vectorized"),
     replenishment=os.environ.get("MCDBR_REPLENISHMENT", "delta"),
     backend=os.environ.get("MCDBR_BACKEND", "process"),
-    n_jobs=int(os.environ.get("MCDBR_N_JOBS", "1")))
+    n_jobs=int(os.environ.get("MCDBR_N_JOBS", "1")),
+    gibbs_state=os.environ.get("MCDBR_GIBBS_STATE", "worker"))
 session = Session(base_seed=2026, tail_budget=1000, window=1000,
                   options=options)
 rng = np.random.default_rng(0)

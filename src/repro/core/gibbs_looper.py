@@ -54,7 +54,7 @@ from repro.engine.options import ExecutionOptions
 from repro.engine.table import Catalog
 
 __all__ = ["LooperStepTrace", "LooperResult", "GibbsLooper",
-           "candidate_window_matrices"]
+           "GibbsSeedShard", "candidate_window_matrices"]
 
 _SUPPORTED_AGGREGATES = ("sum", "count", "avg")
 _PROPOSAL_BATCH = 64
@@ -106,11 +106,19 @@ class LooperResult:
     full_replenish_runs: int = 0
     delta_replenish_runs: int = 0
     replenish_seconds: float = 0.0
-    #: Candidate windows served from the seed-axis shard prefetch (0 when
-    #: the run was serial, the plan was multi-seed, or the engine was
+    #: Candidate windows served by backend workers — first windows of a
+    #: sweep (both state modes) plus, under ``gibbs_state="worker"``,
+    #: follow-up windows served from worker-owned state (0 when the run
+    #: was serial, the plan was multi-seed, or the engine was
     #: ``"reference"``).  Diagnostics only — sharding never changes any
     #: other field.
     sharded_windows: int = 0
+    #: The follow-up share of ``sharded_windows``: windows beyond a
+    #: seed's first of the sweep, served by the worker owning that seed's
+    #: state (rejection-heavy seeds are what drive this up).  Always 0
+    #: under ``gibbs_state="broadcast"``, whose workers are stateless and
+    #: only ever see the pre-sweep snapshot.
+    followup_windows: int = 0
 
     @property
     def total_stats(self) -> GibbsStats:
@@ -238,12 +246,12 @@ class _WindowPrefetchJob:
     Transport economics: the tuple/state snapshot changes every sweep
     (commits mutate it), so under the process backend the job is pickled
     per sweep — unlike the Monte Carlo executor there is no cross-sweep
-    payload for the keyed shared channel to amortize.  Worth it when the
-    window evaluation (``count × width`` expression matrices per tuple)
-    outweighs the snapshot, i.e. expression-heavy plans with many
-    versions; for small plans prefer ``backend="thread"``, which shares
-    the live references and ships nothing.  (ROADMAP: worker-owned seed
-    state would amortize the snapshot across sweeps.)
+    payload for the keyed shared channel to amortize.  This is the
+    ``gibbs_state="broadcast"`` path, kept as the stateless baseline the
+    transport benchmark compares against; the default
+    ``gibbs_state="worker"`` ships the snapshot once via
+    :class:`GibbsSeedShard` and replaces the per-sweep re-ship with
+    commit notifications.
     """
 
     tasks: list[_SeedWindowTask]
@@ -260,6 +268,97 @@ class _WindowPrefetchJob:
             out.append((task.handle, task.start, task.stop, task.count,
                         matrices))
         return out
+
+
+class GibbsSeedShard:
+    """Worker-owned seed state: one contiguous TS-seed handle range.
+
+    The stateful counterpart of :class:`_WindowPrefetchJob` — instead of
+    re-shipping the mutating tuple/state snapshot every sweep, this
+    object is shipped to its owning backend worker **once**
+    (``ExecutionBackend.init_state``) and kept in sync through small
+    notifications for the rest of its life:
+
+    * ``serve_window(s)`` — evaluate candidate windows (first windows of
+      a sweep via scatter, follow-up windows for rejection-heavy seeds
+      via a synchronous call), pure reads of the owned state;
+    * ``apply_commit`` — replay one committed window's acceptances: the
+      accepted window indices plus the new per-tuple aggregate
+      contributions, a few hundred bytes against the snapshot's
+      megabytes.  Window values/presence are re-gathered from the owned
+      window arrays by index — pure gathers, so the mirror stays
+      bit-identical to the looper's live state;
+    * ``apply_clone`` — the between-step elite overwrite (Appendix A)
+      as a single source-index gather per cached array.
+
+    Why the *whole* protocol is expressible in such small messages: the
+    Gauss–Seidel sweep's running totals live in the looper — a worker
+    only ever needs a seed's own tuples, window arrays and per-version
+    caches, and on single-seed plans (the only plans sharded at all)
+    those are touched by exactly three events, all replayed above.  The
+    serial backend applies this replay to a pickled mirror, which is how
+    the property-based replay suite proves the notification stream is
+    complete without a worker pool in the loop.
+
+    State lifecycle: created fresh per query (tokens never alias across
+    queries), invalidated whenever replenishment rebuilds or re-windows
+    the tuples, and discarded at the end of the looper run — worker seed
+    state can therefore never survive a ``Catalog.version`` bump, whose
+    effects reach the looper only through a new query or a replenishment.
+    """
+
+    def __init__(self, seeds: dict, aggregate_expr: Expr | None,
+                 final_predicate: Expr | None):
+        #: handle -> (gibbs tuples, _TupleStates), this shard's range only.
+        self.seeds = seeds
+        self.aggregate_expr = aggregate_expr
+        self.final_predicate = final_predicate
+
+    def serve_window(self, handle: int, first_version: int, count: int,
+                     start: int, stop: int):
+        tuples, states = self.seeds[handle]
+        return candidate_window_matrices(
+            tuples, states, handle, self.aggregate_expr,
+            self.final_predicate, first_version, count, start, stop)
+
+    def serve_windows(self, requests: list) -> list:
+        return [
+            (handle, start, stop, count,
+             self.serve_window(handle, first_version, count, start, stop))
+            for handle, first_version, count, start, stop in requests]
+
+    def apply_commit(self, handle: int, versions: np.ndarray,
+                     indices: np.ndarray, values: np.ndarray,
+                     present: np.ndarray) -> None:
+        """Replay ``GibbsLooper._apply_acceptances`` on the owned state.
+
+        ``values``/``present`` carry the committed per-tuple aggregate
+        contributions (row ``t`` aligns with the seed's ``t``-th tuple)
+        exactly as the looper computed them, so no floating-point
+        expression is ever re-evaluated here; everything else is an
+        index gather from the owned window arrays.
+        """
+        tuples, states = self.seeds[handle]
+        for row, (gibbs_tuple, state) in enumerate(zip(tuples, states)):
+            state.value[versions] = values[row]
+            state.present[versions] = present[row]
+            for name, rand_field in gibbs_tuple.rand.items():
+                if rand_field.handle == handle:
+                    state.values[name][versions] = rand_field.values[indices]
+            for presence_field, cached in zip(gibbs_tuple.presences,
+                                              state.presence):
+                if presence_field.handle == handle:
+                    cached[versions] = presence_field.flags[indices]
+
+    def apply_clone(self, sources: np.ndarray) -> None:
+        """Replay ``GibbsLooper._clone`` on every owned seed's states."""
+        for tuples, states in self.seeds.values():
+            for state in states:
+                state.values = {name: values[sources]
+                                for name, values in state.values.items()}
+                state.presence = [flags[sources] for flags in state.presence]
+                state.value = state.value[sources]
+                state.present = state.present[sources]
 
 
 class GibbsLooper:
@@ -287,10 +386,14 @@ class GibbsLooper:
         (``"vectorized"``, default) and the scalar per-version path
         (``"reference"``); ``n_jobs > 1`` shards the seed axis of the
         vectorized kernel's candidate-window evaluation across backend
-        workers; ``window_growth > 1`` grows the refuel window
-        geometrically after each replenishment.  Every combination
-        produces bit-identical samples for the same ``base_seed`` — the
-        contract tested by ``tests/test_engine_equivalence.py``.
+        workers — stateful workers owning their handle ranges under
+        ``gibbs_state="worker"`` (the default; commit-notification
+        transport, follow-up windows served too) or stateless snapshot
+        broadcast under ``"broadcast"``; ``window_growth > 1`` grows the
+        refuel window geometrically after each replenishment.  Every
+        combination produces bit-identical samples for the same
+        ``base_seed`` — the contract tested by
+        ``tests/test_engine_equivalence.py``.
     backend:
         Persistent :class:`~repro.engine.backends.ExecutionBackend` for
         seed-axis sharding (a Session passes its pool).  ``None`` with
@@ -352,14 +455,43 @@ class GibbsLooper:
         self._window_signature: tuple | None = None
         self._single_seed = False
         self._sharded_windows = 0
+        self._followup_windows = 0
         self._owned_backend = None
+        # Worker-owned seed state (gibbs_state="worker"): the backend
+        # token, the handle -> shard ownership map, which shards still owe
+        # a scattered first-window reply, and the collected-but-unconsumed
+        # windows.  All reset by _discard_worker_state().
+        self._state_token: int | None = None
+        self._shard_of_handle: dict[int, int] = {}
+        self._state_shard_count = 0
+        self._scatter_pending: set[int] = set()
+        self._prefetched_windows: dict[int, tuple] = {}
 
     # -- public entry ---------------------------------------------------------
 
     def run(self) -> LooperResult:
         """Execute the full tail-sampling pipeline and return the result."""
+        # Worker-owned seed state never outlives the query: discard is a
+        # drain barrier, so a session's persistent pool carries zero
+        # stale Gibbs state (or stale replies) into later queries,
+        # whatever happened to this one.
         try:
-            return self._run()
+            result = self._run()
+        except BaseException:
+            # Already unwinding: the discard is pure cleanup and must not
+            # mask the original failure.
+            try:
+                self._discard_worker_state()
+            except EngineError:
+                pass
+            raise
+        else:
+            # Healthy completion: an in-worker failure first surfacing
+            # from the discard drain (a final-sweep notification that
+            # failed, with no later call to report it) is a genuine
+            # protocol error — let it fail the query loudly.
+            self._discard_worker_state()
+            return result
         finally:
             if self._owned_backend is not None:
                 self._owned_backend.close()
@@ -413,7 +545,8 @@ class GibbsLooper:
             full_replenish_runs=self._full_replenish_runs,
             delta_replenish_runs=self._delta_replenish_runs,
             replenish_seconds=self._replenish_seconds,
-            sharded_windows=self._sharded_windows)
+            sharded_windows=self._sharded_windows,
+            followup_windows=self._followup_windows)
 
     # -- ingestion and caches ---------------------------------------------------
 
@@ -662,6 +795,12 @@ class GibbsLooper:
             state.present = state.present[sources]
         self._sums = self._sums[sources]
         self._counts = self._counts[sources]
+        if self._state_token is not None:
+            # Between-step fan-out: every worker replays the elite
+            # overwrite on its owned states (the sources array is the
+            # whole message; version counts may change with it).
+            self._ensure_backend().state_cast_all(
+                self._state_token, "apply_clone", sources)
 
     # -- perturbation ------------------------------------------------------------
 
@@ -709,16 +848,10 @@ class GibbsLooper:
                 or not self._single_seed or len(self._tuples_of_seed) < 2):
             return {}
         tasks = []
-        for handle in sorted(self._tuples_of_seed):
-            ts = self._seeds[handle]
-            start, stop = ts.fresh_index_range()
-            if start >= stop:
-                continue
-            width, max_rows = self._window_geometry(stop - start, 0, 0)
-            count = min(self._version_count(), max_rows)
+        for handle, _, count, start, stop in self._first_window_requests():
             affected = self._tuples_of_seed[handle]
             tasks.append(_SeedWindowTask(
-                handle, start, start + width, count,
+                handle, start, stop, count,
                 [self._tuples[index] for index in affected],
                 [self._states[index] for index in affected]))
         if len(tasks) < 2:
@@ -734,9 +867,140 @@ class GibbsLooper:
                 prefetched[handle] = (start, stop, count, matrices)
         return prefetched
 
+    def _first_window_requests(self) -> list[tuple]:
+        """``(handle, first_version, count, start, stop)`` for every
+        non-dry seed's first window of the sweep.
+
+        The one place this geometry is derived: both sharded state
+        placements consume it, and it reproduces exactly what the serial
+        path's first ``_window_geometry`` call per seed would build —
+        which is what makes a prefetched/served first window
+        interchangeable with a locally built one.  Dry seeds are skipped:
+        the sweep replenishes when it reaches them, discarding every
+        prefetch anyway.
+        """
+        requests = []
+        for handle in sorted(self._tuples_of_seed):
+            ts = self._seeds[handle]
+            start, stop = ts.fresh_index_range()
+            if start >= stop:
+                continue
+            width, max_rows = self._window_geometry(stop - start, 0, 0)
+            count = min(self._version_count(), max_rows)
+            requests.append((handle, 0, count, start, start + width))
+        return requests
+
+    # -- worker-owned seed state (gibbs_state="worker") -----------------------
+
+    def _worker_state_enabled(self) -> bool:
+        """Stateful sharding preconditions, re-checked every sweep.
+
+        Same gate as the broadcast prefetch — vectorized engine,
+        single-seed tuples, at least two seeds split into at least two
+        shard ranges — plus the knob itself.  Multi-seed plans keep the
+        serial fallback either way.
+        """
+        options = self.options
+        if (options.gibbs_state != "worker" or options.n_jobs <= 1
+                or options.engine != "vectorized" or not self._single_seed
+                or len(self._tuples_of_seed) < 2):
+            return False
+        return len(options.shard_bounds(len(self._tuples_of_seed))) > 1
+
+    def _begin_worker_sweep(self) -> None:
+        """Init worker-owned state if needed, then scatter first windows.
+
+        The init ships each shard its handle range's tuples and states
+        exactly once (per query, and again after any replenishment
+        invalidated them); every later sweep starts with one
+        ``serve_windows`` scatter per shard — request tuples of a few
+        integers — whose replies the sweep collects lazily as it reaches
+        each shard's first handle.
+        """
+        backend = self._ensure_backend()
+        handles = sorted(self._tuples_of_seed)
+        if self._state_token is None:
+            bounds = self.options.shard_bounds(len(handles))
+            limit = backend.state_shard_limit()
+            if limit is not None and len(bounds) > limit:
+                # Ownership is per-worker on this transport (see
+                # state_shard_limit): repartition into exactly `limit`
+                # contiguous ranges.  Which partition is chosen never
+                # shows in the results — windows are computed per seed.
+                size = -(-len(handles) // limit)  # ceil division
+                bounds = [(lo, min(lo + size, len(handles)))
+                          for lo in range(0, len(handles), size)]
+            payloads = []
+            shard_of: dict[int, int] = {}
+            for shard, (lo, hi) in enumerate(bounds):
+                seeds = {}
+                for handle in handles[lo:hi]:
+                    members = self._tuples_of_seed[handle]
+                    seeds[handle] = (
+                        [self._tuples[index] for index in members],
+                        [self._states[index] for index in members])
+                    shard_of[handle] = shard
+                payloads.append(GibbsSeedShard(
+                    seeds, self.aggregate_expr, self.final_predicate))
+            self._state_token = backend.init_state(payloads)
+            self._shard_of_handle = shard_of
+            self._state_shard_count = len(bounds)
+        requests: list[list] = [[] for _ in range(self._state_shard_count)]
+        for request in self._first_window_requests():
+            requests[self._shard_of_handle[request[0]]].append(request)
+        backend.state_scatter(self._state_token, "serve_windows",
+                              [(shard_requests,) for shard_requests
+                               in requests])
+        self._scatter_pending = set(range(self._state_shard_count))
+
+    def _take_prefetched(self, handle: int):
+        """Pop ``handle``'s scattered first window, collecting its shard.
+
+        Collection is lazy per shard: the sweep blocks on a shard's reply
+        only when it reaches that shard's first handle, so later shards
+        keep computing while earlier ones are swept.
+        """
+        if self._state_token is None:
+            return None
+        shard = self._shard_of_handle.get(handle)
+        if shard is None:
+            return None
+        if shard in self._scatter_pending:
+            self._scatter_pending.discard(shard)
+            served = self._ensure_backend().state_collect(
+                self._state_token, shard)
+            for entry_handle, start, stop, count, matrices in served:
+                self._prefetched_windows[entry_handle] = (
+                    start, stop, count, matrices)
+        return self._prefetched_windows.pop(handle, None)
+
+    def _discard_worker_state(self) -> None:
+        """Invalidate worker-owned state (replenishment, end of run).
+
+        A drain barrier on the process transport: after it returns, no
+        scatter reply or notification of the old state is in flight, so
+        nothing stale can surface in a later sweep or query.
+        """
+        if self._state_token is None:
+            return
+        token, self._state_token = self._state_token, None
+        self._shard_of_handle = {}
+        self._state_shard_count = 0
+        self._scatter_pending = set()
+        self._prefetched_windows = {}
+        backend = self.backend if self.backend is not None \
+            else self._owned_backend
+        if backend is not None:
+            backend.discard_state(token)
+
     def _perturb_all_seeds(self, cutoff: float, stats: GibbsStats) -> None:
         """One systematic Gibbs step over every seed, seed-major (Sec. 7)."""
-        prefetched = self._prefetch_first_windows()
+        if self._worker_state_enabled():
+            self._begin_worker_sweep()
+            prefetched = None  # served lazily via _take_prefetched
+        else:
+            self._discard_worker_state()  # mode/plan shape may have changed
+            prefetched = self._prefetch_first_windows()
         queue = self._build_queue(resume_after=None)
         while queue and queue[0][0] != _INFINITY_KEY:
             handle = queue[0][0]
@@ -744,14 +1008,20 @@ class GibbsLooper:
             while queue and queue[0][0] == handle:
                 members.append(heapq.heappop(queue)[1])
             self._replenished_flag = False
-            self._perturb_seed(handle, cutoff, stats,
-                               prefetched.pop(handle, None))
+            if prefetched is None:
+                prefetch = self._take_prefetched(handle)
+            else:
+                prefetch = prefetched.pop(handle, None)
+            self._perturb_seed(handle, cutoff, stats, prefetch)
             if self._replenished_flag:
                 # All Gibbs tuples were discarded and recreated; empty the
                 # queue and rebuild it for the remaining handles (Sec. 9),
                 # and drop the prefetched windows — they index into the
-                # discarded tuples' old window views.
-                prefetched = {}
+                # discarded tuples' old window views.  (_replenish already
+                # discarded any worker-owned state, so _take_prefetched
+                # yields None for the rest of this sweep; the next sweep
+                # re-initializes the workers from the rebuilt state.)
+                prefetched = {} if prefetched is not None else None
                 queue = self._build_queue(resume_after=handle)
                 continue
             for index in members:
@@ -853,7 +1123,7 @@ class GibbsLooper:
             if window is None:
                 width, max_rows = self._window_geometry(
                     stop - start, consumed_total, served_total)
-                window = self._build_window(
+                window = self._next_window(
                     ts, affected, version, cutoff, start, start + width,
                     max_rows)
             accepted, consumed, version, proposals_used = self._scan_window(
@@ -926,6 +1196,8 @@ class GibbsLooper:
         rows = version_list - first_version
         cols = index_list - lo
         ts.assignment[version_list] = ts.positions[index_list]
+        committed_values = []
+        committed_present = []
         for list_pos, tuple_index in enumerate(affected):
             gibbs_tuple = self._tuples[tuple_index]
             state = self._states[tuple_index]
@@ -948,6 +1220,48 @@ class GibbsLooper:
                                               state.presence):
                 if presence_field.handle == ts.handle:
                     cached[version_list] = presence_field.flags[index_list]
+            committed_values.append(new_value)
+            committed_present.append(new_present)
+        if self._state_token is not None:
+            # Commit fan-out: notify the owning worker with the accepted
+            # indices and the committed per-tuple contributions — the full
+            # mutation, in a message a few hundred bytes long.  FIFO pipes
+            # order it before any later window request for this seed.
+            shard = self._shard_of_handle.get(ts.handle)
+            if shard is not None:
+                self._ensure_backend().state_cast(
+                    self._state_token, shard, "apply_commit", ts.handle,
+                    version_list, index_list,
+                    np.stack(committed_values), np.stack(committed_present))
+
+    def _next_window(self, ts: TSSeed, affected, first_version: int,
+                     cutoff: float, start: int, stop: int, max_rows: int):
+        """A non-prefetched window: worker-served under worker state.
+
+        With live worker-owned state the owning worker evaluates the
+        window from its mirror — rejection-heavy seeds thus keep their
+        follow-up windows off the sweep's critical path state-shipping —
+        and only the acceptance mask is derived here against the live
+        totals.  The mirror rows this reads (``first_version`` onward)
+        were last touched by *previous* sweeps' commits and clones, all
+        already notified in FIFO order, never by the current perturbation
+        call (its commits land strictly below ``first_version``), which
+        is why the served matrices are bit-identical to a local build.
+        Without worker state this is exactly ``_build_window``.
+        """
+        shard = self._shard_of_handle.get(ts.handle) \
+            if self._state_token is not None else None
+        if shard is None:
+            return self._build_window(ts, affected, first_version, cutoff,
+                                      start, stop, max_rows)
+        count = min(self._version_count() - first_version, max_rows)
+        matrices = self._ensure_backend().state_call(
+            self._state_token, shard, "serve_window",
+            ts.handle, first_version, count, start, stop)
+        self._sharded_windows += 1
+        self._followup_windows += 1
+        return self._window_from_matrices(first_version, start, stop, count,
+                                          matrices, cutoff)
 
     def _build_window(self, ts: TSSeed, affected, first_version: int,
                       cutoff: float, start: int, stop: int,
@@ -1124,6 +1438,12 @@ class GibbsLooper:
         window (the context tracks which refuels were full vs. delta).
         """
         started = time.perf_counter()
+        # Replenishment rebuilds (or re-windows) the tuples the workers'
+        # mirrors were initialized from: invalidate the worker-owned
+        # state up front.  The rest of the current sweep runs its windows
+        # locally; the next sweep re-initializes the workers from the
+        # merged state.
+        self._discard_worker_state()
         plans = {handle: ts.replenish_plan(self.window)
                  for handle, ts in self._seeds.items()}
         width = max(len(plan) for plan in plans.values())

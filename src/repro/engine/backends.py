@@ -39,6 +39,45 @@ Every backend is results-transparent: ``run_job(job, bounds)`` returns
 ``[job.run_shard(lo, hi) for lo, hi in bounds]`` exactly — same values,
 same order — whatever the transport.  The equivalence suite holds all
 three to that contract.
+
+**Worker-owned state** (the stateful Gibbs protocol).  ``run_job`` is
+stateless: the job is re-shipped every call, which is exactly wrong for
+the Gibbs sweep, whose tuple/state snapshot mutates a little every sweep
+but is re-shipped whole.  The second transport facility therefore pushes
+the state down to the workers (MCDB's "move the simulation to the data",
+Sec. 7) and keeps it there:
+
+* ``init_state(payloads)`` — ship ``payloads[shard]`` to the worker
+  owning that shard (``shard % n_workers``) and pin it there; returns an
+  integer state token.  Payloads are arbitrary objects exposing plain
+  methods.
+* ``state_call(token, shard, method, *args)`` — synchronous round-trip:
+  run ``payload.method(*args)`` on the owning worker, return the result.
+* ``state_cast(token, shard, method, *args)`` — fire-and-forget
+  notification (commit fan-out); FIFO-ordered with every other message
+  to that worker, which is what makes notify-then-serve race-free.
+* ``state_scatter(token, method, per_shard_args)`` /
+  ``state_collect(token, shard)`` — start one async call per shard, then
+  collect each shard's reply lazily (the Gibbs sweep collects a shard
+  the moment its first handle comes up).
+* ``discard_state(token)`` — drop the state everywhere.  On the process
+  transport this is a *barrier*: it drains every in-flight reply of that
+  state, so nothing stale can be mistaken for a later query's data.
+
+Per-backend state semantics (all three produce identical results):
+
+* :class:`SerialBackend` keeps a **pickled mirror** of each payload and
+  applies every cast to it — the in-process reference implementation of
+  the replay protocol, which is what lets the property-based replay
+  suite exercise mirror maintenance without process overhead.
+* :class:`ThreadBackend` holds payloads **by reference**; casts are
+  no-ops because the caller's own mutations are already visible to the
+  shared objects (zero transport, the thread backend's whole point).
+* :class:`ProcessBackend` pickles payloads once at ``init_state`` and
+  thereafter ships only the call/cast messages; any worker death or
+  in-worker error tears the pool down and surfaces as
+  :class:`~repro.engine.errors.EngineError`, and a later ``init_state``
+  respawns a clean pool (no state survives ``close()``).
 """
 
 from __future__ import annotations
@@ -61,6 +100,37 @@ __all__ = [
 _SHARED_CACHE_LIMIT = 8
 
 
+def _unknown_state_error(token, shard=None) -> EngineError:
+    """The one wording for a dead/never-lived state token."""
+    where = f"token={token}" if shard is None else \
+        f"token={token}, shard={shard}"
+    return EngineError(
+        f"unknown worker state ({where}); it was discarded or the "
+        "backend was closed")
+
+
+def _pending_reply_error(token: int, shard: int) -> EngineError:
+    """Double scatter: overwriting an uncollected reply would orphan it."""
+    return EngineError(
+        f"state {token} shard {shard} already has a scattered reply "
+        "pending; collect or discard it first")
+
+
+def _no_reply_error(token: int, shard: int) -> EngineError:
+    return EngineError(
+        f"no scattered reply pending for state {token} shard {shard}")
+
+
+class _WorkerOperationError(EngineError):
+    """A state operation failed *inside* a worker (carries its traceback).
+
+    Distinguished from plain transport death so ``discard_state`` can
+    tell a genuine protocol failure drained out of the pipes (must
+    surface — a cast with no later synchronous operation would otherwise
+    vanish) from a pool that was already reset (nothing left to report).
+    """
+
+
 def catalog_share_key(catalog) -> tuple:
     """Shared-channel key for a catalog: identity + mutation version.
 
@@ -79,8 +149,14 @@ class ExecutionBackend:
 
     ``run_job`` must behave exactly like the serial loop
     ``[job.run_shard(lo, hi) for lo, hi in bounds]``; ``close`` releases
-    any persistent workers and is idempotent (a closed backend may be
-    reused — workers respawn lazily).
+    any persistent workers *and every piece of worker-owned state* and is
+    idempotent (a closed backend may be reused — workers respawn lazily,
+    but state tokens from before the close are dead forever).
+
+    The stateful verbs (``init_state`` .. ``discard_state``) implement
+    the worker-owned-state transport described in the module docstring.
+    ``state_call``/``state_cast``/``state_scatter`` for one worker are
+    processed strictly in send order.
     """
 
     name = "abstract"
@@ -91,6 +167,52 @@ class ExecutionBackend:
     def close(self) -> None:
         raise NotImplementedError
 
+    # -- worker-owned state -----------------------------------------------
+
+    def state_shard_limit(self) -> int | None:
+        """Max shards a state may be split into (``None`` = unbounded).
+
+        The process transport bounds this at one shard per worker: with
+        several shards per worker, an uncollected (possibly huge) scatter
+        reply of one shard can block the worker's outbound pipe while
+        the parent streams casts for a co-located shard into its inbound
+        pipe — once both directions fill, parent and worker deadlock.
+        One shard per worker makes that cycle unconstructible: the
+        parent only ever sends to a worker whose scatter reply it has
+        already collected (or drains replies first — ``discard_state``
+        and the pre-send drain).
+        """
+        return None
+
+    def init_state(self, payloads: list) -> int:
+        """Pin ``payloads[shard]`` on the worker owning each shard."""
+        raise NotImplementedError
+
+    def state_call(self, token: int, shard: int, method: str, *args):
+        """Synchronous ``payload.method(*args)`` on the owning worker."""
+        raise NotImplementedError
+
+    def state_cast(self, token: int, shard: int, method: str, *args) -> None:
+        """Fire-and-forget notification to one shard's payload."""
+        raise NotImplementedError
+
+    def state_cast_all(self, token: int, method: str, *args) -> None:
+        """Fire-and-forget notification to every shard of a state."""
+        raise NotImplementedError
+
+    def state_scatter(self, token: int, method: str,
+                      per_shard_args: list) -> None:
+        """Start one async ``payload.method(*args)`` per shard."""
+        raise NotImplementedError
+
+    def state_collect(self, token: int, shard: int):
+        """Wait for and return one shard's scattered reply."""
+        raise NotImplementedError
+
+    def discard_state(self, token: int) -> None:
+        """Drop a state everywhere and drain its in-flight replies."""
+        raise NotImplementedError
+
     def __enter__(self):
         return self
 
@@ -99,20 +221,135 @@ class ExecutionBackend:
         return False
 
 
-class SerialBackend(ExecutionBackend):
-    """In-process, in-order execution — the reference transport."""
+class _InProcessStateStore:
+    """Shared worker-owned-state bookkeeping for the in-process backends.
+
+    Serial and thread transports keep the whole token lifecycle — the
+    token counter, the per-token shard lists, the scattered-reply store,
+    liveness errors, collection and discard-draining — in one place so
+    the two cannot drift; they differ only in what a stored payload *is*
+    (pickled mirror vs live reference), what a scatter entry resolves to
+    (a value vs a future), and whether casts apply.
+    """
+
+    def _init_state_store(self) -> None:
+        self._states: dict[int, list] = {}
+        self._scattered: dict[tuple[int, int], object] = {}
+        self._next_token = 0
+
+    def _store_state(self, payloads: list) -> int:
+        token = self._next_token
+        self._next_token += 1
+        self._states[token] = payloads
+        return token
+
+    def _drop_all_state(self) -> None:
+        # State tokens die with the backend, exactly like the process
+        # transport (where close() kills the workers holding the state).
+        for key in list(self._scattered):
+            self._drain_entry(self._scattered.pop(key))
+        self._states = {}
+
+    def _shard(self, token: int, shard: int):
+        try:
+            return self._states[token][shard]
+        except (KeyError, IndexError):
+            raise _unknown_state_error(token, shard) from None
+
+    def _check_token(self, token: int) -> None:
+        if token not in self._states:
+            raise _unknown_state_error(token)
+
+    def _check_no_pending(self, token: int, shards: int) -> None:
+        for shard in range(shards):
+            if (token, shard) in self._scattered:
+                raise _pending_reply_error(token, shard)
+
+    @staticmethod
+    def _resolve_entry(entry):
+        return entry
+
+    @staticmethod
+    def _drain_entry(entry) -> None:
+        pass
+
+    def state_call(self, token: int, shard: int, method: str, *args):
+        return getattr(self._shard(token, shard), method)(*args)
+
+    def state_collect(self, token: int, shard: int):
+        try:
+            entry = self._scattered.pop((token, shard))
+        except KeyError:
+            raise _no_reply_error(token, shard) from None
+        return self._resolve_entry(entry)
+
+    def discard_state(self, token: int) -> None:
+        for key in [key for key in self._scattered if key[0] == token]:
+            self._drain_entry(self._scattered.pop(key))
+        self._states.pop(token, None)
+
+
+class SerialBackend(_InProcessStateStore, ExecutionBackend):
+    """In-process, in-order execution — the reference transport.
+
+    Worker-owned state is held as a **pickled mirror**: ``init_state``
+    round-trips every payload through pickle and every cast is applied to
+    the copy, never to the caller's live objects.  That makes the serial
+    backend the reference implementation of the replay semantics the
+    process transport relies on — if a notification stream under-specifies
+    the mutation, the mirror diverges and the equivalence suite catches
+    it in-process, with no worker pool in the loop.
+    """
 
     name = "serial"
+
+    def __init__(self):
+        self._init_state_store()
 
     def run_job(self, job, bounds) -> list:
         return [job.run_shard(lo, hi) for lo, hi in bounds]
 
     def close(self) -> None:
-        pass
+        self._drop_all_state()
+
+    # -- worker-owned state (pickled mirror) --------------------------------
+
+    def init_state(self, payloads: list) -> int:
+        return self._store_state([
+            pickle.loads(pickle.dumps(payload,
+                                      protocol=pickle.HIGHEST_PROTOCOL))
+            for payload in payloads])
+
+    def state_cast(self, token: int, shard: int, method: str, *args) -> None:
+        getattr(self._shard(token, shard), method)(*args)
+
+    def state_cast_all(self, token: int, method: str, *args) -> None:
+        self._check_token(token)
+        for payload in self._states[token]:
+            getattr(payload, method)(*args)
+
+    def state_scatter(self, token: int, method: str,
+                      per_shard_args: list) -> None:
+        # Computed eagerly from the mirror — the mirror is the pre-sweep
+        # snapshot either way, so laziness would change nothing.
+        self._check_no_pending(token, len(per_shard_args))
+        for shard, args in enumerate(per_shard_args):
+            self._scattered[(token, shard)] = \
+                getattr(self._shard(token, shard), method)(*args)
 
 
-class ThreadBackend(ExecutionBackend):
-    """Persistent thread pool; jobs shared by reference, never pickled."""
+class ThreadBackend(_InProcessStateStore, ExecutionBackend):
+    """Persistent thread pool; jobs shared by reference, never pickled.
+
+    Worker-owned state is likewise held **by reference** — the "worker's"
+    state IS the caller's live objects.  Casts are therefore deliberate
+    no-ops beyond a liveness check: the caller has already applied the
+    mutation to the shared objects, and re-applying a non-idempotent
+    notification (a clone gather, say) would corrupt them.  Only
+    ``state_scatter`` touches the pool — it is the expensive window
+    evaluation; calls and casts run inline on the caller's thread, which
+    also gives the FIFO ordering the protocol promises for free.
+    """
 
     name = "thread"
 
@@ -121,23 +358,63 @@ class ThreadBackend(ExecutionBackend):
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
         self.n_workers = n_workers
         self._pool: ThreadPoolExecutor | None = None
+        self._init_state_store()
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.n_workers,
+                thread_name_prefix="mcdbr-shard")
+        return self._pool
 
     def run_job(self, job, bounds) -> list:
         bounds = list(bounds)
         if len(bounds) <= 1:
             return [job.run_shard(lo, hi) for lo, hi in bounds]
-        if self._pool is None:
-            self._pool = ThreadPoolExecutor(
-                max_workers=self.n_workers,
-                thread_name_prefix="mcdbr-shard")
-        futures = [self._pool.submit(job.run_shard, lo, hi)
+        pool = self._ensure_pool()
+        futures = [pool.submit(job.run_shard, lo, hi)
                    for lo, hi in bounds]
         return [future.result() for future in futures]
 
     def close(self) -> None:
+        # Drain scatter work before dropping the references: a live
+        # future must not keep mutating/reading state the caller believes
+        # released (the stale-state leak the lifecycle tests pin down).
+        self._drop_all_state()
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+
+    # -- worker-owned state (by reference) ----------------------------------
+
+    @staticmethod
+    def _resolve_entry(entry):
+        return entry.result()
+
+    @staticmethod
+    def _drain_entry(entry) -> None:
+        try:
+            entry.result()  # drain: no work may outlive the state
+        except BaseException:
+            pass
+
+    def init_state(self, payloads: list) -> int:
+        return self._store_state(list(payloads))
+
+    def state_cast(self, token: int, shard: int, method: str, *args) -> None:
+        self._shard(token, shard)  # liveness check only: state is shared
+        # by reference, so the caller's own mutation is already visible.
+
+    def state_cast_all(self, token: int, method: str, *args) -> None:
+        self._check_token(token)
+
+    def state_scatter(self, token: int, method: str,
+                      per_shard_args: list) -> None:
+        self._check_no_pending(token, len(per_shard_args))
+        pool = self._ensure_pool()
+        for shard, args in enumerate(per_shard_args):
+            self._scattered[(token, shard)] = pool.submit(
+                getattr(self._shard(token, shard), method), *args)
 
 
 class _WorkerHandle:
@@ -155,12 +432,17 @@ def _worker_main(conn) -> None:
     """Worker loop: install broadcast payloads, run ``(job_id, lo, hi)``.
 
     ``jobs`` holds the per-query broadcast payloads, ``shared`` the keyed
-    cross-query channel (catalogs).  Shard results — or a formatted
-    traceback on failure — go back on the same pipe tagged with the task
-    index so the parent can merge out-of-order completions.
+    cross-query channel (catalogs), ``states`` the worker-owned shard
+    payloads of the stateful Gibbs protocol, keyed ``(token, shard)``.
+    Shard/state results — or a formatted traceback on failure — go back on
+    the same pipe tagged with the task index / call ticket so the parent
+    can merge out-of-order completions.  A cast has no reply slot, so its
+    failure goes back tagged ``None``; the parent treats any error reply
+    as fatal wherever it surfaces and resets the pool.
     """
     jobs: dict[int, object] = {}
     shared: dict[tuple, object] = {}
+    states: dict[tuple[int, int], object] = {}
     while True:
         try:
             message = conn.recv()
@@ -185,10 +467,46 @@ def _worker_main(conn) -> None:
             elif kind == "run":
                 _, job_id, index, lo, hi = message
                 conn.send(("ok", index, jobs[job_id].run_shard(lo, hi)))
+            elif kind == "sinit":
+                # The payload rides as a nested blob (like "job") so an
+                # unpickling failure lands in THIS handler and goes back
+                # as a real traceback, instead of escaping conn.recv()
+                # and killing the worker loop silently.
+                _, token, shard, blob = message
+                states[(token, shard)] = pickle.loads(blob)
+            elif kind == "scall":
+                _, token, shard, ticket, method, args = message
+                payload = states.get((token, shard))
+                if payload is None:
+                    raise EngineError(
+                        f"worker holds no state (token={token}, "
+                        f"shard={shard}); it was discarded or the pool "
+                        "was respawned since init_state")
+                conn.send(("ok", ticket, getattr(payload, method)(*args)))
+            elif kind == "scast":
+                _, token, shard, method, args = message
+                payload = states.get((token, shard))
+                if payload is None:
+                    raise EngineError(
+                        f"worker holds no state (token={token}, "
+                        f"shard={shard}) for notification {method!r}")
+                getattr(payload, method)(*args)
+            elif kind == "sdrop":
+                _, token, ticket = message
+                for key in [key for key in states if key[0] == token]:
+                    del states[key]
+                conn.send(("ok", ticket, None))
         except BaseException:
-            index = message[2] if kind == "run" else None
+            if kind == "run":
+                reply_slot = message[2]
+            elif kind == "scall":
+                reply_slot = message[3]
+            elif kind == "sdrop":
+                reply_slot = message[2]
+            else:
+                reply_slot = None
             try:
-                conn.send(("error", index, traceback.format_exc()))
+                conn.send(("error", reply_slot, traceback.format_exc()))
             except (BrokenPipeError, OSError):
                 break
     conn.close()
@@ -213,14 +531,27 @@ class ProcessBackend(ExecutionBackend):
         self.n_workers = n_workers
         self._workers: list[_WorkerHandle] = []
         self._next_job_id = 0
+        self._next_state_token = 0
+        self._next_ticket = 0
         self._shared_cache: dict[tuple, tuple] = {}  # key -> (obj, blob)
+        self._state_shards: dict[int, int] = {}      # token -> shard count
+        self._scatter_tickets: dict[tuple[int, int], int] = {}
+        self._replies: dict[int, object] = {}        # stashed out-of-order
         #: Transport accounting, exposed for the scaling benchmark and the
         #: payload regression tests: ``jobs``/``tasks`` count dispatches,
         #: ``job_bytes`` is the last broadcast blob size, ``task_bytes``
         #: the last task message size, ``shared_pickles``/``shared_sends``
         #: count keyed-channel work (pickles happen once per key).
+        #: ``sent_bytes`` accumulates every parent->worker payload byte
+        #: (job broadcasts x recipients, shared-channel sends, run tasks,
+        #: and all stateful-protocol messages); ``state_init_bytes`` /
+        #: ``state_msg_bytes`` split out the worker-owned-state share so
+        #: the Gibbs transport benchmark can separate the one-off snapshot
+        #: ship from the per-sweep notification traffic.
         self.stats = {"jobs": 0, "tasks": 0, "job_bytes": 0, "task_bytes": 0,
-                      "shared_pickles": 0, "shared_sends": 0, "spawns": 0}
+                      "shared_pickles": 0, "shared_sends": 0, "spawns": 0,
+                      "sent_bytes": 0, "state_inits": 0, "state_init_bytes": 0,
+                      "state_calls": 0, "state_casts": 0, "state_msg_bytes": 0}
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -259,6 +590,13 @@ class ProcessBackend(ExecutionBackend):
             worker.conn.close()
         self._workers = []
         self._shared_cache = {}
+        # Worker-owned state dies with the workers: every live token is
+        # dead from here on (state calls raise EngineError, they never
+        # lazily respawn a pool that no longer holds the state), and no
+        # in-flight reply can leak into a respawned pool's traffic.
+        self._state_shards = {}
+        self._scatter_tickets = {}
+        self._replies = {}
 
     # -- transport -----------------------------------------------------------
 
@@ -289,6 +627,7 @@ class ProcessBackend(ExecutionBackend):
         worker.conn.send(("share", key, self._shared_cache[key][1]))
         worker.shared_keys.add(key)
         self.stats["shared_sends"] += 1
+        self.stats["sent_bytes"] += len(self._shared_cache[key][1])
 
     def run_job(self, job, bounds) -> list:
         bounds = list(bounds)
@@ -307,6 +646,7 @@ class ProcessBackend(ExecutionBackend):
                 for key, obj in shared.items():
                     self._send_shared(worker, key, obj)
                 worker.conn.send(("job", job_id, blob))
+                self.stats["sent_bytes"] += len(blob)
             results = self._dispatch(active, job_id, bounds)
             for worker in active:
                 worker.conn.send(("forget", job_id))
@@ -350,6 +690,7 @@ class ProcessBackend(ExecutionBackend):
                 return
             index, (lo, hi) = task
             self.stats["tasks"] += 1
+            self.stats["sent_bytes"] += self.stats["task_bytes"]
             conn.send(self.task_message(job_id, index, lo, hi))
             busy[conn] = index
             outstanding += 1
@@ -372,6 +713,178 @@ class ProcessBackend(ExecutionBackend):
                 outstanding -= 1
                 feed(conn)
         return results
+
+    # -- worker-owned state --------------------------------------------------
+
+    def state_shard_limit(self) -> int | None:
+        return self.n_workers
+
+    def _worker_for(self, shard: int) -> _WorkerHandle:
+        if not self._workers:
+            raise EngineError(
+                "no live worker pool holds this state (the backend was "
+                "closed or reset); re-run init_state on the fresh pool")
+        return self._workers[shard % len(self._workers)]
+
+    def _send_state_message(self, worker: _WorkerHandle, message) -> int:
+        """Pickle + ship one stateful-protocol message, counting bytes.
+
+        ``Connection.send`` is pickle-then-``send_bytes`` internally, so
+        pickling here ourselves costs nothing extra and gives the
+        transport accounting exact byte counts.  Any reply already
+        sitting in the worker's outbound pipe is drained into the stash
+        first: a worker blocked mid-write can then finish and get back to
+        reading its inbox, so this send can never wedge against it
+        (deadlock-freedom, belt to ``state_shard_limit``'s suspenders).
+        """
+        blob = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+        try:
+            while worker.conn.poll(0):
+                status, got, payload = worker.conn.recv()
+                if status == "error":
+                    self.close()
+                    raise _WorkerOperationError(
+                        "stateful Gibbs operation failed in worker:\n"
+                        f"{payload}")
+                self._replies[got] = payload
+            worker.conn.send_bytes(blob)
+        except (BrokenPipeError, OSError, EOFError) as exc:
+            self.close()
+            raise EngineError(
+                f"stateful worker process died ({exc}); the worker pool "
+                "has been reset") from exc
+        self.stats["sent_bytes"] += len(blob)
+        return len(blob)
+
+    def _await_reply(self, worker: _WorkerHandle, ticket: int):
+        """Wait for one ticketed reply, stashing out-of-order arrivals.
+
+        Several shards can live on one worker, so an uncollected scatter
+        reply may sit in the pipe ahead of the reply we want; it is kept
+        for its own ``state_collect``.  Any error reply — whatever ticket
+        it carries, including the ``None`` of a failed cast — resets the
+        pool and raises: after an error the mirror state is unreliable
+        and no stale reply may survive into later traffic.
+        """
+        if ticket in self._replies:
+            return self._replies.pop(ticket)
+        while True:
+            try:
+                reply = worker.conn.recv()
+            except (EOFError, OSError):
+                self.close()
+                raise EngineError(
+                    "stateful worker process died; the worker pool has "
+                    "been reset") from None
+            status, got, payload = reply
+            if status == "error":
+                self.close()
+                raise _WorkerOperationError(
+                    f"stateful Gibbs operation failed in worker:\n{payload}")
+            if got == ticket:
+                return payload
+            self._replies[got] = payload
+
+    def init_state(self, payloads: list) -> int:
+        self._ensure_workers()
+        token = self._next_state_token
+        self._next_state_token += 1
+        self._state_shards[token] = len(payloads)
+        self.stats["state_inits"] += 1
+        for shard, payload in enumerate(payloads):
+            blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+            sent = self._send_state_message(
+                self._worker_for(shard), ("sinit", token, shard, blob))
+            self.stats["state_init_bytes"] += sent
+        return token
+
+    def _check_token(self, token: int) -> None:
+        if token not in self._state_shards:
+            raise _unknown_state_error(token)
+
+    def state_call(self, token: int, shard: int, method: str, *args):
+        self._check_token(token)
+        worker = self._worker_for(shard)
+        ticket = self._next_ticket
+        self._next_ticket += 1
+        self.stats["state_calls"] += 1
+        self.stats["state_msg_bytes"] += self._send_state_message(
+            worker, ("scall", token, shard, ticket, method, args))
+        return self._await_reply(worker, ticket)
+
+    def state_cast(self, token: int, shard: int, method: str, *args) -> None:
+        self._check_token(token)
+        self.stats["state_casts"] += 1
+        self.stats["state_msg_bytes"] += self._send_state_message(
+            self._worker_for(shard), ("scast", token, shard, method, args))
+
+    def state_cast_all(self, token: int, method: str, *args) -> None:
+        self._check_token(token)
+        for shard in range(self._state_shards[token]):
+            self.state_cast(token, shard, method, *args)
+
+    def state_scatter(self, token: int, method: str,
+                      per_shard_args: list) -> None:
+        self._check_token(token)
+        for shard in range(len(per_shard_args)):
+            if (token, shard) in self._scatter_tickets:
+                raise _pending_reply_error(token, shard)
+        for shard, args in enumerate(per_shard_args):
+            worker = self._worker_for(shard)
+            ticket = self._next_ticket
+            self._next_ticket += 1
+            self._scatter_tickets[(token, shard)] = ticket
+            self.stats["state_calls"] += 1
+            self.stats["state_msg_bytes"] += self._send_state_message(
+                worker, ("scall", token, shard, ticket, method, args))
+
+    def state_collect(self, token: int, shard: int):
+        try:
+            ticket = self._scatter_tickets.pop((token, shard))
+        except KeyError:
+            raise _no_reply_error(token, shard) from None
+        return self._await_reply(self._worker_for(shard), ticket)
+
+    def discard_state(self, token: int) -> None:
+        """Drop a state and drain its in-flight replies (a barrier).
+
+        ``sdrop`` is acknowledged, and pipes are FIFO, so once every
+        owning worker has acked, no reply belonging to this state — an
+        uncollected scatter result, a late cast error — can still be in
+        flight.  Tolerant of a dead/closed pool (discarding is cleanup;
+        the caller may already be unwinding an EngineError), but a
+        genuine in-worker failure first *discovered* by this drain — a
+        notification that failed with no later synchronous operation to
+        surface it — is re-raised after the bookkeeping is cleared: a
+        diverged mirror must never be silent.
+        """
+        shards = self._state_shards.pop(token, None)
+        stale = [self._scatter_tickets.pop(key)
+                 for key in [key for key in self._scatter_tickets
+                             if key[0] == token]]
+        failure = None
+        if shards is not None and self._workers:
+            involved = {shard % len(self._workers)
+                        for shard in range(shards)}
+            for index in involved:
+                worker = self._workers[index]
+                ticket = self._next_ticket
+                self._next_ticket += 1
+                try:
+                    self._send_state_message(worker,
+                                             ("sdrop", token, ticket))
+                    self._await_reply(worker, ticket)
+                except _WorkerOperationError as exc:
+                    failure = exc  # pool reset by the raise; stop draining
+                    break
+                except EngineError:
+                    # Pool already reset (worker death): nothing left to
+                    # drain, and nothing new to report.
+                    break
+        for ticket in stale:
+            self._replies.pop(ticket, None)
+        if failure is not None:
+            raise failure
 
 
 def make_backend(options) -> ExecutionBackend:

@@ -26,14 +26,21 @@ enforced by ``tests/test_engine_equivalence.py``.
   (:mod:`repro.engine.backends`): ``"process"`` (persistent worker pool,
   broadcast-once job transport), ``"thread"``, or ``"serial"`` (the
   sharded code paths without any concurrency).
+
+* ``gibbs_state`` selects where the tail path's seed state *lives*:
+  ``"worker"`` (default) pins each handle range's tuples/states on its
+  owning worker across sweeps — commit notifications instead of per-sweep
+  snapshot re-ships, follow-up windows served by the owner — while
+  ``"broadcast"`` keeps the stateless snapshot-per-sweep transport.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
 __all__ = ["ENGINES", "BACKENDS", "REPLENISHMENT_MODES", "DET_CACHE_MODES",
-           "ExecutionOptions"]
+           "GIBBS_STATE_MODES", "ExecutionOptions"]
 
 #: Supported Gibbs perturbation kernels.
 ENGINES = ("vectorized", "reference")
@@ -56,6 +63,21 @@ REPLENISHMENT_MODES = ("delta", "full")
 #: cache to one plan execution context (the seed behavior); ``"off"``
 #: disables caching entirely.
 DET_CACHE_MODES = ("session", "context", "off")
+
+#: Gibbs seed-axis state placement.  ``"worker"`` (default) makes backend
+#: workers *stateful*: each owns the tuples/states of its TS-seed handle
+#: range across sweeps, receives only per-commit notifications, and
+#: serves follow-up windows for rejection-heavy seeds.  ``"broadcast"``
+#: keeps the stateless PR-3 transport (the pre-sweep snapshot shipped
+#: whole, first windows only), retained as the comparison baseline.
+GIBBS_STATE_MODES = ("worker", "broadcast")
+
+#: Env-overridable default so CI can run whole suites under either
+#: placement (``MCDBR_GIBBS_STATE=worker|broadcast``) without threading
+#: the knob through every construction site.  Read once at import —
+#: options constructed at different times inside one process can never
+#: silently disagree.
+_DEFAULT_GIBBS_STATE = os.environ.get("MCDBR_GIBBS_STATE", "worker")
 
 
 @dataclass(frozen=True)
@@ -103,6 +125,15 @@ class ExecutionOptions:
         (the consumption pointer walks the same stream either way), so
         results stay bit-identical — only the replenishment schedule,
         and therefore ``plan_runs``, shrinks.
+    gibbs_state:
+        Seed-axis state placement for sharded Gibbs sweeps.
+        ``"worker"`` (default; env override ``MCDBR_GIBBS_STATE``) pins
+        each TS-seed handle range's tuples/states on its owning backend
+        worker for the life of the query: the snapshot ships once, every
+        sweep thereafter sends only commit/clone notifications, and the
+        owning worker serves follow-up windows too.  ``"broadcast"``
+        re-ships the pre-sweep snapshot every sweep (the stateless
+        transport, kept for comparison).  Bit-identical either way.
     """
 
     engine: str = "vectorized"
@@ -112,6 +143,7 @@ class ExecutionOptions:
     replenishment: str = "delta"
     det_cache: str = "session"
     window_growth: float = 1.0
+    gibbs_state: str = _DEFAULT_GIBBS_STATE
 
     def __post_init__(self):
         if self.engine not in ENGINES:
@@ -136,6 +168,10 @@ class ExecutionOptions:
             raise ValueError(
                 f"unknown det_cache mode {self.det_cache!r}; "
                 f"supported: {DET_CACHE_MODES}")
+        if self.gibbs_state not in GIBBS_STATE_MODES:
+            raise ValueError(
+                f"unknown gibbs_state mode {self.gibbs_state!r}; "
+                f"supported: {GIBBS_STATE_MODES}")
 
     @property
     def sharded(self) -> bool:

@@ -93,8 +93,17 @@ class Session:
     under ``backend="process"`` a pool of worker processes spawned on the
     first sharded query and reused by every later one, with the catalog
     broadcast to each worker once per
-    :attr:`~repro.engine.table.Catalog.version`.  Call :meth:`close` (or
-    use the session as a context manager) to release the pool::
+    :attr:`~repro.engine.table.Catalog.version`.  Tail queries
+    additionally pin per-query *worker-owned Gibbs seed state* on the
+    pool (``gibbs_state="worker"``, the default): each worker keeps its
+    TS-seed handle range's tuples/states across sweeps and is kept in
+    sync by commit notifications.  That state is scoped strictly to one
+    query — the looper discards it (a drain barrier) before returning,
+    so the persistent pool never carries stale seed state or in-flight
+    replies across queries, catalog mutations
+    (``Catalog.version`` bumps), or a :meth:`close`/respawn cycle.  Call
+    :meth:`close` (or use the session as a context manager) to release
+    the pool::
 
         with Session(options=ExecutionOptions(n_jobs=4)) as session:
             ...
@@ -138,7 +147,9 @@ class Session:
 
     def close(self) -> None:
         """Shut down the worker pool (idempotent; the session stays usable —
-        a later sharded query simply spawns a fresh pool)."""
+        a later sharded query simply spawns a fresh pool).  Any
+        worker-owned Gibbs state dies with the workers: state tokens from
+        before the close can never resolve against the respawned pool."""
         if self._backend is not None:
             self._backend.close()
             self._backend = None

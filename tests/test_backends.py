@@ -1,6 +1,6 @@
 """The execution-backend layer: transports, pool lifecycle, payloads.
 
-Three contracts pinned down here:
+Four contracts pinned down here:
 
 * **Results transparency** — ``run_job(job, bounds)`` returns exactly
   ``[job.run_shard(lo, hi) for lo, hi in bounds]`` on every backend (the
@@ -14,13 +14,26 @@ Three contracts pinned down here:
 * **Det-cache shard semantics** — workers are pre-warmed with a snapshot
   of the session cache at broadcast time; worker-local fills never flow
   back to the session.
+* **Worker-owned state** — the stateful Gibbs protocol: state ships once
+  at ``init_state`` and evolves only through notifications; per-sweep
+  traffic is commit messages, never snapshot re-ships; any worker death
+  or in-state error tears the pool down into a clean ``EngineError``
+  carrying the worker traceback, discarding is a stale-reply drain
+  barrier, and no state survives ``close()`` or a ``Catalog.version``
+  bump — a fresh query on the same session respawns workers with fresh
+  state (no hang, no stale replies).
 """
 
+import multiprocessing
+import os
 import pickle
+import signal
 
 import numpy as np
 import pytest
 
+from repro.core.gibbs_looper import GibbsLooper
+from repro.core.params import TailParams
 from repro.engine.backends import (
     ProcessBackend, SerialBackend, ThreadBackend, catalog_share_key,
     make_backend)
@@ -47,6 +60,54 @@ class SpanJob:
 class FailingJob:
     def run_shard(self, lo, hi):
         raise ValueError(f"boom at {lo}")
+
+
+class LedgerState:
+    """Stateful payload for the worker-owned-state protocol tests."""
+
+    def __init__(self, label, entries):
+        self.label = label
+        self.entries = list(entries)
+
+    def record(self, *values):          # notification target
+        self.entries.extend(values)
+
+    def total(self):                    # synchronous-call target
+        return (self.label, sum(self.entries))
+
+    def span(self, lo, hi):             # scatter target
+        return (self.label, list(self.entries[lo:hi]))
+
+
+class ExplodingState:
+    def boom(self):
+        raise ValueError("state op exploded")
+
+    def ok(self):
+        return "fine"
+
+
+class SuicidalState:
+    """Simulates a worker lost to the OS (OOM kill, crash) mid-operation."""
+
+    def die(self):
+        os.kill(os.getpid(), signal.SIGKILL)
+
+    def ok(self):
+        return "alive"
+
+
+class UnpicklableState:
+    """Pickles fine parent-side, explodes when the worker unpickles it."""
+
+    def __init__(self):
+        self.payload = "present"  # non-empty state so __setstate__ runs
+
+    def __setstate__(self, state):
+        raise RuntimeError("worker-side unpickle exploded")
+
+    def ok(self):
+        return "fine"
 
 
 class SharedArrayJob:
@@ -460,3 +521,381 @@ class TestSessionPoolLifecycle:
         session.execute(self.MC_QUERY)
         assert session.backend is None
         session.close()
+
+
+def _tail_looper(backend=None, n_jobs=2, gibbs_state="worker",
+                 customers=24, window=4000, versions=40, num_samples=20,
+                 m=2, k=2, p_step=0.2, base_seed=9, backend_name="process"):
+    """A rejection-heavy, replenishment-free Gibbs workload.
+
+    ``window`` far exceeds what ``m * k`` sweeps consume, so the run has
+    ``plan_runs == 1`` — under worker state the snapshot therefore ships
+    exactly once and everything after sweep 1 is pure notifications,
+    which is what the transport regression pins.
+    """
+    catalog = Catalog()
+    catalog.add_table(Table("means", {
+        "CID": np.arange(customers),
+        "m": np.linspace(0.8, 3.5, customers)}))
+    spec = RandomTableSpec(
+        name="Losses", parameter_table="means", vg=NORMAL,
+        vg_params=(col("m"), lit(1.0)),
+        random_columns=(RandomColumnSpec("val"),),
+        passthrough_columns=("CID",))
+    params = TailParams(p=p_step ** m, m=m, n_steps=(versions,) * m,
+                        p_steps=(p_step,) * m)
+    return GibbsLooper(
+        random_table_pipeline(spec), catalog, params, num_samples,
+        aggregate_kind="sum", aggregate_expr=col("val"),
+        window=window, base_seed=base_seed, k=k,
+        options=ExecutionOptions(n_jobs=n_jobs, backend=backend_name,
+                                 gibbs_state=gibbs_state),
+        backend=backend)
+
+
+class TestWorkerStateProtocol:
+    """init_state / call / cast / scatter / collect / discard round-trips."""
+
+    def test_process_roundtrip_and_ownership(self):
+        backend = ProcessBackend(2)
+        try:
+            # Three shards on two workers: shard 2 shares worker 0.
+            token = backend.init_state([
+                LedgerState("a", [1, 2]), LedgerState("b", [3]),
+                LedgerState("c", [4])])
+            assert backend.state_call(token, 0, "total") == ("a", 3)
+            assert backend.state_call(token, 2, "total") == ("c", 4)
+            backend.state_cast(token, 1, "record", 10, 20)
+            assert backend.state_call(token, 1, "total") == ("b", 33)
+            backend.state_cast_all(token, "record", 100)
+            assert backend.state_call(token, 0, "total") == ("a", 103)
+            assert backend.state_call(token, 2, "total") == ("c", 104)
+            backend.discard_state(token)
+            with pytest.raises(EngineError, match="unknown worker state"):
+                backend.state_call(token, 0, "total")
+        finally:
+            backend.close()
+
+    def test_process_scatter_collects_in_any_order(self):
+        """Out-of-order collection across shards co-located on one worker
+        must not cross replies (the ticket stash)."""
+        backend = ProcessBackend(2)
+        try:
+            token = backend.init_state([
+                LedgerState(str(shard), range(shard, shard + 4))
+                for shard in range(4)])
+            backend.state_scatter(token, "span",
+                                  [(0, 2), (1, 3), (0, 4), (2, 4)])
+            assert backend.state_collect(token, 3) == ("3", [5, 6])
+            assert backend.state_collect(token, 0) == ("0", [0, 1])
+            assert backend.state_collect(token, 2) == ("2", [2, 3, 4, 5])
+            assert backend.state_collect(token, 1) == ("1", [2, 3])
+        finally:
+            backend.close()
+
+    def test_discard_drains_uncollected_scatter_replies(self):
+        """A state discarded with replies still in flight must not leak
+        them into later traffic (the drain barrier)."""
+        backend = ProcessBackend(2)
+        try:
+            token = backend.init_state([LedgerState("x", [1]),
+                                        LedgerState("y", [2])])
+            backend.state_scatter(token, "total", [(), ()])
+            backend.discard_state(token)  # never collected
+            with pytest.raises(EngineError, match="no scattered reply"):
+                backend.state_collect(token, 0)
+            fresh = backend.init_state([LedgerState("f", [7]),
+                                        LedgerState("g", [8])])
+            backend.state_scatter(fresh, "total", [(), ()])
+            assert backend.state_collect(fresh, 0) == ("f", 7)
+            assert backend.state_collect(fresh, 1) == ("g", 8)
+        finally:
+            backend.close()
+
+    @pytest.mark.parametrize("backend_name", BACKENDS)
+    def test_double_scatter_is_a_protocol_error(self, backend_name):
+        """Re-scattering over an uncollected reply would orphan it (and
+        its stash slot, on the process transport) — every backend must
+        refuse, leaving the first reply collectable."""
+        backend = _make_backend(backend_name)
+        try:
+            token = backend.init_state([LedgerState("a", [1])])
+            backend.state_scatter(token, "total", [()])
+            with pytest.raises(EngineError, match="already has a scattered"):
+                backend.state_scatter(token, "total", [()])
+            assert backend.state_collect(token, 0) == ("a", 1)
+        finally:
+            backend.close()
+
+    def test_serial_state_is_a_pickled_mirror(self):
+        """The serial backend must mirror, not alias: casts apply to the
+        pickled copy and never to the caller's live object — that is
+        what makes it the replay reference implementation."""
+        payload = LedgerState("m", [1])
+        backend = SerialBackend()
+        token = backend.init_state([payload])
+        backend.state_cast(token, 0, "record", 41)
+        assert backend.state_call(token, 0, "total") == ("m", 42)
+        assert payload.entries == [1]  # caller's object untouched
+        payload.entries.append(999)    # …and mirror blind to caller edits
+        assert backend.state_call(token, 0, "total") == ("m", 42)
+
+    def test_thread_state_is_shared_by_reference(self):
+        """The thread backend holds the live object: the caller's own
+        mutations are the state, and casts are deliberate no-ops (they
+        would double-apply)."""
+        payload = LedgerState("t", [1])
+        backend = ThreadBackend(2)
+        try:
+            token = backend.init_state([payload])
+            payload.record(41)  # caller applies; cast must not re-apply
+            backend.state_cast(token, 0, "record", 41)
+            assert backend.state_call(token, 0, "total") == ("t", 42)
+            backend.state_scatter(token, "span", [(0, 2)])
+            assert backend.state_collect(token, 0) == ("t", [1, 41])
+        finally:
+            backend.close()
+
+
+class TestWorkerStateFaults:
+    """Fault injection: every failure is a clean EngineError + pool reset."""
+
+    def test_state_error_carries_traceback_and_resets_pool(self):
+        backend = ProcessBackend(2)
+        try:
+            token = backend.init_state([ExplodingState(), ExplodingState()])
+            assert backend.state_call(token, 0, "ok") == "fine"
+            with pytest.raises(EngineError, match="state op exploded"):
+                backend.state_call(token, 1, "boom")
+            assert backend.workers_alive == 0  # pool reset, no stale replies
+            fresh = backend.init_state([ExplodingState()])  # respawns
+            assert backend.state_call(fresh, 0, "ok") == "fine"
+        finally:
+            backend.close()
+
+    def test_cast_error_surfaces_on_next_reply(self):
+        """A failed notification has no reply slot of its own; its error
+        must surface on the next synchronous operation instead of being
+        silently swallowed (a diverged mirror must never serve)."""
+        backend = ProcessBackend(2)
+        try:
+            token = backend.init_state([ExplodingState()])
+            backend.state_cast(token, 0, "boom")
+            with pytest.raises(EngineError, match="state op exploded"):
+                backend.state_call(token, 0, "ok")
+            assert backend.workers_alive == 0
+        finally:
+            backend.close()
+
+    def test_init_unpickle_failure_carries_worker_traceback(self):
+        """The sinit payload rides as a nested blob so a worker-side
+        unpickling failure is caught in the worker's handler and comes
+        back as a traceback — not a silent worker death."""
+        backend = ProcessBackend(2)
+        try:
+            token = backend.init_state([UnpicklableState()])
+            with pytest.raises(EngineError,
+                               match="worker-side unpickle exploded"):
+                backend.state_call(token, 0, "ok")
+            assert backend.workers_alive == 0
+        finally:
+            backend.close()
+
+    def test_discard_surfaces_drained_cast_error(self):
+        """A cast that fails with NO later synchronous operation must not
+        vanish: the discard barrier drains its error reply and re-raises
+        it — a diverged mirror is never silent, even at query end."""
+        backend = ProcessBackend(2)
+        try:
+            token = backend.init_state([ExplodingState()])
+            backend.state_cast(token, 0, "boom")
+            with pytest.raises(EngineError, match="state op exploded"):
+                backend.discard_state(token)
+            assert backend.workers_alive == 0
+            fresh = backend.init_state([ExplodingState()])
+            assert backend.state_call(fresh, 0, "ok") == "fine"
+        finally:
+            backend.close()
+
+    def test_worker_killed_mid_call(self):
+        backend = ProcessBackend(2)
+        try:
+            token = backend.init_state([SuicidalState(), SuicidalState()])
+            assert backend.state_call(token, 0, "ok") == "alive"
+            with pytest.raises(EngineError, match="died"):
+                backend.state_call(token, 1, "die")
+            assert backend.workers_alive == 0
+            fresh = backend.init_state([SuicidalState()])
+            assert backend.state_call(fresh, 0, "ok") == "alive"
+        finally:
+            backend.close()
+
+    def test_worker_killed_between_calls(self):
+        backend = ProcessBackend(2)
+        try:
+            token = backend.init_state([LedgerState("a", [1]),
+                                        LedgerState("b", [2])])
+            assert backend.state_call(token, 0, "total") == ("a", 1)
+            backend._workers[0].process.terminate()
+            backend._workers[0].process.join()
+            with pytest.raises(EngineError, match="died"):
+                for _ in range(3):  # first send may land in the dead pipe
+                    backend.state_call(token, 0, "total")
+            assert backend.workers_alive == 0
+        finally:
+            backend.close()
+
+    def test_state_dies_with_close_and_respawn_is_explicit(self):
+        """The respawn-after-close contract: a closed pool's state tokens
+        are dead — state calls raise immediately instead of lazily
+        spawning workers that never held the state — and only a fresh
+        init_state repopulates the respawned pool."""
+        backend = ProcessBackend(2)
+        try:
+            token = backend.init_state([LedgerState("a", [5])])
+            assert backend.state_call(token, 0, "total") == ("a", 5)
+            backend.close()
+            backend.close()  # idempotent
+            assert backend.workers_alive == 0
+            with pytest.raises(EngineError, match="unknown worker state"):
+                backend.state_call(token, 0, "total")
+            assert backend.workers_alive == 0  # no silent lazy respawn
+            fresh = backend.init_state([LedgerState("z", [6])])
+            assert backend.state_call(fresh, 0, "total") == ("z", 6)
+            assert backend.stats["spawns"] == 4  # 2 original + 2 respawned
+        finally:
+            backend.close()
+
+    @pytest.mark.parametrize("backend_name", ["serial", "thread"])
+    def test_in_process_backends_drop_state_on_close(self, backend_name):
+        """The stale-state leak fix: in-process backends must not keep
+        payload references alive across close() — a token from before
+        the close can never resolve again."""
+        backend = _make_backend(backend_name)
+        token = backend.init_state([LedgerState("a", [1]),
+                                    LedgerState("b", [2])])
+        assert backend.state_call(token, 1, "total") == ("b", 2)
+        backend.close()
+        assert backend._states == {}
+        with pytest.raises(EngineError, match="unknown worker state"):
+            backend.state_call(token, 0, "total")
+        fresh = backend.init_state([LedgerState("c", [3])])
+        assert backend.state_call(fresh, 0, "total") == ("c", 3)
+        assert fresh != token  # tokens never alias across close()
+        backend.close()
+
+
+class TestWorkerStateQueryFaults:
+    """Worker death inside a real sharded tail query, session-level."""
+
+    CREATE = TestDetCacheShardSemantics.CREATE
+    TAIL_QUERY = """
+        SELECT SUM(val) AS loss FROM Losses WHERE CID < 12
+        WITH RESULTDISTRIBUTION MONTECARLO(30)
+        DOMAIN loss >= QUANTILE(0.9)
+    """
+
+    def _session(self):
+        session = Session(base_seed=11, tail_budget=200, window=2000,
+                          options=ExecutionOptions(n_jobs=2,
+                                                   gibbs_state="worker"))
+        session.add_table("means", {
+            "CID": np.arange(15), "m": np.linspace(1.0, 3.0, 15)})
+        session.execute(self.CREATE)
+        return session
+
+    @pytest.mark.skipif(
+        multiprocessing.get_start_method() != "fork",
+        reason="kill injection relies on fork inheriting the patched class")
+    @pytest.mark.parametrize("method", ["serve_windows", "apply_clone"])
+    def test_kill_mid_sweep_and_between_sweeps(self, method, monkeypatch):
+        """``serve_windows`` dies mid-sweep (inside the scatter), while
+        ``apply_clone`` dies between bootstrap steps.  Both must tear the
+        pool down into a clean EngineError — no hang — and a fresh query
+        on the same session must respawn workers with correct state."""
+        from repro.core import gibbs_looper as gl
+        with self._session() as healthy:
+            expected = healthy.execute(self.TAIL_QUERY)
+        with self._session() as session:
+
+            def killer(self, *args):
+                os.kill(os.getpid(), signal.SIGKILL)
+
+            # Workers fork at first use, inheriting the patched class.
+            monkeypatch.setattr(gl.GibbsSeedShard, method, killer)
+            with pytest.raises(EngineError):
+                session.execute(self.TAIL_QUERY)
+            assert session.backend.workers_alive == 0  # pool torn down
+            monkeypatch.undo()  # fresh workers fork from healthy code
+            recovered = session.execute(self.TAIL_QUERY)
+            np.testing.assert_array_equal(recovered.tail.samples,
+                                          expected.tail.samples)
+            assert recovered.tail.assignments == expected.tail.assignments
+
+    def test_worker_state_never_survives_catalog_bumps(self):
+        """Seed state is per-query; a Catalog.version bump between
+        queries must meet a fresh init, never a stale mirror."""
+        with self._session() as session:
+            first = session.execute(self.TAIL_QUERY)
+            inits = session.backend.stats["state_inits"]
+            assert inits > 0
+            session.add_table("extra", {"k": np.arange(3)})  # version bump
+            second = session.execute(self.TAIL_QUERY)
+            assert session.backend.stats["state_inits"] > inits
+            np.testing.assert_array_equal(first.tail.samples,
+                                          second.tail.samples)
+
+
+class TestWorkerStateTransport:
+    """Per-sweep bytes under gibbs_state="worker": notifications only.
+
+    The broadcast transport re-pickles the whole tuple/state snapshot
+    every sweep; worker-owned state ships it once at init and then sends
+    commit notifications a few hundred bytes each.  These tests pin the
+    shape (one init, zero job broadcasts, no re-ship after sweep 1); the
+    >= 5x per-sweep byte gate on a bigger workload lives in
+    ``benchmarks/bench_scaling.py``.
+    """
+
+    def test_zero_snapshot_reships_after_sweep_one(self):
+        backend = ProcessBackend(2)
+        try:
+            result = _tail_looper(backend=backend).run()
+            stats = backend.stats
+            assert result.plan_runs == 1  # workload never replenished
+            assert result.followup_windows > 0  # …yet follow-ups served
+            assert stats["state_inits"] == 1  # snapshot shipped exactly once
+            assert stats["jobs"] == 0  # and never broadcast as a job
+            # Everything after sweep 1 is notifications: all four sweeps'
+            # messages together stay well under one snapshot ship.
+            assert stats["state_msg_bytes"] < stats["state_init_bytes"] / 3
+            traffic = stats["state_calls"] + stats["state_casts"]
+            assert stats["state_msg_bytes"] / traffic < 4096
+        finally:
+            backend.close()
+
+    def test_broadcast_reships_every_sweep(self):
+        backend = ProcessBackend(2)
+        try:
+            result = _tail_looper(backend=backend,
+                                  gibbs_state="broadcast").run()
+            stats = backend.stats
+            assert result.plan_runs == 1
+            assert stats["jobs"] == 4  # one snapshot job per sweep (m*k)
+            assert stats["state_inits"] == 0
+        finally:
+            backend.close()
+
+    def test_worker_mode_per_sweep_bytes_beat_broadcast(self):
+        per_sweep = {}
+        for mode in ("worker", "broadcast"):
+            backend = ProcessBackend(2)
+            try:
+                _tail_looper(backend=backend, gibbs_state=mode).run()
+                sweeps = 4  # m * k
+                bytes_after_init = (backend.stats["sent_bytes"]
+                                    - backend.stats["state_init_bytes"])
+                per_sweep[mode] = bytes_after_init / sweeps
+            finally:
+                backend.close()
+        assert per_sweep["broadcast"] >= 5 * per_sweep["worker"]

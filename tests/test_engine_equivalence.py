@@ -5,9 +5,11 @@ results — same tail samples, same (handle -> position) assignments, same
 acceptance statistics, same replenishment schedule — for the same session
 seed, on randomized plans and seeds.  Likewise the sharded Monte Carlo
 executor must be invariant to ``n_jobs`` and shard geometry, and every
-``backend × n_jobs × engine × replenishment`` combination — including
-seed-axis-sharded GibbsLooper runs — must be bit-identical to the serial
-reference.  Nothing here is approximate: every comparison is exact.
+``backend × n_jobs × engine × replenishment × window_growth ×
+gibbs_state`` combination — including seed-axis-sharded GibbsLooper runs
+with worker-owned state replaying commit notifications — must be
+bit-identical to the serial reference.  Nothing here is approximate:
+every comparison is exact.
 """
 
 import numpy as np
@@ -70,7 +72,7 @@ class TestLooperEquivalence:
              aggregate_kind="sum", k=1, num_samples=25, m=2, p_step=0.3,
              versions=40, predicate=None, max_proposals=100_000,
              replenishment="delta", n_jobs=1, backend="process",
-             shard_size=None, window_growth=1.0):
+             shard_size=None, window_growth=1.0, gibbs_state="worker"):
         catalog, spec = _losses_catalog(customers)
         plan = random_table_pipeline(spec)
         if predicate is not None:
@@ -87,7 +89,8 @@ class TestLooperEquivalence:
                                      replenishment=replenishment,
                                      n_jobs=n_jobs, backend=backend,
                                      shard_size=shard_size,
-                                     window_growth=window_growth)).run()
+                                     window_growth=window_growth,
+                                     gibbs_state=gibbs_state)).run()
 
     @given(customers=st.integers(3, 15),
            window=st.integers(60, 300),
@@ -474,17 +477,22 @@ class TestBackendMatrix:
             ExecutionOptions(n_jobs=n_jobs, backend=backend)).run(120)
         TestMonteCarloSharding._assert_results_equal(serial, sharded)
 
+    @pytest.mark.parametrize("gibbs_state", ["worker", "broadcast"])
     @pytest.mark.parametrize("backend", BACKENDS)
     @pytest.mark.parametrize("replenishment", ["delta", "full"])
-    def test_gibbs_seed_sharding_equals_serial(self, backend, replenishment):
+    def test_gibbs_seed_sharding_equals_serial(self, backend, replenishment,
+                                               gibbs_state):
         serial = self._runner._run("vectorized", replenishment=replenishment,
                                    **self.GIBBS)
         sharded = self._runner._run("vectorized", replenishment=replenishment,
-                                    n_jobs=2, backend=backend, **self.GIBBS)
+                                    n_jobs=2, backend=backend,
+                                    gibbs_state=gibbs_state, **self.GIBBS)
         _assert_identical(serial, sharded)
         assert serial.sharded_windows == 0
         assert sharded.sharded_windows > 0  # the shard path actually ran
         assert serial.plan_runs > 1  # …and crossed replenishments
+        if gibbs_state == "broadcast":
+            assert sharded.followup_windows == 0  # stateless workers
 
     @pytest.mark.parametrize("engine", ENGINES)
     @pytest.mark.parametrize("n_jobs", [2, 3])
@@ -508,10 +516,12 @@ class TestBackendMatrix:
             _assert_identical(serial, sharded)
             assert sharded.sharded_windows > 0
 
-    def test_multi_seed_plans_fall_back_to_serial_sweeps(self):
+    @pytest.mark.parametrize("gibbs_state", ["worker", "broadcast"])
+    def test_multi_seed_plans_fall_back_to_serial_sweeps(self, gibbs_state):
         """Tuples carrying several handles couple seeds through shared
         state; sharding must detect that and stay serial (bit-identity
-        the easy way), serving zero prefetched windows."""
+        the easy way), serving zero prefetched windows — in both state
+        placements."""
         runner = TestMultiSeedPlans()
         serial = runner._run("vectorized", base_seed=7)
         catalog, plan = TestMultiSeedPlans._salary_plan()
@@ -521,9 +531,11 @@ class TestBackendMatrix:
             aggregate_expr=col("e2.sal") - col("e1.sal"),
             final_predicate=col("e2.sal") > col("e1.sal"),
             window=500, base_seed=7,
-            options=ExecutionOptions(n_jobs=2, backend="process")).run()
+            options=ExecutionOptions(n_jobs=2, backend="process",
+                                     gibbs_state=gibbs_state)).run()
         _assert_identical(serial, sharded)
         assert sharded.sharded_windows == 0
+        assert sharded.followup_windows == 0
 
     @given(base_seed=st.integers(0, 10_000),
            n_jobs=st.integers(2, 4),
@@ -538,6 +550,125 @@ class TestBackendMatrix:
         _assert_identical(
             self._runner._run("vectorized", **kwargs),
             self._runner._run("vectorized", n_jobs=n_jobs, backend="serial",
+                              **kwargs))
+
+
+class TestWorkerStateReplay:
+    """The worker-owned-state replay gate (``gibbs_state="worker"``).
+
+    Stateful workers never see a fresh snapshot after ``init_state``:
+    their mirrors evolve solely through commit/clone notifications, and
+    every window they serve — first *and* follow-up — is computed from
+    the mirror.  The serial backend applies exactly that replay to a
+    **pickled** mirror, so an under-specified notification stream
+    diverges the mirror and breaks bit-identity right here, in-process,
+    with no worker pool in the loop; the process-backend cases then hold
+    the real pipe transport to the same bits.
+    """
+
+    _runner = TestLooperEquivalence()
+    #: Rejection-heavy: a tight elite fraction makes versions burn many
+    #: candidates, exhausting first windows and forcing worker-served
+    #: follow-ups; the wide window keeps replenishment mostly out of the
+    #: way so the mirrors live across all ``m * k`` sweeps.
+    REJECTION_HEAVY = dict(customers=24, window=4000, versions=60,
+                           num_samples=30, m=2, p_step=0.05, k=2,
+                           base_seed=13)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_followup_windows_replay_identically(self, backend):
+        serial = self._runner._run("vectorized", **self.REJECTION_HEAVY)
+        worker = self._runner._run("vectorized", n_jobs=2, backend=backend,
+                                   gibbs_state="worker",
+                                   **self.REJECTION_HEAVY)
+        _assert_identical(serial, worker)
+        assert worker.followup_windows > 0  # rejection forced follow-ups…
+        # …and they are counted on top of the per-sweep first windows.
+        assert worker.sharded_windows > worker.followup_windows
+
+    def test_worker_and_broadcast_land_on_the_same_bits(self):
+        worker = self._runner._run("vectorized", n_jobs=2, backend="serial",
+                                   gibbs_state="worker",
+                                   **self.REJECTION_HEAVY)
+        broadcast = self._runner._run("vectorized", n_jobs=2,
+                                      backend="serial",
+                                      gibbs_state="broadcast",
+                                      **self.REJECTION_HEAVY)
+        _assert_identical(worker, broadcast)
+        assert worker.followup_windows > 0
+        assert broadcast.followup_windows == 0
+
+    def test_process_shard_size_one_is_capped_and_identical(self):
+        """``shard_size=1`` on the process transport must not pin many
+        one-seed shards on one worker — that geometry can wedge a worker
+        blocked on a large uncollected reply against the parent's commit
+        casts (see ``ExecutionBackend.state_shard_limit``).  Ownership is
+        repartitioned to one shard per worker, and since windows are
+        computed per seed, the bits cannot move."""
+        serial = self._runner._run("vectorized", **self.REJECTION_HEAVY)
+        worker = self._runner._run("vectorized", n_jobs=2, backend="process",
+                                   shard_size=1, gibbs_state="worker",
+                                   **self.REJECTION_HEAVY)
+        _assert_identical(serial, worker)
+        assert worker.followup_windows > 0
+
+    def test_replay_across_replenishments(self):
+        """Replenishment invalidates the mirrors mid-run; the re-init +
+        continued replay must still land on the serial bits."""
+        kwargs = dict(customers=10, window=45, versions=40, m=2,
+                      base_seed=5, k=2)
+        serial = self._runner._run("vectorized", **kwargs)
+        worker = self._runner._run("vectorized", n_jobs=2, backend="process",
+                                   gibbs_state="worker", **kwargs)
+        _assert_identical(serial, worker)
+        assert worker.plan_runs > 1  # the mirrors were really re-initialized
+
+    def test_notifications_actually_flow(self, monkeypatch):
+        """White-box: the bits must come from the replay protocol — the
+        mirror receives commit and clone notifications and serves the
+        windows — not from a silent fallback to local evaluation."""
+        from repro.core import gibbs_looper as gl
+        counts = {"commit": 0, "clone": 0, "serve": 0}
+        for name, key in (("apply_commit", "commit"),
+                          ("apply_clone", "clone"),
+                          ("serve_window", "serve")):
+            original = getattr(gl.GibbsSeedShard, name)
+
+            def wrapped(self, *args, _original=original, _key=key):
+                counts[_key] += 1
+                return _original(self, *args)
+
+            monkeypatch.setattr(gl.GibbsSeedShard, name, wrapped)
+        result = self._runner._run("vectorized", n_jobs=2, backend="serial",
+                                   gibbs_state="worker",
+                                   **self.REJECTION_HEAVY)
+        assert counts["commit"] > 0
+        assert counts["clone"] > 0  # the between-step elite overwrite
+        assert counts["serve"] >= result.sharded_windows > 0
+
+    @given(base_seed=st.integers(0, 10_000),
+           n_jobs=st.integers(2, 4),
+           shard_size=st.sampled_from([None, 1, 3]),
+           aggregate_kind=st.sampled_from(["sum", "count", "avg"]),
+           window=st.integers(60, 400))
+    @settings(max_examples=10, deadline=None)
+    def test_property_replay_bit_identical(self, base_seed, n_jobs,
+                                           shard_size, aggregate_kind,
+                                           window):
+        """Random plans x random commit interleavings: every seed draws a
+        different accept/reject/replenish path through the sweep, so the
+        mirrors replay a different notification stream each example —
+        all of them must land on the serial sweep's exact bits, for any
+        shard geometry (down to one-seed shards)."""
+        kwargs = dict(customers=10, window=window, versions=25,
+                      num_samples=12, m=2, k=2, base_seed=base_seed,
+                      aggregate_kind=aggregate_kind)
+        if aggregate_kind == "count":
+            kwargs["predicate"] = col("val") > lit(1.0)
+        _assert_identical(
+            self._runner._run("vectorized", **kwargs),
+            self._runner._run("vectorized", n_jobs=n_jobs, backend="serial",
+                              shard_size=shard_size, gibbs_state="worker",
                               **kwargs))
 
 
@@ -572,10 +703,12 @@ class TestWindowGrowth:
         assert flat.plan_runs > 2  # the scenario must refuel repeatedly
         assert grown.plan_runs < flat.plan_runs
 
-    def test_growth_composes_with_seed_sharding(self):
+    @pytest.mark.parametrize("gibbs_state", ["worker", "broadcast"])
+    def test_growth_composes_with_seed_sharding(self, gibbs_state):
         flat = self._runner._run("vectorized", **self.HEAVY)
         grown = self._runner._run("vectorized", window_growth=1.5,
-                                  n_jobs=2, backend="process", **self.HEAVY)
+                                  n_jobs=2, backend="process",
+                                  gibbs_state=gibbs_state, **self.HEAVY)
         self._assert_same_samples(flat, grown)
         assert grown.plan_runs < flat.plan_runs
 
