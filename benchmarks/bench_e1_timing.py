@@ -14,7 +14,6 @@ Shape targets at our (scaled, Python) setting:
 import time
 
 import numpy as np
-import pytest
 
 from repro.core.gibbs_looper import GibbsLooper
 from repro.core.params import TailParams

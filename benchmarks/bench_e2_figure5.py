@@ -12,7 +12,6 @@ skewed lineitem join, m = 5, p^(1/m) = 0.25, N = 1000, l = 100, 20 runs.
 """
 
 import numpy as np
-import pytest
 
 from repro.core.gibbs_looper import GibbsLooper
 from repro.core.params import TailParams

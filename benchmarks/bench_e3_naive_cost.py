@@ -12,7 +12,6 @@ We recompute all three from first principles and verify the first one
 empirically with the actual naive-MCDB executor at a scaled-down threshold.
 """
 
-import math
 
 import numpy as np
 import pytest

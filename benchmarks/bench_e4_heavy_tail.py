@@ -13,7 +13,6 @@ proposals-per-acceptance and stall counts.
 """
 
 import numpy as np
-import pytest
 
 from repro.core.cloner import tail_sample
 from repro.core.model import IndependentBlockModel, SeparableSumQuery

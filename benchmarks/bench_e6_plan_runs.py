@@ -11,7 +11,6 @@ executions against what the naive scheme would have needed (one per
 proposal), plus the deterministic-subtree caching effect (Sec. 9).
 """
 
-import pytest
 
 from repro.core.gibbs_looper import GibbsLooper
 from repro.core.params import TailParams

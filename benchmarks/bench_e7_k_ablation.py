@@ -14,7 +14,6 @@ The ablation makes the claim falsifiable in both directions:
 """
 
 import numpy as np
-import pytest
 from scipy import stats
 
 from repro.core.cloner import tail_sample

@@ -26,7 +26,8 @@ from repro.core.params import TailParams
 from repro.engine.mcdb import AggregateSpec, MonteCarloExecutor
 from repro.engine.options import ExecutionOptions
 from repro.experiments import (
-    engine_comparison_table, format_table, print_experiment, timed)
+    engine_comparison_table, format_table, print_experiment, record_metric,
+    run_benchmark_cli, timed)
 from repro.sql.parser import parse
 from repro.sql.planner import compile_select
 from repro.workloads import PortfolioWorkload
@@ -96,6 +97,13 @@ def test_e8_vectorized_kernel_speedup(benchmark):
     print_experiment(
         "E8: vectorized batch Gibbs kernel vs reference scalar path", body)
 
+    record_metric("bench_e8_vectorized", "vectorized_total_speedup",
+                  round(total_speedup, 3), gate=">= 3x")
+    record_metric("bench_e8_vectorized", "vectorized_perturb_speedup",
+                  round(perturb_speedup, 3))
+    record_metric("bench_e8_vectorized", "acceptance_rate",
+                  round(vec_stats.acceptance_rate, 4))
+
     assert identical, "engines diverged — equivalence contract broken"
     assert total_speedup >= 3.0, (
         f"vectorized kernel only {total_speedup:.2f}x faster; need >= 3x")
@@ -127,3 +135,19 @@ def test_e8_sharded_montecarlo_consistency():
     print_experiment(
         "E8b: sharded Monte Carlo execution (identical across n_jobs)",
         format_table(["mode", "seconds", "identical to serial"], rows))
+
+
+class _NullBenchmark:
+    """Stand-in for the pytest-benchmark fixture under direct execution."""
+
+    def pedantic(self, fn, rounds=1, iterations=1):
+        fn()
+
+
+def _main_kernel_speedup():
+    test_e8_vectorized_kernel_speedup(_NullBenchmark())
+
+
+if __name__ == "__main__":
+    run_benchmark_cli([_main_kernel_speedup,
+                       test_e8_sharded_montecarlo_consistency])

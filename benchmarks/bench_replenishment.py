@@ -21,7 +21,8 @@ the Sec. 2 portfolio-loss query):
 import numpy as np
 
 from repro.engine.options import ExecutionOptions
-from repro.experiments import format_table, print_experiment, timed
+from repro.experiments import (
+    format_table, print_experiment, record_metric, run_benchmark_cli, timed)
 from repro.sql import Session
 
 CUSTOMERS = 520
@@ -91,6 +92,12 @@ def test_replenishment_delta_vs_full():
     print_experiment(
         "Replenishment: delta materialization vs full plan re-runs", body)
 
+    record_metric("bench_replenishment", "delta_replenishment_speedup",
+                  round(speedup, 3), gate=">= 2x")
+    record_metric("bench_replenishment", "full_rebuilds_in_delta_mode",
+                  delta.full_replenish_runs, gate="== 0")
+    record_metric("bench_replenishment", "plan_runs", delta.plan_runs)
+
     assert identical, "delta replenishment diverged from full re-runs"
     assert delta.full_replenish_runs == 0, (
         f"delta mode fell back to {delta.full_replenish_runs} full rebuilds")
@@ -98,3 +105,7 @@ def test_replenishment_delta_vs_full():
         "every replenishment should have used the delta path")
     assert speedup >= 2.0, (
         f"delta replenishment only {speedup:.2f}x faster; need >= 2x")
+
+
+if __name__ == "__main__":
+    run_benchmark_cli([test_replenishment_delta_vs_full])

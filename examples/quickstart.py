@@ -7,17 +7,20 @@ computes value-at-risk and expected shortfall — including via the paper's
 
 Run:  python examples/quickstart.py
 
-Environment knobs (exercised by CI under both engines and all backends):
+Environment knobs (exercised by CI under both engines and all backends;
+parsed and validated by ``ExecutionOptions.from_env`` — a typo'd value
+fails fast with an ``EngineError`` naming the variable):
   MCDBR_ENGINE=vectorized|reference       Gibbs perturbation kernel
   MCDBR_REPLENISHMENT=delta|full          window-refuel strategy
   MCDBR_BACKEND=process|thread|serial     shard transport
   MCDBR_N_JOBS=<n>                        shard workers (1 = no sharding)
   MCDBR_GIBBS_STATE=worker|broadcast      seed-state placement (stateful
                                           workers vs snapshot re-ship)
+  MCDBR_STATE_REINIT=delta|full           worker-state fate across a
+                                          replenishment (splice vs re-ship)
+  MCDBR_SPECULATE=1|0                     speculative follow-up prefetch
 Every combination produces bit-identical output for the same base seed.
 """
-
-import os
 
 import numpy as np
 
@@ -26,12 +29,7 @@ from repro.risk import expected_shortfall, value_at_risk
 from repro.sql import Session
 
 # 1. A session and an ordinary parameter table: per-customer mean losses.
-options = ExecutionOptions(
-    engine=os.environ.get("MCDBR_ENGINE", "vectorized"),
-    replenishment=os.environ.get("MCDBR_REPLENISHMENT", "delta"),
-    backend=os.environ.get("MCDBR_BACKEND", "process"),
-    n_jobs=int(os.environ.get("MCDBR_N_JOBS", "1")),
-    gibbs_state=os.environ.get("MCDBR_GIBBS_STATE", "worker"))
+options = ExecutionOptions.from_env()
 session = Session(base_seed=2026, tail_budget=1000, window=1000,
                   options=options)
 rng = np.random.default_rng(0)

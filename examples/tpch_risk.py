@@ -8,7 +8,6 @@ example reports estimate-vs-truth — the paper's Figure 5 in miniature.
 Run:  python examples/tpch_risk.py
 """
 
-import numpy as np
 
 from repro.risk import tail_cdf
 from repro.workloads import TPCHWorkload

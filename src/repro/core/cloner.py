@@ -22,7 +22,7 @@ conditioned on the query result exceeding the estimated ``(1-p)``-quantile
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

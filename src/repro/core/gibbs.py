@@ -16,7 +16,7 @@ fast — the property Algorithm 3 exploits after cloning.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

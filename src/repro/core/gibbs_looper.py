@@ -66,6 +66,15 @@ _PROPOSAL_BATCH = 64
 _VECTOR_BATCH = 128
 _WINDOW_MAX_WIDTH = 4096
 _WINDOW_TARGET_VERSIONS = 32
+#: Speculation gate: pre-compute a follow-up window only when the seed's
+#: current perturbation call shows real rejection pressure — at least
+#: MIN_CONSUMED candidates burned, at most one version served per DENOM
+#: candidates.  The prediction assumes the just-recorded window commits
+#: nothing further, so seeds that accept often would waste almost every
+#: pre-computation (and the sweep-start scatter, which serves *every*
+#: seed's first window, must not trigger a blanket speculation wave).
+_SPECULATION_RATE_DENOM = 8
+_SPECULATION_MIN_CONSUMED = 512
 #: Upper bound for adaptive window growth (``options.window_growth``):
 #: past a megaposition window, replenishment cost is gather-dominated and
 #: growing further only inflates the bundle matrices.
@@ -114,11 +123,29 @@ class LooperResult:
     #: other field.
     sharded_windows: int = 0
     #: The follow-up share of ``sharded_windows``: windows beyond a
-    #: seed's first of the sweep, served by the worker owning that seed's
-    #: state (rejection-heavy seeds are what drive this up).  Always 0
-    #: under ``gibbs_state="broadcast"``, whose workers are stateless and
-    #: only ever see the pre-sweep snapshot.
+    #: seed's scatter-prefetched first of the sweep, served from the
+    #: worker owning that seed's state (rejection-heavy seeds are what
+    #: drive this up).  Always 0 under ``gibbs_state="broadcast"``, whose
+    #: workers are stateless and only ever see the pre-sweep snapshot.
     followup_windows: int = 0
+    #: Worker-owned-state lifecycle accounting (``gibbs_state="worker"``):
+    #: how often the full shard snapshot shipped (``init_state``) vs. how
+    #: many replenishments kept the workers' state alive with a
+    #: ``state_merge`` splice, and how many never-materialized window
+    #: positions those splices carried in total.  Under
+    #: ``state_reinit="full"`` every replenishment re-ships the snapshot,
+    #: so ``worker_state_merges`` stays 0.
+    worker_state_inits: int = 0
+    worker_state_merges: int = 0
+    merged_positions: int = 0
+    #: Speculative follow-up prefetch (``speculate_followups``):
+    #: ``speculated_windows`` counts follow-up windows resolved from the
+    #: speculation buffer — no blocking state call — and
+    #: ``wasted_speculations`` the pre-computed windows discarded because
+    #: a commit/clone/merge (or a mispredicted geometry) invalidated them
+    #: before use.  Diagnostics only; speculation never changes samples.
+    speculated_windows: int = 0
+    wasted_speculations: int = 0
 
     @property
     def total_stats(self) -> GibbsStats:
@@ -300,19 +327,55 @@ class GibbsSeedShard:
     the property-based replay suite proves the notification stream is
     complete without a worker pool in the loop.
 
+    Two later protocol extensions ride on the same three events:
+
+    * ``apply_merge`` — the delta state re-init
+      (``state_reinit="delta"``): after a structure-preserving delta
+      replenishment, the sweep ships each owner a per-handle splice
+      record — the new window length, the old->new keep mapping and
+      *only* the never-materialized positions' values — and the owner
+      rebuilds its window arrays in place while every per-version cache
+      carries over untouched (stream values at kept positions cannot
+      change; they are pure functions of position).  This is the
+      worker-side mirror of the parent's ``replenishment="delta"`` fast
+      path, and it replaces the discard + full snapshot re-ship.
+    * Speculative follow-up serving (``speculate_followups``): serve
+      requests carry the exact parameters of the *next* window assuming
+      full rejection, plus the seed's notification epoch.  For hinted
+      seeds the owner pre-computes that window right after serving the
+      current one and piggybacks it on the reply; it is only ever
+      consumed while the epoch still matches — i.e. while not a single
+      commit/clone/merge has touched the seed since — so a speculated
+      window is bit-identical to the fresh computation it replaces.
+
     State lifecycle: created fresh per query (tokens never alias across
-    queries), invalidated whenever replenishment rebuilds or re-windows
-    the tuples, and discarded at the end of the looper run — worker seed
-    state can therefore never survive a ``Catalog.version`` bump, whose
-    effects reach the looper only through a new query or a replenishment.
+    queries), spliced in place by delta re-inits, invalidated (discarded)
+    whenever replenishment actually rebuilds the tuple structure, and
+    discarded at the end of the looper run — worker seed state can
+    therefore never survive a ``Catalog.version`` bump, whose effects
+    reach the looper only through a new query or a replenishment.
     """
 
     def __init__(self, seeds: dict, aggregate_expr: Expr | None,
-                 final_predicate: Expr | None):
+                 final_predicate: Expr | None, speculate: bool = False):
         #: handle -> (gibbs tuples, _TupleStates), this shard's range only.
         self.seeds = seeds
         self.aggregate_expr = aggregate_expr
         self.final_predicate = final_predicate
+        self.speculate = speculate
+        #: Speculation buffer: handle -> (params, epoch, matrices) for
+        #: the pre-computed next window (at most one per handle).
+        self._speculation: dict[int, tuple] = {}
+        #: Mirror of the sweep's per-perturbation-call window cursor,
+        #: handle -> [consumed_total, served_total, version, last_stop,
+        #: last_count] — reset by the sweep-start scatter, advanced by
+        #: every serve/note/commit.  This is the owner's per-seed
+        #: acceptance-rate tracking (versions served per candidate
+        #: consumed, in the current call) and, because the geometry of
+        #: the *next* window is a pure function of the cursor (see
+        #: _window_geometry), what lets the owner predict the sweep's
+        #: next request exactly.
+        self._call_state: dict[int, list] = {}
 
     def serve_window(self, handle: int, first_version: int, count: int,
                      start: int, stop: int):
@@ -321,15 +384,122 @@ class GibbsSeedShard:
             tuples, states, handle, self.aggregate_expr,
             self.final_predicate, first_version, count, start, stop)
 
+    def serve_followup(self, handle: int, first_version: int, count: int,
+                       start: int, stop: int, epoch: int,
+                       first: bool = False) -> tuple:
+        """One window + an optionally speculated successor.
+
+        Returns ``(matrices, speculation)``.  The served matrices come
+        from the speculation buffer when the request matches a
+        still-valid speculation (same parameters, same epoch — not a
+        single commit/clone/merge touched the seed in between), else
+        from a fresh ``serve_window``.  Either way the owner then
+        pre-computes the *successor* window for low-acceptance seeds —
+        the request the sweep will send next if it rejects this whole
+        window — and piggybacks it on the reply: the owned state cannot
+        change before the next message arrives (messages apply in FIFO
+        order), so the speculation is bit-identical to what serving
+        that request later would compute.
+        """
+        key = (first_version, count, start, stop)
+        speculation = self._speculation.pop(handle, None)
+        if speculation is not None and speculation[0] == key \
+                and speculation[1] == epoch:
+            matrices = speculation[2]
+        else:
+            matrices = self.serve_window(handle, first_version, count,
+                                         start, stop)
+        if first:
+            self._call_state[handle] = [0, 0, 0, 0, 0]
+        self._advance_cursor(handle, first_version, count, start, stop)
+        return matrices, self._speculate(handle, epoch)
+
     def serve_windows(self, requests: list) -> list:
         return [
             (handle, start, stop, count,
-             self.serve_window(handle, first_version, count, start, stop))
-            for handle, first_version, count, start, stop in requests]
+             *self.serve_followup(handle, first_version, count, start,
+                                  stop, epoch, first=True))
+            for handle, first_version, count, start, stop, epoch
+            in requests]
+
+    def note_speculation(self, handle: int, epoch: int) -> None:
+        """The sweep consumed a piggybacked speculation without a call.
+
+        Advances the owner's call cursor exactly as serving that window
+        would have (the buffered copy carries its parameters), then
+        speculates the next one — so a fully rejected streak alternates
+        buffer hits (no round-trip at all) with served-from-buffer
+        calls, and the bookkeeping never desynchronizes from the sweep.
+        """
+        speculation = self._speculation.pop(handle, None)
+        if speculation is None or speculation[1] != epoch:
+            return  # stale note; the next serve re-syncs the cursor
+        first_version, count, start, stop = speculation[0]
+        self._advance_cursor(handle, first_version, count, start, stop)
+        self._speculate(handle, epoch)
+
+    def _advance_cursor(self, handle: int, first_version: int, count: int,
+                        start: int, stop: int) -> None:
+        """Record one window against the call cursor (serve or note).
+
+        The consumption charge is provisional — the full width, as if
+        every candidate were rejected; a following ``apply_commit``
+        corrects it when the window actually served its whole row
+        budget and stopped early.
+        """
+        call = self._call_state.setdefault(handle, [0, 0, 0, 0, 0])
+        call[0] += stop - start
+        call[2] = first_version
+        call[3] = stop
+        call[4] = count
+
+    def _speculate(self, handle: int, epoch: int):
+        """Pre-compute the sweep's predicted next window, if worthwhile.
+
+        The call cursor says where the consumption pointer and version
+        stand if the window just recorded is the last word (no further
+        commit for it); ``_window_geometry`` is a pure function of that
+        cursor, so the predicted request is exact whenever the
+        prediction's premise holds — any acceptance or stall changes the
+        real request, and the mismatch (or the commit's epoch bump)
+        discards the speculation unused.  Seeds whose observed
+        acceptance rate exceeds 1/8 are not worth pre-computing for:
+        their next request almost always follows a commit, which
+        re-speculates with better information anyway.
+        """
+        if not self.speculate:
+            return None
+        consumed_total, served_total, version, stop, _ = \
+            self._call_state[handle]
+        if consumed_total < _SPECULATION_MIN_CONSUMED or \
+                served_total * _SPECULATION_RATE_DENOM > consumed_total:
+            return None
+        tuples, states = self.seeds[handle]
+        fresh_stop = self._window_length(tuples)
+        if stop >= fresh_stop:
+            return None  # the next step is a replenishment, not a window
+        version_count = states[0].present.shape[0]
+        width, max_rows = GibbsLooper._window_geometry(
+            fresh_stop - stop, consumed_total, served_total)
+        count = min(version_count - version, max_rows)
+        if count <= 0:
+            return None
+        params = (version, count, stop, stop + width)
+        speculation = (params, epoch,
+                       self.serve_window(handle, *params))
+        self._speculation[handle] = speculation
+        return speculation
+
+    @staticmethod
+    def _window_length(tuples: list) -> int:
+        """Materialized window length = the owned position-list length."""
+        for field in tuples[0].rand.values():
+            return field.values.shape[0]
+        return tuples[0].presences[0].flags.shape[0]
 
     def apply_commit(self, handle: int, versions: np.ndarray,
                      indices: np.ndarray, values: np.ndarray,
-                     present: np.ndarray) -> None:
+                     present: np.ndarray, epoch: int = 0) -> None:
         """Replay ``GibbsLooper._apply_acceptances`` on the owned state.
 
         ``values``/``present`` carry the committed per-tuple aggregate
@@ -337,7 +507,17 @@ class GibbsSeedShard:
         exactly as the looper computed them, so no floating-point
         expression is ever re-evaluated here; everything else is an
         index gather from the owned window arrays.
+
+        ``epoch`` is the seed's post-commit notification epoch: any
+        speculation computed before this commit is dead (its epoch no
+        longer matches), and the commit itself carries everything needed
+        to re-speculate with *better* information — how many versions
+        the window served and, when it served its full row budget, where
+        the consumption pointer actually stopped.  The pre-computation
+        happens here, between messages, so the sweep's next serve call
+        finds the window already built.
         """
+        self._speculation.pop(handle, None)  # epoch moved; entry is dead
         tuples, states = self.seeds[handle]
         for row, (gibbs_tuple, state) in enumerate(zip(tuples, states)):
             state.value[versions] = values[row]
@@ -349,9 +529,79 @@ class GibbsSeedShard:
                                               state.presence):
                 if presence_field.handle == handle:
                     cached[versions] = presence_field.flags[indices]
+        call = self._call_state.get(handle)
+        if call is not None and len(versions):
+            accepted = len(versions)
+            call[1] += accepted
+            call[2] = int(versions[-1]) + 1
+            if accepted == call[4]:
+                # The window served its full row budget: the scan exited
+                # at the version limit, right after the last acceptance —
+                # so only [start, indices[-1]] was consumed, not the
+                # whole width the serve provisionally recorded.
+                pointer = int(indices[-1]) + 1
+                call[0] -= call[3] - pointer
+                call[3] = pointer
+            self._speculate(handle, epoch)
+
+    def apply_merge(self, records: list) -> None:
+        """Splice a replenishment's merged windows into the owned tuples.
+
+        Each record is ``(handle, size, n_fresh, keep_runs, rand_fresh,
+        pres_fresh)``: the new window length, the surviving-slot mapping
+        as run-length-encoded ``(old_start, new_start, length)`` triples
+        (``None`` for the common case of an identity prefix — an
+        untouched seed whose window only grew a fresh tail), and the
+        freshly materialized values/flags per tuple, indexed like the
+        handle's tuple list.  Runs, not index vectors, because the kept
+        slots are almost entirely contiguous — the assigned positions up
+        front plus one long overlap run — and an explicit index vector
+        would weigh as much as the values it avoids shipping.  Kept
+        slots are gathered from the *owned* arrays — bit-identical
+        mirrors of the parent's pre-refuel windows, and stream values
+        never change at a given position — so the spliced window equals
+        the parent's merged one bit for bit while shipping only the
+        never-materialized share.  Per-version caches (``_TupleState``)
+        are untouched: replenishment widens windows, it never moves any
+        version's assigned value.
+        """
+        self._speculation.clear()  # old windows' geometry is gone
+        for (handle, size, n_fresh, keep_runs,
+             rand_fresh, pres_fresh) in records:
+            if keep_runs is None:
+                n_keep = size - n_fresh
+                keep_runs = np.array([[0, 0, n_keep]], dtype=np.int64)
+            mask = np.ones(size, dtype=bool)
+            for _, new_start, length in keep_runs:
+                mask[new_start:new_start + length] = False
+            fresh_dst = np.nonzero(mask)[0]
+
+            def splice(old_values, fresh_values):
+                merged = np.empty(size, dtype=old_values.dtype)
+                for old_start, new_start, length in keep_runs:
+                    merged[new_start:new_start + length] = \
+                        old_values[old_start:old_start + length]
+                merged[fresh_dst] = fresh_values
+                return merged
+
+            tuples, _ = self.seeds[handle]
+            for row, gibbs_tuple in enumerate(tuples):
+                for name, rand_field in gibbs_tuple.rand.items():
+                    if rand_field.handle != handle:
+                        continue
+                    rand_field.values = splice(rand_field.values,
+                                               rand_fresh[row][name])
+                slot = 0
+                for presence_field in gibbs_tuple.presences:
+                    if presence_field.handle != handle:
+                        continue
+                    presence_field.flags = splice(presence_field.flags,
+                                                  pres_fresh[row][slot])
+                    slot += 1
 
     def apply_clone(self, sources: np.ndarray) -> None:
         """Replay ``GibbsLooper._clone`` on every owned seed's states."""
+        self._speculation.clear()  # version axis re-mapped under it
         for tuples, states in self.seeds.values():
             for state in states:
                 state.values = {name: values[sources]
@@ -453,6 +703,7 @@ class GibbsLooper:
         self._delta_replenish_runs = 0
         self._replenish_seconds = 0.0
         self._window_signature: tuple | None = None
+        self._ingest_refreshed = False
         self._single_seed = False
         self._sharded_windows = 0
         self._followup_windows = 0
@@ -466,6 +717,28 @@ class GibbsLooper:
         self._state_shard_count = 0
         self._scatter_pending: set[int] = set()
         self._prefetched_windows: dict[int, tuple] = {}
+        # After a mid-sweep delta merge the remainder of the current
+        # sweep builds its windows locally (commits still notify, so the
+        # mirrors stay live); worker serving resumes at the next sweep's
+        # scatter.  Remote-serving those windows would turn every
+        # remaining seed's first window into a blocking round-trip —
+        # strictly slower than the local build the discard path used.
+        self._local_windows = False
+        # Delta state re-init + speculative follow-up prefetch.
+        # _spec_epoch[handle] counts the notifications (commits, clones,
+        # merges) that touched a seed's worker-side state; a speculated
+        # window is only consumable while the epoch it was computed under
+        # still matches, which is the whole bit-identity argument.
+        # The owners track the per-seed acceptance rates and call
+        # cursors themselves (GibbsSeedShard); the sweep only holds the
+        # piggybacked speculations and the epochs that guard them.
+        self._spec_epoch: dict[int, int] = {}
+        self._speculated: dict[int, tuple] = {}
+        self._worker_state_inits = 0
+        self._worker_state_merges = 0
+        self._merged_positions = 0
+        self._speculated_windows = 0
+        self._wasted_speculations = 0
 
     # -- public entry ---------------------------------------------------------
 
@@ -546,7 +819,12 @@ class GibbsLooper:
             delta_replenish_runs=self._delta_replenish_runs,
             replenish_seconds=self._replenish_seconds,
             sharded_windows=self._sharded_windows,
-            followup_windows=self._followup_windows)
+            followup_windows=self._followup_windows,
+            worker_state_inits=self._worker_state_inits,
+            worker_state_merges=self._worker_state_merges,
+            merged_positions=self._merged_positions,
+            speculated_windows=self._speculated_windows,
+            wasted_speculations=self._wasted_speculations)
 
     # -- ingestion and caches ---------------------------------------------------
 
@@ -563,8 +841,10 @@ class GibbsLooper:
         ones.
         """
         signature = self._relation_signature(relation)
-        if (not initial and self.options.replenishment == "delta"
-                and self._signatures_match(signature)):
+        self._ingest_refreshed = (
+            not initial and self.options.replenishment == "delta"
+            and self._signatures_match(signature))
+        if self._ingest_refreshed:
             self._refresh_windows(relation)
             self._window_signature = signature
             return
@@ -798,9 +1078,12 @@ class GibbsLooper:
         if self._state_token is not None:
             # Between-step fan-out: every worker replays the elite
             # overwrite on its owned states (the sources array is the
-            # whole message; version counts may change with it).
+            # whole message; version counts may change with it).  Every
+            # speculation dies with it — the version axis it was computed
+            # against no longer exists.
             self._ensure_backend().state_cast_all(
                 self._state_token, "apply_clone", sources)
+            self._invalidate_speculations()
 
     # -- perturbation ------------------------------------------------------------
 
@@ -919,6 +1202,13 @@ class GibbsLooper:
         """
         backend = self._ensure_backend()
         handles = sorted(self._tuples_of_seed)
+        # Speculation needs the owners to see the notification stream
+        # (commits/notes drive their bookkeeping); the thread transport
+        # elides casts by design — its "owner" is the caller's own
+        # objects and calls run inline, so there is no latency to hide —
+        # and therefore never speculates.
+        speculate = (self.options.speculate_followups
+                     and backend.state_casts_apply())
         if self._state_token is None:
             bounds = self.options.shard_bounds(len(handles))
             limit = backend.state_shard_limit()
@@ -941,17 +1231,27 @@ class GibbsLooper:
                         [self._states[index] for index in members])
                     shard_of[handle] = shard
                 payloads.append(GibbsSeedShard(
-                    seeds, self.aggregate_expr, self.final_predicate))
+                    seeds, self.aggregate_expr, self.final_predicate,
+                    speculate=speculate))
             self._state_token = backend.init_state(payloads)
             self._shard_of_handle = shard_of
             self._state_shard_count = len(bounds)
+            self._worker_state_inits += 1
         requests: list[list] = [[] for _ in range(self._state_shard_count)]
-        for request in self._first_window_requests():
-            requests[self._shard_of_handle[request[0]]].append(request)
+        for handle, first_version, count, start, stop in \
+                self._first_window_requests():
+            # Scatter requests carry the seed's notification epoch and
+            # reset the owner's call cursor (first=True inside
+            # serve_windows): the sweep-start scatter is the one moment
+            # both sides agree the per-call bookkeeping is zero.
+            requests[self._shard_of_handle[handle]].append(
+                (handle, first_version, count, start, stop,
+                 self._spec_epoch.get(handle, 0)))
         backend.state_scatter(self._state_token, "serve_windows",
                               [(shard_requests,) for shard_requests
                                in requests])
         self._scatter_pending = set(range(self._state_shard_count))
+        self._local_windows = False
 
     def _take_prefetched(self, handle: int):
         """Pop ``handle``'s scattered first window, collecting its shard.
@@ -969,9 +1269,12 @@ class GibbsLooper:
             self._scatter_pending.discard(shard)
             served = self._ensure_backend().state_collect(
                 self._state_token, shard)
-            for entry_handle, start, stop, count, matrices in served:
+            for (entry_handle, start, stop, count, matrices,
+                 speculation) in served:
                 self._prefetched_windows[entry_handle] = (
                     start, stop, count, matrices)
+                if speculation is not None:
+                    self._speculated[entry_handle] = speculation
         return self._prefetched_windows.pop(handle, None)
 
     def _discard_worker_state(self) -> None:
@@ -988,10 +1291,139 @@ class GibbsLooper:
         self._state_shard_count = 0
         self._scatter_pending = set()
         self._prefetched_windows = {}
+        self._wasted_speculations += len(self._speculated)
+        self._speculated = {}
+        self._spec_epoch = {}
         backend = self.backend if self.backend is not None \
             else self._owned_backend
         if backend is not None:
             backend.discard_state(token)
+
+    def _merge_worker_state(self, old_positions: dict) -> None:
+        """Delta state re-init: splice the refuel into the live shards.
+
+        Called right after a structure-preserving delta replenishment
+        (``_refresh_windows`` path) with the pre-refuel position vectors.
+        First drains every uncollected scatter reply and drops every
+        prefetched/speculated window — all of them index into the
+        pre-refuel window geometry — then ships each owning worker one
+        ``state_merge`` with the per-handle splice records built by
+        :meth:`_merge_record`.  FIFO ordering lands the merge before any
+        later message of this state, so by the next sweep's scatter the
+        mirrors are bit-identical to the parent's merged windows without
+        the snapshot ever re-shipping; the remainder of the *current*
+        sweep builds windows locally (``_local_windows``) while its
+        commits keep notifying the mirrors.
+        """
+        backend = self._ensure_backend()
+        for shard in sorted(self._scatter_pending):
+            backend.state_collect(self._state_token, shard)  # stale
+        self._scatter_pending = set()
+        self._prefetched_windows = {}
+        self._invalidate_speculations()
+        # The thread transport's state IS the caller's refreshed objects
+        # (state_merge is a deliberate no-op there) — building the value
+        # payloads would be pure waste, so only the splice *shape* is
+        # derived, keeping the merge counters transport-independent.
+        with_values = backend.state_casts_apply()
+        records: list[list] = [[] for _ in range(self._state_shard_count)]
+        fresh_slots = self._context.last_fresh_slots
+        for handle, shard in self._shard_of_handle.items():
+            record = self._merge_record(handle, old_positions[handle],
+                                        fresh_slots.get(handle),
+                                        with_values)
+            if record is not None:
+                records[shard].append(record)
+                self._merged_positions += record[2]
+        if with_values:
+            for shard, shard_records in enumerate(records):
+                if shard_records:
+                    backend.state_merge(self._state_token, shard,
+                                        "apply_merge", shard_records)
+        self._worker_state_merges += 1
+        self._local_windows = True
+
+    def _merge_record(self, handle: int, old: np.ndarray, fresh_slots,
+                      with_values: bool = True):
+        """One handle's splice record, or ``None`` if nothing changed.
+
+        ``fresh_slots`` is Instantiate's merged-position delta for the
+        handle (indices into the new position vector gathered fresh from
+        the streams); when the plan run could not provide one (a full
+        gather, say), the delta is re-derived from the position vectors —
+        stream values are pure functions of position, so any slot whose
+        position survived may be kept, whichever path materialized it.
+        The common untouched-seed case — the new window is the old one
+        plus a fresh tail — collapses to ``keep_src=None`` (identity
+        prefix), shipping no index arrays at all.
+        """
+        ts = self._seeds[handle]
+        new = ts.positions
+        if new is old or (new.size == old.size
+                          and np.array_equal(new, old)):
+            return None
+        members = self._tuples_of_seed[handle]
+        overlap = min(old.size, new.size)
+        if np.array_equal(new[:overlap], old[:overlap]):
+            keep_runs = None
+            fresh_dst = np.arange(overlap, new.size, dtype=np.int64)
+        else:
+            index = np.searchsorted(old, new)
+            clamped = np.minimum(index, old.size - 1)
+            found = old[clamped] == new
+            if fresh_slots is not None and fresh_slots.size:
+                # Anything Instantiate gathered fresh ships fresh, even
+                # if its position happens to survive — over-shipping a
+                # kept slot is bytes, mis-keeping a fresh one would be
+                # wrong only if streams were impure (they are not); the
+                # union keeps the record minimal AND authoritative.
+                found[fresh_slots] = False
+            keep_dst = np.nonzero(found)[0]
+            keep_src = index[keep_dst]
+            fresh_dst = np.nonzero(~found)[0]
+            # Run-length encode the keep mapping: both index vectors are
+            # strictly increasing, so consecutive (src+1, dst+1) pairs
+            # collapse into (old_start, new_start, length) runs — the
+            # whole overlap region is one run, the re-fronted assigned
+            # positions a handful more.
+            if keep_dst.size:
+                breaks = np.nonzero((np.diff(keep_dst) != 1)
+                                    | (np.diff(keep_src) != 1))[0] + 1
+                starts = np.concatenate(([0], breaks))
+                ends = np.concatenate((breaks, [keep_dst.size]))
+                keep_runs = np.stack(
+                    [keep_src[starts], keep_dst[starts], ends - starts],
+                    axis=1)
+            else:
+                keep_runs = np.empty((0, 3), dtype=np.int64)
+        rand_fresh = []
+        pres_fresh = []
+        if with_values:
+            for tuple_index in members:
+                gibbs_tuple = self._tuples[tuple_index]
+                rand_fresh.append({
+                    name: field.values[fresh_dst]
+                    for name, field in gibbs_tuple.rand.items()
+                    if field.handle == handle})
+                pres_fresh.append([
+                    presence.flags[fresh_dst]
+                    for presence in gibbs_tuple.presences
+                    if presence.handle == handle])
+        return (handle, new.size, int(fresh_dst.size), keep_runs,
+                rand_fresh, pres_fresh)
+
+    def _invalidate_speculations(self) -> None:
+        """Bump every owned seed's epoch; drop all buffered speculations.
+
+        Used by the global notifications (clone, merge): any speculation
+        computed before them was derived from state that no longer
+        exists, and the epoch bump makes the worker-side copies
+        unconsumable too — whatever transport the casts took.
+        """
+        for handle in self._shard_of_handle:
+            self._spec_epoch[handle] = self._spec_epoch.get(handle, 0) + 1
+        self._wasted_speculations += len(self._speculated)
+        self._speculated = {}
 
     def _perturb_all_seeds(self, cutoff: float, stats: GibbsStats) -> None:
         """One systematic Gibbs step over every seed, seed-major (Sec. 7)."""
@@ -1014,13 +1446,16 @@ class GibbsLooper:
                 prefetch = prefetched.pop(handle, None)
             self._perturb_seed(handle, cutoff, stats, prefetch)
             if self._replenished_flag:
-                # All Gibbs tuples were discarded and recreated; empty the
+                # The Gibbs tuples were rebuilt or re-windowed; empty the
                 # queue and rebuild it for the remaining handles (Sec. 9),
                 # and drop the prefetched windows — they index into the
-                # discarded tuples' old window views.  (_replenish already
-                # discarded any worker-owned state, so _take_prefetched
-                # yields None for the rest of this sweep; the next sweep
-                # re-initializes the workers from the rebuilt state.)
+                # pre-refuel window views.  (_replenish either discarded
+                # the worker-owned state — _take_prefetched then yields
+                # None and the rest of this sweep builds windows locally,
+                # with a full re-init next sweep — or spliced the refuel
+                # into the live shards, in which case the remaining
+                # handles' windows are served straight from the merged
+                # worker state.)
                 prefetched = {} if prefetched is not None else None
                 queue = self._build_queue(resume_after=handle)
                 continue
@@ -1227,12 +1662,19 @@ class GibbsLooper:
             # indices and the committed per-tuple contributions — the full
             # mutation, in a message a few hundred bytes long.  FIFO pipes
             # order it before any later window request for this seed.
+            # The seed's epoch moves with the commit, so any speculation
+            # computed before it can never be consumed — on either side.
             shard = self._shard_of_handle.get(ts.handle)
             if shard is not None:
+                epoch = self._spec_epoch.get(ts.handle, 0) + 1
+                self._spec_epoch[ts.handle] = epoch
+                if self._speculated.pop(ts.handle, None) is not None:
+                    self._wasted_speculations += 1
                 self._ensure_backend().state_cast(
                     self._state_token, shard, "apply_commit", ts.handle,
                     version_list, index_list,
-                    np.stack(committed_values), np.stack(committed_present))
+                    np.stack(committed_values), np.stack(committed_present),
+                    epoch)
 
     def _next_window(self, ts: TSSeed, affected, first_version: int,
                      cutoff: float, start: int, stop: int, max_rows: int):
@@ -1248,16 +1690,42 @@ class GibbsLooper:
         call (its commits land strictly below ``first_version``), which
         is why the served matrices are bit-identical to a local build.
         Without worker state this is exactly ``_build_window``.
+
+        Speculation short-circuit: when the owner pre-computed exactly
+        this window (same parameters) and the seed's epoch has not moved
+        since (not a single commit/clone/merge touched its state), the
+        buffered matrices ARE what a fresh ``serve_window`` would return
+        — so no state call is made at all; a fire-and-forget note keeps
+        the owner's cursor in lockstep and triggers the next
+        speculation.  Otherwise the synchronous call goes out and comes
+        back with the owner's next speculation piggybacked.
         """
         shard = self._shard_of_handle.get(ts.handle) \
             if self._state_token is not None else None
-        if shard is None:
+        if shard is None or self._local_windows:
             return self._build_window(ts, affected, first_version, cutoff,
                                       start, stop, max_rows)
         count = min(self._version_count() - first_version, max_rows)
-        matrices = self._ensure_backend().state_call(
-            self._state_token, shard, "serve_window",
-            ts.handle, first_version, count, start, stop)
+        key = (first_version, count, start, stop)
+        epoch = self._spec_epoch.get(ts.handle, 0)
+        speculation = self._speculated.pop(ts.handle, None)
+        if speculation is not None:
+            if speculation[0] == key and speculation[1] == epoch:
+                self._ensure_backend().state_cast(
+                    self._state_token, shard, "note_speculation",
+                    ts.handle, epoch)
+                self._sharded_windows += 1
+                self._followup_windows += 1
+                self._speculated_windows += 1
+                return self._window_from_matrices(
+                    first_version, start, stop, count, speculation[2],
+                    cutoff)
+            self._wasted_speculations += 1
+        matrices, speculation = self._ensure_backend().state_call(
+            self._state_token, shard, "serve_followup",
+            ts.handle, first_version, count, start, stop, epoch)
+        if speculation is not None:
+            self._speculated[ts.handle] = speculation
         self._sharded_windows += 1
         self._followup_windows += 1
         return self._window_from_matrices(first_version, start, stop, count,
@@ -1438,12 +1906,24 @@ class GibbsLooper:
         window (the context tracks which refuels were full vs. delta).
         """
         started = time.perf_counter()
-        # Replenishment rebuilds (or re-windows) the tuples the workers'
-        # mirrors were initialized from: invalidate the worker-owned
-        # state up front.  The rest of the current sweep runs its windows
-        # locally; the next sweep re-initializes the workers from the
-        # merged state.
-        self._discard_worker_state()
+        # Worker-state fate.  state_reinit="full" (or a stateless run)
+        # keeps the PR-4 behavior: invalidate up front, run the rest of
+        # the sweep locally, re-ship the snapshot next sweep.  Under
+        # state_reinit="delta" the state *survives* a delta refuel: if
+        # the re-run preserves the tuple structure, each owner receives
+        # one state_merge splice (never-materialized values only), the
+        # rest of the current sweep runs locally against live mirrors,
+        # and the next sweep's scatter resumes worker serving with no
+        # snapshot re-ship.
+        keep_state = (self._state_token is not None
+                      and self.options.state_reinit == "delta"
+                      and self.options.replenishment == "delta")
+        old_positions = None
+        if keep_state:
+            old_positions = {handle: ts.positions
+                             for handle, ts in self._seeds.items()}
+        else:
+            self._discard_worker_state()
         plans = {handle: ts.replenish_plan(self.window)
                  for handle, ts in self._seeds.items()}
         width = max(len(plan) for plan in plans.values())
@@ -1453,6 +1933,7 @@ class GibbsLooper:
             handle: self._seeds[handle].pad_plan(plan, width)
             for handle, plan in plans.items()}
         context.delta_mode = context.delta_tracking
+        context.last_fresh_slots = {}
         delta_before, full_before = context.delta_runs, context.full_runs
         relation = self.plan.execute(context)
         context.delta_mode = False
@@ -1466,6 +1947,14 @@ class GibbsLooper:
         versions = self._version_count()
         old_sums, old_counts = self._sums, self._counts
         self._ingest(relation, versions, initial=False)
+        if keep_state:
+            if self._ingest_refreshed:
+                self._merge_worker_state(old_positions)
+            else:
+                # The re-run changed the tuple structure: the mirrors no
+                # longer describe anything — fall back to discard + full
+                # re-init on the next sweep.
+                self._discard_worker_state()
         # Invariant: rebuilding from assignments must reproduce the same
         # query results — the caches and the streams cannot disagree.
         if not (np.allclose(old_sums, self._sums, atol=1e-9)

@@ -56,6 +56,14 @@ Sec. 7) and keeps it there:
 * ``state_cast(token, shard, method, *args)`` — fire-and-forget
   notification (commit fan-out); FIFO-ordered with every other message
   to that worker, which is what makes notify-then-serve race-free.
+* ``state_merge(token, shard, method, *args)`` — a cast in every
+  transport respect, but semantically a *state splice*: the payload
+  re-derives part of its owned state from a delta (the Gibbs delta
+  re-init ships only never-materialized window values after a
+  replenishment) instead of being re-initialized from a snapshot.  Kept
+  as its own verb so the transport accounting can split re-init traffic
+  (``state_merges``/``state_merge_bytes``) from per-sweep notifications,
+  which is what the replenishment-transport benchmark gates on.
 * ``state_scatter(token, method, per_shard_args)`` /
   ``state_collect(token, shard)`` — start one async call per shard, then
   collect each shard's reply lazily (the Gibbs sweep collects a shard
@@ -184,6 +192,19 @@ class ExecutionBackend:
         """
         return None
 
+    def state_casts_apply(self) -> bool:
+        """Whether ``state_cast`` actually runs the payload method.
+
+        True for the process transport (the cast ships to the worker)
+        and the serial mirror (the cast replays on the pickled copy);
+        False for the thread transport, whose casts are deliberate
+        no-ops on the caller's shared objects.  Features that *depend*
+        on the notification stream reaching the payload — speculative
+        follow-up prefetch above all — consult this to disable
+        themselves where the stream never arrives.
+        """
+        return True
+
     def init_state(self, payloads: list) -> int:
         """Pin ``payloads[shard]`` on the worker owning each shard."""
         raise NotImplementedError
@@ -198,6 +219,19 @@ class ExecutionBackend:
 
     def state_cast_all(self, token: int, method: str, *args) -> None:
         """Fire-and-forget notification to every shard of a state."""
+        raise NotImplementedError
+
+    def state_merge(self, token: int, shard: int, method: str,
+                    *args) -> None:
+        """Splice a delta into one shard's payload (see module docstring).
+
+        Same ordering/error semantics as :meth:`state_cast`; the serial
+        backend applies it to the pickled mirror (the replayable
+        reference), the thread backend treats it as a no-op on the
+        caller's shared objects, and the process backend ships it while
+        accounting the bytes as re-init rather than notification
+        traffic.
+        """
         raise NotImplementedError
 
     def state_scatter(self, token: int, method: str,
@@ -328,6 +362,13 @@ class SerialBackend(_InProcessStateStore, ExecutionBackend):
         for payload in self._states[token]:
             getattr(payload, method)(*args)
 
+    def state_merge(self, token: int, shard: int, method: str,
+                    *args) -> None:
+        # The mirror re-derives its state from the delta exactly like a
+        # remote worker would — which is what makes the serial backend
+        # the replayable reference for the delta re-init protocol.
+        getattr(self._shard(token, shard), method)(*args)
+
     def state_scatter(self, token: int, method: str,
                       per_shard_args: list) -> None:
         # Computed eagerly from the mirror — the mirror is the pre-sweep
@@ -387,6 +428,9 @@ class ThreadBackend(_InProcessStateStore, ExecutionBackend):
 
     # -- worker-owned state (by reference) ----------------------------------
 
+    def state_casts_apply(self) -> bool:
+        return False
+
     @staticmethod
     def _resolve_entry(entry):
         return entry.result()
@@ -407,6 +451,12 @@ class ThreadBackend(_InProcessStateStore, ExecutionBackend):
 
     def state_cast_all(self, token: int, method: str, *args) -> None:
         self._check_token(token)
+
+    def state_merge(self, token: int, shard: int, method: str,
+                    *args) -> None:
+        self._shard(token, shard)  # liveness check only: the caller's
+        # refresh already spliced the shared window arrays in place, and
+        # re-applying the splice would double-merge them.
 
     def state_scatter(self, token: int, method: str,
                       per_shard_args: list) -> None:
@@ -548,10 +598,15 @@ class ProcessBackend(ExecutionBackend):
         #: ``state_msg_bytes`` split out the worker-owned-state share so
         #: the Gibbs transport benchmark can separate the one-off snapshot
         #: ship from the per-sweep notification traffic.
+        #: ``state_merges``/``state_merge_bytes`` track the delta re-init
+        #: splices separately from both the snapshot ships and the
+        #: notification stream: the replenishment-transport benchmark
+        #: compares them against the full re-init's ``state_init_bytes``.
         self.stats = {"jobs": 0, "tasks": 0, "job_bytes": 0, "task_bytes": 0,
                       "shared_pickles": 0, "shared_sends": 0, "spawns": 0,
                       "sent_bytes": 0, "state_inits": 0, "state_init_bytes": 0,
-                      "state_calls": 0, "state_casts": 0, "state_msg_bytes": 0}
+                      "state_calls": 0, "state_casts": 0, "state_msg_bytes": 0,
+                      "state_merges": 0, "state_merge_bytes": 0}
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -822,6 +877,16 @@ class ProcessBackend(ExecutionBackend):
         self._check_token(token)
         for shard in range(self._state_shards[token]):
             self.state_cast(token, shard, method, *args)
+
+    def state_merge(self, token: int, shard: int, method: str,
+                    *args) -> None:
+        # Rides the cast wire format (the worker dispatches on the
+        # payload method either way); only the accounting differs — merge
+        # bytes are re-init traffic, not per-sweep notifications.
+        self._check_token(token)
+        self.stats["state_merges"] += 1
+        self.stats["state_merge_bytes"] += self._send_state_message(
+            self._worker_for(shard), ("scast", token, shard, method, args))
 
     def state_scatter(self, token: int, method: str,
                       per_shard_args: list) -> None:

@@ -31,7 +31,7 @@ from __future__ import annotations
 import itertools
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from typing import Sequence
 
 import numpy as np
 
@@ -108,6 +108,15 @@ class ExecutionContext:
         #: windows.
         self.delta_tracking = False
         self.delta_mode = False
+        #: The merged-position delta of the most recent delta run, per
+        #: seed handle: indices (into the handle's *new* position vector)
+        #: of the slots whose values were gathered fresh from the streams
+        #: because they were never materialized before.  Everything else
+        #: was copied from the previous windows.  Consumers (the Gibbs
+        #: delta state re-init) reset it before a replenishment run; the
+        #: relation-level view of the same data is
+        #: :attr:`~repro.engine.bundles.BundleRelation.fresh_slots`.
+        self.last_fresh_slots: dict[int, np.ndarray] = {}
         self.materialized: dict[int, "_Materialization"] = {}
         self.plan_runs = 0
         self.node_executions = 0
@@ -376,9 +385,11 @@ class Instantiate(PlanNode):
             previous = None  # row set changed; delta baseline unusable
 
         if previous is not None:
-            positions_by_handle = self._merge_delta(
+            positions_by_handle, fresh_slots = self._merge_delta(
                 context, handles, windows, bases, previous)
             context.delta_runs += 1
+            context.last_fresh_slots.update(fresh_slots)
+            out.fresh_slots = fresh_slots
         elif not context.position_plan and not context.window_bases:
             positions_by_handle = self._gather_shared(
                 context, handles, windows, bases)
@@ -500,10 +511,17 @@ class Instantiate(PlanNode):
         typically just the seeds that actually consumed candidates since
         the last run, everything past their ``max_used`` — touch the
         streams.
+
+        Also returns the merged-position delta per seed handle: the
+        new-window slot indices gathered fresh from the streams.  The
+        Gibbs delta state re-init ships exactly these slots' values to
+        the worker owning the handle, so the delta computed here IS the
+        wire payload's shape.
         """
         names = [name for name, _ in self.outputs]
         prev_columns = [previous.columns[name] for name in names]
         positions_by_handle: dict[int, np.ndarray] = {}
+        fresh_slots: dict[int, np.ndarray] = {}
         unchanged_rows: list[int] = []
         for row in range(handles.shape[0]):
             handle = int(handles[row])
@@ -515,6 +533,8 @@ class Instantiate(PlanNode):
             old_positions = previous.positions.get(handle)
             if old_positions is None:
                 info = context.seeds[handle]
+                fresh_slots[handle] = np.arange(new_positions.size,
+                                                dtype=np.int64)
                 for (name, component) in self.outputs:
                     windows[name][row] = info.values_at(
                         new_positions, component)
@@ -523,6 +543,7 @@ class Instantiate(PlanNode):
                 # Identity: the seed was untouched since the last run and
                 # its memoized padded plan was reused verbatim (see
                 # TSSeed.pad_plan) — the whole window carries over.
+                fresh_slots[handle] = np.empty(0, dtype=np.int64)
                 unchanged_rows.append(row)
                 continue
             overlap = min(old_positions.size, new_positions.size)
@@ -532,6 +553,8 @@ class Instantiate(PlanNode):
                 # padding, so the new window is a prefix extension (or
                 # truncation) of the old one — copy the overlap and gather
                 # only the contiguous fresh tail.
+                fresh_slots[handle] = np.arange(
+                    overlap, new_positions.size, dtype=np.int64)
                 for (name, component), prev_values in zip(self.outputs,
                                                           prev_columns):
                     target = windows[name][row]
@@ -544,6 +567,7 @@ class Instantiate(PlanNode):
             index[index == old_positions.size] = 0  # clamp; masked below
             found = old_positions[index] == new_positions
             missing = np.nonzero(~found)[0]
+            fresh_slots[handle] = missing
             for (name, component), prev_values in zip(self.outputs,
                                                       prev_columns):
                 target = windows[name][row]
@@ -555,7 +579,7 @@ class Instantiate(PlanNode):
             rows = np.asarray(unchanged_rows, dtype=np.int64)
             for name, prev_values in zip(names, prev_columns):
                 windows[name][rows] = prev_values[rows]
-        return positions_by_handle
+        return positions_by_handle, fresh_slots
 
     def _describe_line(self):
         names = ", ".join(name for name, _ in self.outputs)
@@ -629,6 +653,7 @@ class Project(PlanNode):
             else:
                 raise PlanError(f"Project keeps unknown column {name!r}")
         out.presence = list(relation.presence)
+        out.fresh_slots = dict(relation.fresh_slots)
 
         for name, expr in self.outputs:
             rand_names = relation.random_columns_in(expr)
@@ -702,13 +727,19 @@ class Join(PlanNode):
         out.rand_columns.update(taken_left.rand_columns)
         out.rand_columns.update(taken_right.rand_columns)
         out.presence = taken_left.presence + taken_right.presence
+        # Handle-keyed, and the two sides' handle sets are disjoint (or
+        # identical for a self-join) — a plain union is the right merge.
+        out.fresh_slots = {**taken_left.fresh_slots,
+                           **taken_right.fresh_slots}
         return out
 
     def _fingerprint_parts(self):
         return (tuple(self.left_keys), tuple(self.right_keys))
 
     def _describe_line(self):
-        keys = ", ".join(f"{l}={r}" for l, r in zip(self.left_keys, self.right_keys))
+        keys = ", ".join(
+            f"{left}={right}"
+            for left, right in zip(self.left_keys, self.right_keys))
         return f"Join({keys})"
 
 
@@ -751,6 +782,7 @@ class Split(PlanNode):
             if name != self.column:
                 out.rand_columns[name] = column
         out.presence = list(gathered.presence)
+        out.fresh_slots = dict(gathered.fresh_slots)
         split_array = np.asarray(split_values)
         out.add_det_column(self.column, split_array)
         flags = gathered.rand_columns[self.column].values == split_array[:, None]

@@ -37,10 +37,13 @@ enforced by ``tests/test_engine_equivalence.py``.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
+
+from repro.engine.errors import EngineError
 
 __all__ = ["ENGINES", "BACKENDS", "REPLENISHMENT_MODES", "DET_CACHE_MODES",
-           "GIBBS_STATE_MODES", "ExecutionOptions"]
+           "GIBBS_STATE_MODES", "STATE_REINIT_MODES", "ExecutionOptions",
+           "env_choice", "env_int", "env_float", "env_bool"]
 
 #: Supported Gibbs perturbation kernels.
 ENGINES = ("vectorized", "reference")
@@ -72,12 +75,99 @@ DET_CACHE_MODES = ("session", "context", "off")
 #: whole, first windows only), retained as the comparison baseline.
 GIBBS_STATE_MODES = ("worker", "broadcast")
 
-#: Env-overridable default so CI can run whole suites under either
-#: placement (``MCDBR_GIBBS_STATE=worker|broadcast``) without threading
-#: the knob through every construction site.  Read once at import —
-#: options constructed at different times inside one process can never
-#: silently disagree.
-_DEFAULT_GIBBS_STATE = os.environ.get("MCDBR_GIBBS_STATE", "worker")
+#: Worker-state re-initialization after a replenishment (tail path,
+#: ``gibbs_state="worker"`` only).  ``"delta"`` keeps the worker-owned
+#: shards alive across a structure-preserving delta replenishment and
+#: ships each owner only the merged never-materialized window values (a
+#: ``state_merge`` splice); ``"full"`` discards the state and re-ships
+#: the whole shard snapshot on the next sweep (the PR-4 behavior, kept
+#: as the comparison baseline).  Bit-identical either way.
+STATE_REINIT_MODES = ("delta", "full")
+
+#: Truthy/falsy spellings accepted by boolean env knobs.
+_ENV_TRUE = ("1", "true", "yes", "on")
+_ENV_FALSE = ("0", "false", "no", "off")
+
+#: Every environment knob ``from_env`` recognizes — the whole MCDBR_*
+#: namespace is reserved, so misspelled *names* fail fast too.
+_ENV_KNOBS = frozenset((
+    "MCDBR_ENGINE", "MCDBR_N_JOBS", "MCDBR_BACKEND", "MCDBR_SHARD_SIZE",
+    "MCDBR_REPLENISHMENT", "MCDBR_DET_CACHE", "MCDBR_WINDOW_GROWTH",
+    "MCDBR_GIBBS_STATE", "MCDBR_STATE_REINIT", "MCDBR_SPECULATE"))
+
+
+def env_choice(name: str, default: str, allowed: tuple) -> str:
+    """An enum-valued ``MCDBR_*`` knob, validated against ``allowed``.
+
+    Misspelled values fail *here*, with the env var named, instead of
+    surfacing later as a ``ValueError`` from whichever construction site
+    happened to read the option first.
+    """
+    value = os.environ.get(name)
+    if value is None:
+        return default
+    if value not in allowed:
+        raise EngineError(
+            f"invalid {name}={value!r}; supported values: "
+            f"{'|'.join(allowed)}")
+    return value
+
+
+def env_int(name: str, default: int, minimum: int = 1) -> int:
+    value = os.environ.get(name)
+    if value is None:
+        return default
+    try:
+        parsed = int(value)
+    except ValueError:
+        raise EngineError(
+            f"invalid {name}={value!r}; expected an integer") from None
+    if parsed < minimum:
+        raise EngineError(
+            f"invalid {name}={parsed}; must be >= {minimum}")
+    return parsed
+
+
+def env_float(name: str, default: float, minimum: float) -> float:
+    value = os.environ.get(name)
+    if value is None:
+        return default
+    try:
+        parsed = float(value)
+    except ValueError:
+        raise EngineError(
+            f"invalid {name}={value!r}; expected a number") from None
+    if not parsed >= minimum:
+        raise EngineError(
+            f"invalid {name}={parsed}; must be >= {minimum}")
+    return parsed
+
+
+def env_bool(name: str, default: bool) -> bool:
+    value = os.environ.get(name)
+    if value is None:
+        return default
+    lowered = value.lower()
+    if lowered in _ENV_TRUE:
+        return True
+    if lowered in _ENV_FALSE:
+        return False
+    raise EngineError(
+        f"invalid {name}={value!r}; expected one of "
+        f"{'|'.join(_ENV_TRUE + _ENV_FALSE)}")
+
+
+#: Env-overridable defaults so CI can run whole suites under either
+#: placement (``MCDBR_GIBBS_STATE=worker|broadcast``), re-init strategy
+#: (``MCDBR_STATE_REINIT=delta|full``) or speculation setting
+#: (``MCDBR_SPECULATE=1|0``) without threading the knobs through every
+#: construction site.  Read once at import — options constructed at
+#: different times inside one process can never silently disagree.
+_DEFAULT_GIBBS_STATE = env_choice("MCDBR_GIBBS_STATE", "worker",
+                                  GIBBS_STATE_MODES)
+_DEFAULT_STATE_REINIT = env_choice("MCDBR_STATE_REINIT", "delta",
+                                   STATE_REINIT_MODES)
+_DEFAULT_SPECULATE = env_bool("MCDBR_SPECULATE", True)
 
 
 @dataclass(frozen=True)
@@ -134,6 +224,28 @@ class ExecutionOptions:
         owning worker serves follow-up windows too.  ``"broadcast"``
         re-ships the pre-sweep snapshot every sweep (the stateless
         transport, kept for comparison).  Bit-identical either way.
+    state_reinit:
+        How worker-owned seed state survives a replenishment.
+        ``"delta"`` (default; env ``MCDBR_STATE_REINIT``) keeps the
+        worker shards alive when the refuel preserved the tuple
+        structure: each owner receives one ``state_merge`` splice
+        carrying only the never-materialized window values for its
+        handle range, and its per-version caches carry over — the
+        worker-side mirror of the parent's ``replenishment="delta"``
+        fast path.  ``"full"`` discards the state on every refuel and
+        re-ships the whole snapshot (the baseline).  Inert under
+        ``gibbs_state="broadcast"``.  Bit-identical either way.
+    speculate_followups:
+        Speculative follow-up prefetch for rejection-heavy seeds
+        (default on; env ``MCDBR_SPECULATE``).  Every worker-served
+        window request carries the exact parameters of the *next*
+        request assuming the window is fully rejected; owners of
+        low-acceptance seeds pre-compute that window and piggyback it
+        on the reply, so the sweep's next ``_next_window`` resolves
+        from the speculation buffer instead of a blocking state call.
+        A per-seed epoch invalidates speculations the moment a commit,
+        clone or merge touches the seed — results stay bit-identical,
+        only the number of blocking round-trips drops.
     """
 
     engine: str = "vectorized"
@@ -144,6 +256,8 @@ class ExecutionOptions:
     det_cache: str = "session"
     window_growth: float = 1.0
     gibbs_state: str = _DEFAULT_GIBBS_STATE
+    state_reinit: str = _DEFAULT_STATE_REINIT
+    speculate_followups: bool = _DEFAULT_SPECULATE
 
     def __post_init__(self):
         if self.engine not in ENGINES:
@@ -172,6 +286,76 @@ class ExecutionOptions:
             raise ValueError(
                 f"unknown gibbs_state mode {self.gibbs_state!r}; "
                 f"supported: {GIBBS_STATE_MODES}")
+        if self.state_reinit not in STATE_REINIT_MODES:
+            raise ValueError(
+                f"unknown state_reinit mode {self.state_reinit!r}; "
+                f"supported: {STATE_REINIT_MODES}")
+        if not isinstance(self.speculate_followups, bool):
+            raise ValueError(
+                f"speculate_followups must be a bool, got "
+                f"{self.speculate_followups!r}")
+
+    @classmethod
+    def from_env(cls, **overrides) -> "ExecutionOptions":
+        """Options from the ``MCDBR_*`` environment, validated eagerly.
+
+        The one sanctioned way for entry points (quickstart, CI smoke
+        runs, benchmarks) to pick up execution knobs from the
+        environment: every variable is parsed and validated *here*, so a
+        typo'd value fails with a clear :class:`EngineError` naming the
+        variable, instead of a ``ValueError`` from deep inside options
+        construction.  Explicit ``overrides`` win over the environment.
+
+        ==========================  =====================================
+        variable                    values
+        ==========================  =====================================
+        ``MCDBR_ENGINE``            ``vectorized|reference``
+        ``MCDBR_N_JOBS``            integer >= 1
+        ``MCDBR_BACKEND``           ``process|thread|serial``
+        ``MCDBR_SHARD_SIZE``        integer >= 1 (unset = even split)
+        ``MCDBR_REPLENISHMENT``     ``delta|full``
+        ``MCDBR_DET_CACHE``         ``session|context|off``
+        ``MCDBR_WINDOW_GROWTH``     number >= 1.0
+        ``MCDBR_GIBBS_STATE``       ``worker|broadcast``
+        ``MCDBR_STATE_REINIT``      ``delta|full``
+        ``MCDBR_SPECULATE``         ``1|0|true|false|yes|no|on|off``
+        ==========================  =====================================
+
+        Unrecognized ``MCDBR_*`` variables are rejected too: a
+        misspelled *name* would otherwise silently leave its knob at the
+        default — the exact failure mode this parser exists to prevent.
+        """
+        unknown_vars = sorted(
+            name for name in os.environ
+            if name.startswith("MCDBR_") and name not in _ENV_KNOBS)
+        if unknown_vars:
+            raise EngineError(
+                f"unrecognized environment knobs {unknown_vars}; "
+                f"supported: {sorted(_ENV_KNOBS)}")
+        values = dict(
+            engine=env_choice("MCDBR_ENGINE", "vectorized", ENGINES),
+            n_jobs=env_int("MCDBR_N_JOBS", 1),
+            backend=env_choice("MCDBR_BACKEND", "process", BACKENDS),
+            shard_size=(env_int("MCDBR_SHARD_SIZE", 1)
+                        if "MCDBR_SHARD_SIZE" in os.environ else None),
+            replenishment=env_choice("MCDBR_REPLENISHMENT", "delta",
+                                     REPLENISHMENT_MODES),
+            det_cache=env_choice("MCDBR_DET_CACHE", "session",
+                                 DET_CACHE_MODES),
+            window_growth=env_float("MCDBR_WINDOW_GROWTH", 1.0, 1.0),
+            gibbs_state=env_choice("MCDBR_GIBBS_STATE", "worker",
+                                   GIBBS_STATE_MODES),
+            state_reinit=env_choice("MCDBR_STATE_REINIT", "delta",
+                                    STATE_REINIT_MODES),
+            speculate_followups=env_bool("MCDBR_SPECULATE", True),
+        )
+        known = {field.name for field in fields(cls)}
+        unknown = set(overrides) - known
+        if unknown:
+            raise EngineError(
+                f"unknown ExecutionOptions overrides: {sorted(unknown)}")
+        values.update(overrides)
+        return cls(**values)
 
     @property
     def sharded(self) -> bool:

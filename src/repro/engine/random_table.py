@@ -9,8 +9,7 @@ pipeline ``Scan -> Seed -> Instantiate`` of Fig. 2.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Sequence
+from dataclasses import dataclass
 
 from repro.engine.expressions import Expr
 from repro.vg.base import VGFunction

@@ -10,8 +10,12 @@ from repro.experiments.harness import (
     engine_comparison_table,
     format_table,
     print_experiment,
+    record_metric,
+    run_benchmark_cli,
     timed,
+    write_metrics,
 )
 
 __all__ = ["format_table", "print_experiment", "ascii_series", "timed",
-           "engine_comparison_table"]
+           "engine_comparison_table", "record_metric", "write_metrics",
+           "run_benchmark_cli"]

@@ -1,12 +1,99 @@
-"""ASCII reporting helpers for the experiment benchmarks."""
+"""ASCII reporting + machine-readable metrics for the benchmarks.
+
+Besides the table/series printers, the harness collects benchmark
+metrics into a flat ``{benchmark, metric, value, gate}`` record list:
+benchmark functions call :func:`record_metric` as they compute their
+headline numbers, and :func:`run_benchmark_cli` — the shared ``__main__``
+entry point of every script under ``benchmarks/`` — writes them out as
+JSON when the script is invoked with ``--json out.json``.  The CI bench
+lane runs each benchmark that way and uploads the merged records as a
+``BENCH_<sha>.json`` build artifact, so the performance trajectory is
+tracked per commit instead of living only in scrollback.  Gate failures
+still raise (failing the lane); the records written up to that point are
+flushed first so the artifact shows *which* gate regressed.
+"""
 
 from __future__ import annotations
 
+import argparse
+import json
+import numbers
 import time
 from typing import Callable, Mapping, Sequence
 
 __all__ = ["format_table", "print_experiment", "ascii_series", "timed",
-           "engine_comparison_table"]
+           "engine_comparison_table", "record_metric", "write_metrics",
+           "run_benchmark_cli"]
+
+#: Collected metric records, in call order.  Module-level on purpose:
+#: benchmark functions stay plain callables (pytest collects them too,
+#: where the records simply accumulate unread).
+_METRICS: list[dict] = []
+
+
+def _json_value(value):
+    """Coerce NumPy scalars / odd numerics into plain JSON types."""
+    if isinstance(value, bool) or value is None:
+        return value
+    if isinstance(value, (int, float, str)):
+        return value
+    # Integral first, then any other real number as float — never the
+    # reverse, which would silently truncate fractional metrics.
+    if isinstance(value, numbers.Integral):
+        return int(value)
+    if isinstance(value, numbers.Real):
+        return float(value)
+    return str(value)
+
+
+def record_metric(benchmark: str, metric: str, value,
+                  gate: str | None = None) -> None:
+    """Record one benchmark measurement.
+
+    ``gate`` is the human-readable acceptance threshold the benchmark
+    asserts for this metric (e.g. ``">= 5x"``), or ``None`` for purely
+    informational numbers.
+    """
+    _METRICS.append({"benchmark": benchmark, "metric": metric,
+                     "value": _json_value(value), "gate": gate})
+
+
+def write_metrics(path: str) -> None:
+    """Write every recorded metric as a JSON array to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(_METRICS, handle, indent=2)
+        handle.write("\n")
+
+
+def run_benchmark_cli(benchmarks: Sequence[Callable],
+                      argv: Sequence[str] | None = None) -> None:
+    """Shared ``__main__`` for the benchmark scripts.
+
+    Runs each zero-argument benchmark callable in order.  A gate
+    assertion fails the script, but only after every remaining benchmark
+    has run and the records have been written (with ``--json out.json``)
+    — a red CI lane therefore still uploads *all* the numbers, not just
+    those measured before the first regression.
+    """
+    parser = argparse.ArgumentParser()
+    parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="write collected {benchmark, metric, value, gate} records "
+             "as a JSON array to PATH")
+    args = parser.parse_args(argv)
+    first_failure = None
+    try:
+        for benchmark in benchmarks:
+            try:
+                benchmark()
+            except Exception as exc:
+                if first_failure is None:
+                    first_failure = exc
+    finally:
+        if args.json:
+            write_metrics(args.json)
+    if first_failure is not None:
+        raise first_failure
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:

@@ -9,7 +9,7 @@ returning a per-group map of tail results.
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+from typing import Sequence
 
 from repro.core.gibbs_looper import LooperResult
 from repro.sql.session import Session

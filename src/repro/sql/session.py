@@ -97,10 +97,17 @@ class Session:
     additionally pin per-query *worker-owned Gibbs seed state* on the
     pool (``gibbs_state="worker"``, the default): each worker keeps its
     TS-seed handle range's tuples/states across sweeps and is kept in
-    sync by commit notifications.  That state is scoped strictly to one
-    query — the looper discards it (a drain barrier) before returning,
-    so the persistent pool never carries stale seed state or in-flight
-    replies across queries, catalog mutations
+    sync by commit notifications; under ``state_reinit="delta"`` (the
+    default) that state even survives replenishments — each owner
+    receives a ``state_merge`` splice carrying only the
+    never-materialized window values, so the snapshot ships once per
+    *query*, not once per refuel — and with ``speculate_followups`` the
+    owners of rejection-heavy seeds pre-compute the sweep's next
+    candidate window so follow-ups resolve from a speculation buffer
+    instead of a blocking state call.  That state is scoped strictly to
+    one query — the looper discards it (a drain barrier) before
+    returning, so the persistent pool never carries stale seed state or
+    in-flight replies across queries, catalog mutations
     (``Catalog.version`` bumps), or a :meth:`close`/respawn cycle.  Call
     :meth:`close` (or use the session as a context manager) to release
     the pool::

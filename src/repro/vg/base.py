@@ -11,7 +11,7 @@ of Sec. 3.1 exploits (it resamples one whole block at a time).
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Mapping, Sequence
+from typing import Sequence
 
 import numpy as np
 

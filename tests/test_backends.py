@@ -525,7 +525,8 @@ class TestSessionPoolLifecycle:
 
 def _tail_looper(backend=None, n_jobs=2, gibbs_state="worker",
                  customers=24, window=4000, versions=40, num_samples=20,
-                 m=2, k=2, p_step=0.2, base_seed=9, backend_name="process"):
+                 m=2, k=2, p_step=0.2, base_seed=9, backend_name="process",
+                 state_reinit="delta", speculate_followups=True):
     """A rejection-heavy, replenishment-free Gibbs workload.
 
     ``window`` far exceeds what ``m * k`` sweeps consume, so the run has
@@ -549,7 +550,9 @@ def _tail_looper(backend=None, n_jobs=2, gibbs_state="worker",
         aggregate_kind="sum", aggregate_expr=col("val"),
         window=window, base_seed=base_seed, k=k,
         options=ExecutionOptions(n_jobs=n_jobs, backend=backend_name,
-                                 gibbs_state=gibbs_state),
+                                 gibbs_state=gibbs_state,
+                                 state_reinit=state_reinit,
+                                 speculate_followups=speculate_followups),
         backend=backend)
 
 
@@ -639,6 +642,45 @@ class TestWorkerStateProtocol:
         assert payload.entries == [1]  # caller's object untouched
         payload.entries.append(999)    # …and mirror blind to caller edits
         assert backend.state_call(token, 0, "total") == ("m", 42)
+
+    def test_state_merge_semantics_per_backend(self):
+        """``state_merge`` is a splice verb: the serial mirror applies it
+        (the replayable reference), the thread transport must NOT
+        re-apply it to the caller's shared objects (the caller's own
+        refresh already did), and the process transport accounts its
+        bytes as re-init rather than notification traffic."""
+        payload = LedgerState("m", [1])
+        serial = SerialBackend()
+        token = serial.init_state([payload])
+        serial.state_merge(token, 0, "record", 10)
+        assert serial.state_call(token, 0, "total") == ("m", 11)
+        assert payload.entries == [1]  # caller's object untouched
+
+        shared = LedgerState("t", [1])
+        thread = ThreadBackend(2)
+        try:
+            token = thread.init_state([shared])
+            shared.record(10)  # the caller's refresh IS the merge
+            thread.state_merge(token, 0, "record", 10)
+            assert thread.state_call(token, 0, "total") == ("t", 11)
+            with pytest.raises(EngineError, match="unknown worker state"):
+                thread.state_merge(99, 0, "record", 1)
+        finally:
+            thread.close()
+
+        process = ProcessBackend(2)
+        try:
+            token = process.init_state([LedgerState("p", [1])])
+            process.state_merge(token, 0, "record", 29)
+            assert process.stats["state_merges"] == 1
+            assert process.stats["state_merge_bytes"] > 0
+            # Merge bytes are re-init traffic, not notifications.
+            assert process.stats["state_msg_bytes"] == 0
+            assert process.state_call(token, 0, "total") == ("p", 30)
+            with pytest.raises(EngineError, match="unknown worker state"):
+                process.state_merge(token + 1, 0, "record", 1)
+        finally:
+            process.close()
 
     def test_thread_state_is_shared_by_reference(self):
         """The thread backend holds the live object: the caller's own
@@ -871,6 +913,42 @@ class TestWorkerStateTransport:
             assert stats["state_msg_bytes"] < stats["state_init_bytes"] / 3
             traffic = stats["state_calls"] + stats["state_casts"]
             assert stats["state_msg_bytes"] / traffic < 4096
+        finally:
+            backend.close()
+
+    def test_delta_reinit_merges_instead_of_reshipping(self):
+        """A replenishing workload under ``state_reinit="delta"`` must
+        ship the snapshot exactly once and survive every refuel with a
+        ``state_merge`` splice strictly smaller than the snapshot."""
+        backend = ProcessBackend(2)
+        try:
+            result = _tail_looper(backend=backend, window=500,
+                                  versions=30, p_step=0.15).run()
+            stats = backend.stats
+            assert result.plan_runs > 1  # workload really replenished
+            assert result.worker_state_inits == 1
+            assert result.worker_state_merges == result.plan_runs - 1
+            assert result.merged_positions > 0
+            assert stats["state_inits"] == 1
+            assert stats["state_merges"] >= result.worker_state_merges
+            # The whole point: all splices together stay well under the
+            # one snapshot ship each of them replaced.
+            assert stats["state_merge_bytes"] < stats["state_init_bytes"]
+        finally:
+            backend.close()
+
+    def test_full_reinit_reships_snapshot_after_each_refuel(self):
+        backend = ProcessBackend(2)
+        try:
+            result = _tail_looper(backend=backend, window=500,
+                                  versions=30, p_step=0.15,
+                                  state_reinit="full").run()
+            assert result.plan_runs > 1
+            assert result.worker_state_merges == 0
+            assert result.worker_state_inits > 1
+            assert backend.stats["state_merges"] == 0
+            assert backend.stats["state_inits"] == \
+                result.worker_state_inits
         finally:
             backend.close()
 

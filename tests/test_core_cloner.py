@@ -54,10 +54,10 @@ class TestTailSampleNormalSum:
     R = 25
     P = 0.001
 
-    def _run(self, seed, k=1, budget=4000, l=100):
+    def _run(self, seed, k=1, budget=4000, samples=100):
         model = _normal_model(self.R)
         query = SeparableSumQuery.simple_sum(self.R)
-        return tail_sample(model, query, self.P, num_samples=l,
+        return tail_sample(model, query, self.P, num_samples=samples,
                            total_budget=budget, k=k,
                            rng=np.random.default_rng(seed))
 

@@ -1,6 +1,5 @@
 """Tests for Appendix C parameter selection (repro.core.params)."""
 
-import math
 
 import numpy as np
 import pytest

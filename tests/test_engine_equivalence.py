@@ -72,7 +72,8 @@ class TestLooperEquivalence:
              aggregate_kind="sum", k=1, num_samples=25, m=2, p_step=0.3,
              versions=40, predicate=None, max_proposals=100_000,
              replenishment="delta", n_jobs=1, backend="process",
-             shard_size=None, window_growth=1.0, gibbs_state="worker"):
+             shard_size=None, window_growth=1.0, gibbs_state="worker",
+             state_reinit="delta", speculate_followups=True):
         catalog, spec = _losses_catalog(customers)
         plan = random_table_pipeline(spec)
         if predicate is not None:
@@ -90,7 +91,10 @@ class TestLooperEquivalence:
                                      n_jobs=n_jobs, backend=backend,
                                      shard_size=shard_size,
                                      window_growth=window_growth,
-                                     gibbs_state=gibbs_state)).run()
+                                     gibbs_state=gibbs_state,
+                                     state_reinit=state_reinit,
+                                     speculate_followups=
+                                     speculate_followups)).run()
 
     @given(customers=st.integers(3, 15),
            window=st.integers(60, 300),
@@ -670,6 +674,191 @@ class TestWorkerStateReplay:
             self._runner._run("vectorized", n_jobs=n_jobs, backend="serial",
                               shard_size=shard_size, gibbs_state="worker",
                               **kwargs))
+
+
+class TestDeltaStateReinit:
+    """``state_reinit`` x ``speculate_followups``: the worker-owned state
+    must survive delta replenishments through ``state_merge`` splices —
+    per-version caches kept, only never-materialized window values
+    shipped — and speculative follow-up prefetch must resolve windows
+    from the speculation buffer, all at the serial sweep's exact bits.
+    """
+
+    _runner = TestLooperEquivalence()
+    #: Replenishment-heavy: every sweep crosses several refuels, so a
+    #: delta run exercises the splice path many times per query.
+    HEAVY = dict(customers=12, window=60, versions=30, num_samples=15,
+                 m=2, base_seed=9)
+
+    @staticmethod
+    def _run_skewed(n_jobs=1, backend="serial", state_reinit="delta",
+                    speculate_followups=True):
+        """Skew-rejection workload: a few extreme-variance seeds.
+
+        Their versions burn thousands of candidates — long zero-accept
+        window chains, exactly what the speculative prefetch predicts —
+        while the cold majority keeps the plan replenishing normally.
+        """
+        catalog = Catalog()
+        sigma = np.full(40, 0.25)
+        sigma[:3] = 25.0
+        catalog.add_table(Table("means", {
+            "CID": np.arange(40),
+            "m": np.linspace(0.8, 3.5, 40),
+            "s": sigma}))
+        spec = RandomTableSpec(
+            name="Losses", parameter_table="means", vg=NORMAL,
+            vg_params=(col("m"), col("s")),
+            random_columns=(RandomColumnSpec("val"),),
+            passthrough_columns=("CID",))
+        params = TailParams(p=0.12 ** 2, m=2, n_steps=(40, 40),
+                            p_steps=(0.12, 0.12))
+        return GibbsLooper(
+            random_table_pipeline(spec), catalog, params, 20,
+            aggregate_kind="sum", aggregate_expr=col("val"),
+            window=1200, base_seed=13, k=2,
+            options=ExecutionOptions(
+                n_jobs=n_jobs, backend=backend, gibbs_state="worker",
+                state_reinit=state_reinit,
+                speculate_followups=speculate_followups)).run()
+
+    @pytest.mark.parametrize("speculate", [False, True])
+    @pytest.mark.parametrize("state_reinit", ["delta", "full"])
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_reinit_matrix_equals_serial(self, backend, state_reinit,
+                                         speculate):
+        serial = self._runner._run("vectorized", **self.HEAVY)
+        sharded = self._runner._run(
+            "vectorized", n_jobs=2, backend=backend, gibbs_state="worker",
+            state_reinit=state_reinit, speculate_followups=speculate,
+            **self.HEAVY)
+        _assert_identical(serial, sharded)
+        assert sharded.plan_runs > 1  # the scenario must replenish
+        if state_reinit == "delta":
+            # The state survived every refuel: one snapshot ship for the
+            # whole query, one splice per replenishment.
+            assert sharded.worker_state_inits == 1
+            assert sharded.worker_state_merges == sharded.plan_runs - 1
+            assert sharded.merged_positions > 0
+        else:
+            assert sharded.worker_state_merges == 0
+            assert sharded.worker_state_inits > 1
+
+    def test_full_replenishment_mode_disables_merging(self):
+        """``replenishment="full"`` rebuilds the tuples, so even
+        ``state_reinit="delta"`` must fall back to discard + re-init."""
+        result = self._runner._run(
+            "vectorized", n_jobs=2, backend="serial", gibbs_state="worker",
+            replenishment="full", state_reinit="delta", **self.HEAVY)
+        _assert_identical(
+            self._runner._run("vectorized", replenishment="full",
+                              **self.HEAVY), result)
+        assert result.worker_state_merges == 0
+        assert result.worker_state_inits > 1
+
+    @pytest.mark.parametrize("backend", ["serial", "process"])
+    def test_speculation_serves_windows_bit_identically(self, backend):
+        serial = self._run_skewed()
+        plain = self._run_skewed(n_jobs=2, backend=backend,
+                                 speculate_followups=False)
+        speculated = self._run_skewed(n_jobs=2, backend=backend,
+                                      speculate_followups=True)
+        _assert_identical(serial, plain)
+        _assert_identical(serial, speculated)
+        assert plain.speculated_windows == 0
+        assert speculated.speculated_windows > 0  # buffer really served
+        assert speculated.followup_windows >= \
+            speculated.speculated_windows
+
+    def test_thread_backend_never_speculates(self):
+        """The thread transport elides casts, so the owners never see
+        the notification stream speculation depends on — it must be
+        disabled there (results identical regardless)."""
+        serial = self._run_skewed()
+        threaded = self._run_skewed(n_jobs=2, backend="thread",
+                                    speculate_followups=True)
+        _assert_identical(serial, threaded)
+        assert threaded.speculated_windows == 0
+        assert threaded.wasted_speculations == 0
+
+    def test_merge_and_speculation_notifications_flow(self, monkeypatch):
+        """White-box: the delta re-init and speculation paths must run —
+        mirrors receive ``apply_merge`` splices, speculations are built
+        by the owners, and consumed ones are acknowledged by notes."""
+        from repro.core import gibbs_looper as gl
+        counts = {"merge": 0, "speculate": 0, "note": 0}
+        for name, key in (("apply_merge", "merge"),
+                          ("_speculate", "speculate"),
+                          ("note_speculation", "note")):
+            original = getattr(gl.GibbsSeedShard, name)
+
+            def wrapped(self, *args, _original=original, _key=key):
+                counts[_key] += 1
+                return _original(self, *args)
+
+            monkeypatch.setattr(gl.GibbsSeedShard, name, wrapped)
+        result = self._run_skewed(n_jobs=2, backend="serial")
+        assert result.worker_state_merges > 0
+        # apply_merge fires once per shard per survived replenishment.
+        assert counts["merge"] >= result.worker_state_merges
+        assert counts["speculate"] > 0
+        assert counts["note"] == result.speculated_windows > 0
+
+    def test_instantiate_exposes_merged_position_delta(self):
+        """The relation/context-level ``fresh_slots`` must name exactly
+        the slots whose positions were never materialized before."""
+        from repro.engine.operators import ExecutionContext
+        catalog, spec = _losses_catalog(6)
+        plan = random_table_pipeline(spec)
+        context = ExecutionContext(catalog, positions=40, aligned=False,
+                                   base_seed=3)
+        context.delta_tracking = True
+        first = plan.execute(context)
+        assert first.fresh_slots == {}  # full run: no delta to expose
+        handles = sorted(
+            int(h) for h in
+            next(iter(first.rand_columns.values())).seed_handles)
+        old = {h: context.positions_for(h) for h in handles}
+        # Replenishment-style re-run: keep a few "assigned" positions,
+        # extend past the old window.
+        context.positions = 50
+        context.position_plan = {
+            h: np.concatenate([np.arange(3, dtype=np.int64),
+                               np.arange(35, 82, dtype=np.int64)])
+            for h in handles}
+        context.delta_mode = True
+        context.last_fresh_slots = {}
+        merged = plan.execute(context)
+        context.delta_mode = False
+        assert set(merged.fresh_slots) == set(handles)
+        for h in handles:
+            new = context.positions_for(h)
+            expected = np.nonzero(~np.isin(new, old[h]))[0]
+            np.testing.assert_array_equal(merged.fresh_slots[h], expected)
+            np.testing.assert_array_equal(
+                context.last_fresh_slots[h], expected)
+
+    @given(base_seed=st.integers(0, 10_000),
+           n_jobs=st.integers(2, 4),
+           shard_size=st.sampled_from([None, 1, 3]),
+           speculate=st.booleans(),
+           window=st.integers(60, 400))
+    @settings(max_examples=10, deadline=None)
+    def test_property_delta_reinit_bit_identical(self, base_seed, n_jobs,
+                                                 shard_size, speculate,
+                                                 window):
+        """Random refuel/commit interleavings: every example splices a
+        different never-materialized set into the mirrors (and draws a
+        different speculation pattern) — all must land on the serial
+        sweep's exact bits, for any shard geometry."""
+        kwargs = dict(customers=10, window=window, versions=25,
+                      num_samples=12, m=2, k=2, base_seed=base_seed)
+        _assert_identical(
+            self._runner._run("vectorized", **kwargs),
+            self._runner._run("vectorized", n_jobs=n_jobs, backend="serial",
+                              shard_size=shard_size, gibbs_state="worker",
+                              state_reinit="delta",
+                              speculate_followups=speculate, **kwargs))
 
 
 class TestWindowGrowth:

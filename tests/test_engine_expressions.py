@@ -6,7 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.engine.expressions import (
-    BinOp, Col, DictContext, Lit, Not, and_all, col, lit)
+    BinOp, DictContext, Not, and_all, col, lit)
 
 
 def _context(**columns):

@@ -2,12 +2,11 @@
 
 import numpy as np
 import pytest
-from scipy import stats
 
 from repro.engine.errors import PlanError
 from repro.engine.expressions import col, lit
 from repro.engine.mcdb import AggregateSpec, MonteCarloExecutor
-from repro.engine.operators import Join, Scan, Select, random_table_pipeline
+from repro.engine.operators import Scan, Select, random_table_pipeline
 from repro.engine.random_table import RandomColumnSpec, RandomTableSpec
 from repro.engine.result import ResultDistribution
 from repro.engine.table import Catalog, Table

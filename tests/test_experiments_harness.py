@@ -1,6 +1,5 @@
 """Tests for the experiment reporting harness."""
 
-import pytest
 
 from repro.experiments import ascii_series, format_table, print_experiment
 

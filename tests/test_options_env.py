@@ -1,0 +1,159 @@
+"""``MCDBR_*`` environment-knob parsing (``ExecutionOptions.from_env``).
+
+Every execution knob is overridable from the environment for CI matrix
+runs and the quickstart; parsing must be eager and strict — a misspelled
+value fails with a clear :class:`EngineError` naming the variable, never
+a late ``ValueError`` from some construction site deep in a query.
+"""
+
+import pytest
+
+from repro.engine.errors import EngineError
+from repro.engine.options import (
+    ExecutionOptions, env_bool, env_choice, env_float, env_int)
+
+ALL_KNOBS = (
+    "MCDBR_ENGINE", "MCDBR_N_JOBS", "MCDBR_BACKEND", "MCDBR_SHARD_SIZE",
+    "MCDBR_REPLENISHMENT", "MCDBR_DET_CACHE", "MCDBR_WINDOW_GROWTH",
+    "MCDBR_GIBBS_STATE", "MCDBR_STATE_REINIT", "MCDBR_SPECULATE")
+
+
+@pytest.fixture(autouse=True)
+def _clean_env(monkeypatch):
+    for name in ALL_KNOBS:
+        monkeypatch.delenv(name, raising=False)
+
+
+class TestFromEnvDefaults:
+    def test_empty_environment_gives_defaults(self):
+        options = ExecutionOptions.from_env()
+        assert options == ExecutionOptions(
+            engine="vectorized", n_jobs=1, backend="process",
+            shard_size=None, replenishment="delta", det_cache="session",
+            window_growth=1.0, gibbs_state="worker", state_reinit="delta",
+            speculate_followups=True)
+
+    def test_overrides_win_over_environment(self, monkeypatch):
+        monkeypatch.setenv("MCDBR_N_JOBS", "4")
+        monkeypatch.setenv("MCDBR_BACKEND", "thread")
+        options = ExecutionOptions.from_env(backend="serial")
+        assert options.backend == "serial"
+        assert options.n_jobs == 4  # env still applies where not overridden
+
+    def test_unknown_override_is_rejected(self):
+        with pytest.raises(EngineError, match="unknown ExecutionOptions"):
+            ExecutionOptions.from_env(warp_drive=True)
+
+    def test_misspelled_variable_name_is_rejected(self, monkeypatch):
+        """A typo'd *name* must fail fast too — silently falling back to
+        the default is the exact failure mode from_env exists to stop."""
+        monkeypatch.setenv("MCDBR_SPECULTE", "0")
+        with pytest.raises(EngineError, match="MCDBR_SPECULTE"):
+            ExecutionOptions.from_env()
+
+
+class TestFromEnvValues:
+    @pytest.mark.parametrize("name, value, field, expected", [
+        ("MCDBR_ENGINE", "reference", "engine", "reference"),
+        ("MCDBR_N_JOBS", "3", "n_jobs", 3),
+        ("MCDBR_BACKEND", "serial", "backend", "serial"),
+        ("MCDBR_SHARD_SIZE", "7", "shard_size", 7),
+        ("MCDBR_REPLENISHMENT", "full", "replenishment", "full"),
+        ("MCDBR_DET_CACHE", "off", "det_cache", "off"),
+        ("MCDBR_WINDOW_GROWTH", "2.5", "window_growth", 2.5),
+        ("MCDBR_GIBBS_STATE", "broadcast", "gibbs_state", "broadcast"),
+        ("MCDBR_STATE_REINIT", "full", "state_reinit", "full"),
+        ("MCDBR_SPECULATE", "0", "speculate_followups", False),
+    ])
+    def test_each_knob_flows_through(self, monkeypatch, name, value,
+                                     field, expected):
+        monkeypatch.setenv(name, value)
+        assert getattr(ExecutionOptions.from_env(), field) == expected
+
+    @pytest.mark.parametrize("spelling, expected", [
+        ("1", True), ("true", True), ("YES", True), ("On", True),
+        ("0", False), ("false", False), ("No", False), ("OFF", False),
+    ])
+    def test_boolean_spellings(self, monkeypatch, spelling, expected):
+        monkeypatch.setenv("MCDBR_SPECULATE", spelling)
+        assert ExecutionOptions.from_env().speculate_followups is expected
+
+
+class TestFromEnvRejections:
+    @pytest.mark.parametrize("name, value", [
+        ("MCDBR_ENGINE", "warp-drive"),
+        ("MCDBR_BACKEND", "fork"),
+        ("MCDBR_REPLENISHMENT", "partial"),
+        ("MCDBR_DET_CACHE", "disk"),
+        ("MCDBR_GIBBS_STATE", "parent"),
+        ("MCDBR_STATE_REINIT", "incremental"),
+    ])
+    def test_invalid_choice_names_the_variable(self, monkeypatch, name,
+                                               value):
+        monkeypatch.setenv(name, value)
+        with pytest.raises(EngineError, match=name):
+            ExecutionOptions.from_env()
+
+    @pytest.mark.parametrize("value", ["two", "", "1.5"])
+    def test_non_integer_n_jobs(self, monkeypatch, value):
+        monkeypatch.setenv("MCDBR_N_JOBS", value)
+        with pytest.raises(EngineError, match="MCDBR_N_JOBS"):
+            ExecutionOptions.from_env()
+
+    def test_n_jobs_below_minimum(self, monkeypatch):
+        monkeypatch.setenv("MCDBR_N_JOBS", "0")
+        with pytest.raises(EngineError, match="must be >= 1"):
+            ExecutionOptions.from_env()
+
+    def test_shard_size_below_minimum(self, monkeypatch):
+        monkeypatch.setenv("MCDBR_SHARD_SIZE", "0")
+        with pytest.raises(EngineError, match="MCDBR_SHARD_SIZE"):
+            ExecutionOptions.from_env()
+
+    @pytest.mark.parametrize("value", ["fast", "0.5"])
+    def test_invalid_window_growth(self, monkeypatch, value):
+        monkeypatch.setenv("MCDBR_WINDOW_GROWTH", value)
+        with pytest.raises(EngineError, match="MCDBR_WINDOW_GROWTH"):
+            ExecutionOptions.from_env()
+
+    @pytest.mark.parametrize("value", ["maybe", "2", ""])
+    def test_invalid_boolean(self, monkeypatch, value):
+        monkeypatch.setenv("MCDBR_SPECULATE", value)
+        with pytest.raises(EngineError, match="MCDBR_SPECULATE"):
+            ExecutionOptions.from_env()
+
+
+class TestEnvHelpers:
+    """The parsing primitives the import-time defaults also go through."""
+
+    def test_env_choice_default_and_value(self, monkeypatch):
+        assert env_choice("MCDBR_GIBBS_STATE", "worker",
+                          ("worker", "broadcast")) == "worker"
+        monkeypatch.setenv("MCDBR_GIBBS_STATE", "broadcast")
+        assert env_choice("MCDBR_GIBBS_STATE", "worker",
+                          ("worker", "broadcast")) == "broadcast"
+
+    def test_env_choice_lists_supported_values(self, monkeypatch):
+        monkeypatch.setenv("MCDBR_GIBBS_STATE", "nowhere")
+        with pytest.raises(EngineError, match="worker|broadcast"):
+            env_choice("MCDBR_GIBBS_STATE", "worker",
+                       ("worker", "broadcast"))
+
+    def test_env_int_and_float_and_bool(self, monkeypatch):
+        monkeypatch.setenv("K_INT", "5")
+        monkeypatch.setenv("K_FLOAT", "1.25")
+        monkeypatch.setenv("K_BOOL", "off")
+        assert env_int("K_INT", 1) == 5
+        assert env_float("K_FLOAT", 1.0, 1.0) == 1.25
+        assert env_bool("K_BOOL", True) is False
+        assert env_int("K_MISSING", 9) == 9
+        assert env_float("K_MISSING", 2.0, 1.0) == 2.0
+        assert env_bool("K_MISSING", True) is True
+
+    def test_direct_construction_still_raises_value_error(self):
+        # The constructor keeps its ValueError contract for programmatic
+        # misuse; EngineError is specifically the env-parsing surface.
+        with pytest.raises(ValueError, match="state_reinit"):
+            ExecutionOptions(state_reinit="bogus")
+        with pytest.raises(ValueError, match="speculate_followups"):
+            ExecutionOptions(speculate_followups="yes")
