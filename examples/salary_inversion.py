@@ -10,26 +10,29 @@ GibbsLooper.
 Run:  python examples/salary_inversion.py
 """
 
+from repro.engine.options import ExecutionOptions
 from repro.risk import expected_shortfall, value_at_risk
 from repro.workloads import SalaryWorkload
 
 workload = SalaryWorkload(employees=120, supervision_edges=150,
                           salary_variance=36.0, seed=4)
-session = workload.build_session(base_seed=7, tail_budget=800, window=800)
+with workload.build_session(base_seed=7, tail_budget=800, window=800,
+                            options=ExecutionOptions.from_env()) as session:
+    query = workload.inversion_query(samples=100, quantile=0.99)
+    print("query:\n" + query)
+    output = session.execute(query)
+    tail = output.tail
 
-query = workload.inversion_query(samples=100, quantile=0.99)
-print("query:\n" + query)
-output = session.execute(query)
-tail = output.tail
+    print(f"TS-seeds (uncertain salaries in play) : {tail.num_seeds}")
+    print(f"Gibbs tuples (supervision pairs)      : {tail.num_tuples}")
+    print(f"0.99-quantile of total inversion      : "
+          f"{value_at_risk(tail):,.1f}")
+    print(f"expected shortfall beyond it          : "
+          f"{expected_shortfall(tail):,.1f}")
 
-print(f"TS-seeds (uncertain salaries in play) : {tail.num_seeds}")
-print(f"Gibbs tuples (supervision pairs)      : {tail.num_tuples}")
-print(f"0.99-quantile of total inversion      : {value_at_risk(tail):,.1f}")
-print(f"expected shortfall beyond it          : {expected_shortfall(tail):,.1f}")
-
-# Cross-check the quantile against brute-force Monte Carlo (feasible at
-# this moderate quantile; the whole point of MCDB-R is that it stays
-# feasible when this check is not).
-mc = session.execute(workload.inversion_query(samples=20_000))
-mc_quantile = mc.distributions.distribution("inversion").quantile(0.99)
-print(f"naive MCDB 0.99-quantile (20k reps)   : {mc_quantile:,.1f}")
+    # Cross-check the quantile against brute-force Monte Carlo (feasible
+    # at this moderate quantile; the whole point of MCDB-R is that it
+    # stays feasible when this check is not).
+    mc = session.execute(workload.inversion_query(samples=20_000))
+    mc_quantile = mc.distributions.distribution("inversion").quantile(0.99)
+    print(f"naive MCDB 0.99-quantile (20k reps)   : {mc_quantile:,.1f}")

@@ -12,31 +12,37 @@ Run:  python examples/segmented_portfolio.py
 import numpy as np
 from scipy import stats
 
+from repro.engine.options import ExecutionOptions
 from repro.risk import expected_shortfall, grouped_tail, value_at_risk
 from repro.sql import Session
 
 SEGMENTS = {"retail": 1.0, "corporate": 4.0, "sovereign": 9.0}
 PER_SEGMENT = 40
 
-session = Session(base_seed=17, tail_budget=800, window=800)
-count = PER_SEGMENT * len(SEGMENTS)
-means = np.concatenate([np.full(PER_SEGMENT, m) for m in SEGMENTS.values()])
-labels = np.concatenate([[name] * PER_SEGMENT for name in SEGMENTS])
-session.add_table("means", {"CID": np.arange(count), "m": means})
-session.add_table("segments", {"CID2": np.arange(count), "seg": labels})
-session.execute("""
-    CREATE TABLE Losses (CID, val) AS
-    FOR EACH CID IN means
-    WITH v AS Normal(VALUES(m, 1.0))
-    SELECT CID, v.* FROM v
-""")
+# The session owns a worker pool under MCDBR_BACKEND=process — the
+# ``with`` block releases it (and every shared-memory segment) even if a
+# query raises, instead of leaking the pool to interpreter teardown.
+with Session(base_seed=17, tail_budget=800, window=800,
+             options=ExecutionOptions.from_env()) as session:
+    count = PER_SEGMENT * len(SEGMENTS)
+    means = np.concatenate(
+        [np.full(PER_SEGMENT, m) for m in SEGMENTS.values()])
+    labels = np.concatenate([[name] * PER_SEGMENT for name in SEGMENTS])
+    session.add_table("means", {"CID": np.arange(count), "m": means})
+    session.add_table("segments", {"CID2": np.arange(count), "seg": labels})
+    session.execute("""
+        CREATE TABLE Losses (CID, val) AS
+        FOR EACH CID IN means
+        WITH v AS Normal(VALUES(m, 1.0))
+        SELECT CID, v.* FROM v
+    """)
 
-results = grouped_tail(session, """
-    SELECT SUM(val) AS loss FROM Losses, segments
-    WHERE CID = CID2 AND seg = '{group}'
-    WITH RESULTDISTRIBUTION MONTECARLO(100)
-    DOMAIN loss >= QUANTILE(0.99)
-""", list(SEGMENTS))
+    results = grouped_tail(session, """
+        SELECT SUM(val) AS loss FROM Losses, segments
+        WHERE CID = CID2 AND seg = '{group}'
+        WITH RESULTDISTRIBUTION MONTECARLO(100)
+        DOMAIN loss >= QUANTILE(0.99)
+    """, list(SEGMENTS))
 
 print(f"{'segment':>10}  {'VaR(0.99)':>10}  {'analytic':>10}  "
       f"{'shortfall':>10}")

@@ -9,17 +9,18 @@ Run:  python examples/tpch_risk.py
 """
 
 
+from repro.engine.options import ExecutionOptions
 from repro.risk import tail_cdf
 from repro.workloads import TPCHWorkload
 
 workload = TPCHWorkload(orders=300, lineitems=1500, variant="accuracy",
                         seed=12)
-session = workload.build_session(base_seed=99, tail_budget=1000, window=1000)
-
-truth = workload.analytic_distribution()
-output = session.execute(workload.total_loss_query(samples=100,
-                                                   quantile=0.99902))
-tail = output.tail
+with workload.build_session(base_seed=99, tail_budget=1000, window=1000,
+                            options=ExecutionOptions.from_env()) as session:
+    truth = workload.analytic_distribution()
+    output = session.execute(workload.total_loss_query(samples=100,
+                                                       quantile=0.99902))
+    tail = output.tail
 true_q = truth.quantile(0.99902)
 
 print(f"analytic result distribution : N({truth.mean:.1f}, {truth.std:.2f}^2)")

@@ -354,6 +354,15 @@ class GibbsSeedShard:
     discarded at the end of the looper run — worker seed state can
     therefore never survive a ``Catalog.version`` bump, whose effects
     reach the looper only through a new query or a replenishment.
+
+    Transport note: under the process backend's zero-copy data plane
+    (``shm="on"``) the snapshot's bulk arrays arrive in the owner as
+    *writable* views over a parent-owned shared-memory segment rather
+    than private unpickled copies.  That is safe precisely because of
+    the ownership story above — the segment copy belongs to this one
+    owner, the parent never reads it back, and every mutation
+    (``apply_commit``/``apply_clone``/``apply_merge``) already happens
+    in place; the segment is unlinked when the state is discarded.
     """
 
     def __init__(self, seeds: dict, aggregate_expr: Expr | None,

@@ -97,6 +97,7 @@ from multiprocessing import get_context
 from multiprocessing.connection import wait
 
 from repro.engine.errors import EngineError
+from repro.engine.shm import ShmAttachCache, ShmBlockStore, shm_loads
 
 __all__ = [
     "ExecutionBackend", "SerialBackend", "ThreadBackend", "ProcessBackend",
@@ -106,6 +107,11 @@ __all__ = [
 #: Keep at most this many distinct shared-channel entries pinned in the
 #: parent (a strong reference per entry keeps ``id()``-based keys honest).
 _SHARED_CACHE_LIMIT = 8
+
+#: Seconds :meth:`ProcessBackend.close` waits at each escalation step
+#: (stop message -> SIGTERM -> SIGKILL).  Module-level so the zombie
+#: escalation test can shrink it instead of wedging a worker for 10s.
+_JOIN_TIMEOUT = 5
 
 
 def _unknown_state_error(token, shard=None) -> EngineError:
@@ -493,6 +499,11 @@ def _worker_main(conn) -> None:
     jobs: dict[int, object] = {}
     shared: dict[tuple, object] = {}
     states: dict[tuple[int, int], object] = {}
+    # Zero-copy receive side: nested payload blobs ("share"/"sinit"/
+    # "smerge") may carry ShmDescriptor persistent ids; the cache attaches
+    # each named segment once and resolves descriptors to array views.
+    # Plain blobs decode through the same path unchanged.
+    attach_cache = ShmAttachCache()
     while True:
         try:
             message = conn.recv()
@@ -503,7 +514,7 @@ def _worker_main(conn) -> None:
             break
         try:
             if kind == "share":
-                shared[message[1]] = pickle.loads(message[2])
+                shared[message[1]] = shm_loads(message[2], attach_cache)
             elif kind == "unshare":
                 shared.pop(message[1], None)
             elif kind == "job":
@@ -523,7 +534,7 @@ def _worker_main(conn) -> None:
                 # as a real traceback, instead of escaping conn.recv()
                 # and killing the worker loop silently.
                 _, token, shard, blob = message
-                states[(token, shard)] = pickle.loads(blob)
+                states[(token, shard)] = shm_loads(blob, attach_cache)
             elif kind == "scall":
                 _, token, shard, ticket, method, args = message
                 payload = states.get((token, shard))
@@ -540,6 +551,20 @@ def _worker_main(conn) -> None:
                     raise EngineError(
                         f"worker holds no state (token={token}, "
                         f"shard={shard}) for notification {method!r}")
+                getattr(payload, method)(*args)
+            elif kind == "smerge":
+                # A state_merge splice.  The args ride as a nested blob
+                # (like "sinit") because the delta's fresh-value arrays
+                # may be shm descriptors: an attach failure must land in
+                # this handler and go back as a traceback, not escape the
+                # loop as a silent worker death.
+                _, token, shard, method, blob = message
+                payload = states.get((token, shard))
+                if payload is None:
+                    raise EngineError(
+                        f"worker holds no state (token={token}, "
+                        f"shard={shard}) for merge {method!r}")
+                args = shm_loads(blob, attach_cache)
                 getattr(payload, method)(*args)
             elif kind == "sdrop":
                 _, token, ticket = message
@@ -559,6 +584,7 @@ def _worker_main(conn) -> None:
                 conn.send(("error", reply_slot, traceback.format_exc()))
             except (BrokenPipeError, OSError):
                 break
+    attach_cache.close()
     conn.close()
 
 
@@ -575,7 +601,7 @@ class ProcessBackend(ExecutionBackend):
 
     name = "process"
 
-    def __init__(self, n_workers: int):
+    def __init__(self, n_workers: int, use_shm: bool = True):
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
         self.n_workers = n_workers
@@ -583,10 +609,17 @@ class ProcessBackend(ExecutionBackend):
         self._next_job_id = 0
         self._next_state_token = 0
         self._next_ticket = 0
-        self._shared_cache: dict[tuple, tuple] = {}  # key -> (obj, blob)
+        # key -> (obj, blob, segment name | None, hoisted array bytes)
+        self._shared_cache: dict[tuple, tuple] = {}
         self._state_shards: dict[int, int] = {}      # token -> shard count
         self._scatter_tickets: dict[tuple[int, int], int] = {}
         self._replies: dict[int, object] = {}        # stashed out-of-order
+        # Zero-copy data plane: bulk arrays in shared-channel, state-init
+        # and state-merge payloads are placed in parent-owned shared
+        # memory and shipped as descriptors (repro.engine.shm).  None =
+        # opted out (MCDBR_SHM=off) — every payload pickles whole.
+        self._shm: ShmBlockStore | None = ShmBlockStore() if use_shm else None
+        self._state_segments: dict[int, list[str]] = {}  # token -> segments
         #: Transport accounting, exposed for the scaling benchmark and the
         #: payload regression tests: ``jobs``/``tasks`` count dispatches,
         #: ``job_bytes`` is the last broadcast blob size, ``task_bytes``
@@ -602,11 +635,27 @@ class ProcessBackend(ExecutionBackend):
         #: splices separately from both the snapshot ships and the
         #: notification stream: the replenishment-transport benchmark
         #: compares them against the full re-init's ``state_init_bytes``.
+        #:
+        #: Zero-copy accounting.  The byte counters above mean *payload
+        #: bytes delivered to a worker* — with the shm data plane on, a
+        #: hoisted array is delivered by reference, so its bytes still
+        #: count (the relative gates of the transport benchmarks keep
+        #: their meaning) while the pipe carries only a descriptor.
+        #: ``shm_segments``/``shm_bytes`` count segments created and
+        #: array bytes placed in them (once, however many workers
+        #: attach); ``shm_attached_bytes`` is the per-recipient share of
+        #: the delivered bytes that rode as descriptors instead of
+        #: pickled copies; ``shared_wire_bytes``/``state_init_wire_bytes``
+        #: are the actual pickled blob sizes of the catalog channel and
+        #: the state snapshots — the pair ``bench_zero_copy`` gates on.
         self.stats = {"jobs": 0, "tasks": 0, "job_bytes": 0, "task_bytes": 0,
                       "shared_pickles": 0, "shared_sends": 0, "spawns": 0,
                       "sent_bytes": 0, "state_inits": 0, "state_init_bytes": 0,
                       "state_calls": 0, "state_casts": 0, "state_msg_bytes": 0,
-                      "state_merges": 0, "state_merge_bytes": 0}
+                      "state_merges": 0, "state_merge_bytes": 0,
+                      "shm_segments": 0, "shm_bytes": 0,
+                      "shm_attached_bytes": 0, "shared_wire_bytes": 0,
+                      "state_init_wire_bytes": 0}
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -614,6 +663,16 @@ class ProcessBackend(ExecutionBackend):
     def workers_alive(self) -> int:
         return sum(1 for worker in self._workers
                    if worker.process.is_alive())
+
+    @property
+    def shm_enabled(self) -> bool:
+        """Whether the zero-copy data plane is on *and* usable here."""
+        return self._shm is not None and self._shm.available
+
+    @property
+    def shm_live_segments(self) -> int:
+        """Live (not yet unlinked) segments owned by this backend."""
+        return 0 if self._shm is None else self._shm.live_segments
 
     def worker_pids(self) -> list[int]:
         return [worker.process.pid for worker in self._workers]
@@ -638,10 +697,17 @@ class ProcessBackend(ExecutionBackend):
             except (BrokenPipeError, OSError):
                 pass
         for worker in self._workers:
-            worker.process.join(timeout=5)
+            worker.process.join(timeout=_JOIN_TIMEOUT)
             if worker.process.is_alive():
                 worker.process.terminate()
-                worker.process.join(timeout=5)
+                worker.process.join(timeout=_JOIN_TIMEOUT)
+            if worker.process.is_alive():
+                # terminate() is SIGTERM, which a worker wedged in
+                # uninterruptible I/O (or with the signal masked) can
+                # outlive; without this escalation close() would silently
+                # leave a zombie holding every attached segment's pages.
+                worker.process.kill()
+                worker.process.join(timeout=_JOIN_TIMEOUT)
             worker.conn.close()
         self._workers = []
         self._shared_cache = {}
@@ -652,6 +718,16 @@ class ProcessBackend(ExecutionBackend):
         self._state_shards = {}
         self._scatter_tickets = {}
         self._replies = {}
+        # Unlink every shared-memory segment with the pool that attached
+        # it — including segments owned by a killed worker's state and
+        # shared-channel entries evicted earlier (retired, not unlinked,
+        # because an eviction cannot know the worker already processed
+        # the original "share").  The dead workers' mappings are gone, so
+        # the pages free immediately; the store itself stays usable for a
+        # lazily respawned pool.
+        self._state_segments = {}
+        if self._shm is not None:
+            self._shm.close()
 
     # -- transport -----------------------------------------------------------
 
@@ -664,14 +740,35 @@ class ProcessBackend(ExecutionBackend):
         """
         return ("run", job_id, index, lo, hi)
 
+    def _shm_dumps(self, obj, writeable: bool = False) -> tuple:
+        """Pickle a bulk payload, hoisting large arrays into shared memory.
+
+        Returns ``(blob, segment_name, array_bytes)``; the segment is
+        ``None`` (plain pickle, zero hoisted bytes) when the data plane
+        is opted out, unavailable on this host, or the payload holds no
+        array worth a segment.
+        """
+        if self._shm is None:
+            return (pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL),
+                    None, 0)
+        blob, segment, array_bytes = self._shm.dumps(obj, writeable=writeable)
+        if segment is not None:
+            self.stats["shm_segments"] += 1
+            self.stats["shm_bytes"] += array_bytes
+        return blob, segment, array_bytes
+
     def _send_shared(self, worker: _WorkerHandle, key: tuple,
                      obj: object) -> None:
         if key not in self._shared_cache:
-            blob = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
-            self._shared_cache[key] = (obj, blob)
+            blob, segment, array_bytes = self._shm_dumps(obj)
+            self._shared_cache[key] = (obj, blob, segment, array_bytes)
             self.stats["shared_pickles"] += 1
             while len(self._shared_cache) > _SHARED_CACHE_LIMIT:
                 evicted = next(iter(self._shared_cache))
+                # The evicted entry's segment is retired, not unlinked:
+                # a lagging worker may not have processed the original
+                # "share" yet, and unlinking would strand its attach.
+                # close() reaps every retired segment with the pool.
                 del self._shared_cache[evicted]
                 for other in self._workers:
                     if evicted in other.shared_keys:
@@ -679,10 +776,13 @@ class ProcessBackend(ExecutionBackend):
                         other.conn.send(("unshare", evicted))
         if key in worker.shared_keys:
             return
-        worker.conn.send(("share", key, self._shared_cache[key][1]))
+        _, blob, _, array_bytes = self._shared_cache[key]
+        worker.conn.send(("share", key, blob))
         worker.shared_keys.add(key)
         self.stats["shared_sends"] += 1
-        self.stats["sent_bytes"] += len(self._shared_cache[key][1])
+        self.stats["sent_bytes"] += len(blob) + array_bytes
+        self.stats["shared_wire_bytes"] += len(blob)
+        self.stats["shm_attached_bytes"] += array_bytes
 
     def run_job(self, job, bounds) -> list:
         bounds = list(bounds)
@@ -847,10 +947,20 @@ class ProcessBackend(ExecutionBackend):
         self._state_shards[token] = len(payloads)
         self.stats["state_inits"] += 1
         for shard, payload in enumerate(payloads):
-            blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+            # Snapshot views attach *writable*: the owning worker mutates
+            # its pinned state in place on commit notifications, and the
+            # segment copy is private to that snapshot (the parent never
+            # reads it back).
+            blob, segment, array_bytes = self._shm_dumps(
+                payload, writeable=True)
+            if segment is not None:
+                self._state_segments.setdefault(token, []).append(segment)
             sent = self._send_state_message(
                 self._worker_for(shard), ("sinit", token, shard, blob))
-            self.stats["state_init_bytes"] += sent
+            self.stats["state_init_bytes"] += sent + array_bytes
+            self.stats["state_init_wire_bytes"] += sent
+            self.stats["shm_attached_bytes"] += array_bytes
+            self.stats["sent_bytes"] += array_bytes
         return token
 
     def _check_token(self, token: int) -> None:
@@ -880,13 +990,25 @@ class ProcessBackend(ExecutionBackend):
 
     def state_merge(self, token: int, shard: int, method: str,
                     *args) -> None:
-        # Rides the cast wire format (the worker dispatches on the
-        # payload method either way); only the accounting differs — merge
-        # bytes are re-init traffic, not per-sweep notifications.
+        # Semantically a cast (the worker dispatches on the payload
+        # method, no reply slot), but with its own wire kind: the delta's
+        # fresh-value arrays ride the shm data plane as read-only views
+        # (the worker copies them out while splicing, so the segment can
+        # go with the token), and the accounting splits merge bytes from
+        # per-sweep notifications.
         self._check_token(token)
         self.stats["state_merges"] += 1
-        self.stats["state_merge_bytes"] += self._send_state_message(
-            self._worker_for(shard), ("scast", token, shard, method, args))
+        blob, segment, array_bytes = self._shm_dumps(args)
+        if segment is not None:
+            # Tied to the token, released at discard_state: the owning
+            # worker attaches when it processes the splice, which FIFO
+            # ordering puts strictly before the acked "sdrop" drain.
+            self._state_segments.setdefault(token, []).append(segment)
+        sent = self._send_state_message(
+            self._worker_for(shard), ("smerge", token, shard, method, blob))
+        self.stats["state_merge_bytes"] += sent + array_bytes
+        self.stats["shm_attached_bytes"] += array_bytes
+        self.stats["sent_bytes"] += array_bytes
 
     def state_scatter(self, token: int, method: str,
                       per_shard_args: list) -> None:
@@ -924,6 +1046,7 @@ class ProcessBackend(ExecutionBackend):
         diverged mirror must never be silent.
         """
         shards = self._state_shards.pop(token, None)
+        segments = self._state_segments.pop(token, [])
         stale = [self._scatter_tickets.pop(key)
                  for key in [key for key in self._scatter_tickets
                              if key[0] == token]]
@@ -946,6 +1069,16 @@ class ProcessBackend(ExecutionBackend):
                     # Pool already reset (worker death): nothing left to
                     # drain, and nothing new to report.
                     break
+        # The token's snapshot and merge segments go with it.  The acked
+        # drain above is what makes this safe: pipes are FIFO, so every
+        # owning worker attached its views (sinit/smerge) strictly before
+        # acking the sdrop — and if the drain bailed because the pool
+        # died, close() already unlinked everything (release is
+        # idempotent).  Unlink-while-mapped only removes the name; any
+        # worker still holding views keeps its pages.
+        if self._shm is not None:
+            for segment in segments:
+                self._shm.release(segment)
         for ticket in stale:
             self._replies.pop(ticket, None)
         if failure is not None:
@@ -964,5 +1097,7 @@ def make_backend(options) -> ExecutionBackend:
     if options.backend == "thread":
         return ThreadBackend(options.n_jobs)
     if options.backend == "process":
-        return ProcessBackend(options.n_jobs)
+        return ProcessBackend(
+            options.n_jobs,
+            use_shm=getattr(options, "shm", "on") == "on")
     raise ValueError(f"unknown backend {options.backend!r}")

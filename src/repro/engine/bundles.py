@@ -17,6 +17,14 @@ MCDB-R's Gibbs tuples (Sec. 5) into one column-oriented structure:
 MCDB computes per-repetition query results.  In tail mode positions are
 assigned to database versions per seed by the Gibbs sampler, so any
 cross-seed combination must be deferred to the GibbsLooper.
+
+These ``(T,)``/``(T, W)`` arrays are exactly the bulk the process
+backend's zero-copy data plane (``repro.engine.shm``) hoists into shared
+memory when relations cross to workers on the catalog channel: a column
+arriving in a worker may therefore be a *read-only* view over a
+parent-owned segment.  Bundle code treats shipped columns as immutable
+inputs everywhere (new arrays are built per evaluation, never written
+back into a source column), which is what makes the shared mapping safe.
 """
 
 from __future__ import annotations

@@ -42,8 +42,9 @@ from dataclasses import dataclass, fields
 from repro.engine.errors import EngineError
 
 __all__ = ["ENGINES", "BACKENDS", "REPLENISHMENT_MODES", "DET_CACHE_MODES",
-           "GIBBS_STATE_MODES", "STATE_REINIT_MODES", "ExecutionOptions",
-           "env_choice", "env_int", "env_float", "env_bool"]
+           "GIBBS_STATE_MODES", "STATE_REINIT_MODES", "SHM_MODES",
+           "ExecutionOptions", "env_choice", "env_int", "env_float",
+           "env_bool"]
 
 #: Supported Gibbs perturbation kernels.
 ENGINES = ("vectorized", "reference")
@@ -84,6 +85,16 @@ GIBBS_STATE_MODES = ("worker", "broadcast")
 #: as the comparison baseline).  Bit-identical either way.
 STATE_REINIT_MODES = ("delta", "full")
 
+#: Zero-copy shared-memory data plane for ``backend="process"``
+#: (:mod:`repro.engine.shm`).  ``"on"`` (default) places bulk payload
+#: arrays — catalog columns, Gibbs state snapshots, delta-merge fresh
+#: values — in parent-owned ``/dev/shm`` segments and ships tens-of-byte
+#: descriptors that workers attach as zero-copy views; ``"off"`` pickles
+#: every payload whole (for hosts without POSIX shared memory, though
+#: the store also degrades to this by itself if allocation fails).
+#: Bit-identical either way; inert on the serial/thread backends.
+SHM_MODES = ("on", "off")
+
 #: Truthy/falsy spellings accepted by boolean env knobs.
 _ENV_TRUE = ("1", "true", "yes", "on")
 _ENV_FALSE = ("0", "false", "no", "off")
@@ -93,7 +104,8 @@ _ENV_FALSE = ("0", "false", "no", "off")
 _ENV_KNOBS = frozenset((
     "MCDBR_ENGINE", "MCDBR_N_JOBS", "MCDBR_BACKEND", "MCDBR_SHARD_SIZE",
     "MCDBR_REPLENISHMENT", "MCDBR_DET_CACHE", "MCDBR_WINDOW_GROWTH",
-    "MCDBR_GIBBS_STATE", "MCDBR_STATE_REINIT", "MCDBR_SPECULATE"))
+    "MCDBR_GIBBS_STATE", "MCDBR_STATE_REINIT", "MCDBR_SPECULATE",
+    "MCDBR_SHM"))
 
 
 def env_choice(name: str, default: str, allowed: tuple) -> str:
@@ -168,6 +180,7 @@ _DEFAULT_GIBBS_STATE = env_choice("MCDBR_GIBBS_STATE", "worker",
 _DEFAULT_STATE_REINIT = env_choice("MCDBR_STATE_REINIT", "delta",
                                    STATE_REINIT_MODES)
 _DEFAULT_SPECULATE = env_bool("MCDBR_SPECULATE", True)
+_DEFAULT_SHM = env_choice("MCDBR_SHM", "on", SHM_MODES)
 
 
 @dataclass(frozen=True)
@@ -246,6 +259,17 @@ class ExecutionOptions:
         A per-seed epoch invalidates speculations the moment a commit,
         clone or merge touches the seed — results stay bit-identical,
         only the number of blocking round-trips drops.
+    shm:
+        Zero-copy shared-memory data plane for the process backend
+        (default ``"on"``; env ``MCDBR_SHM``).  Bulk payload arrays —
+        catalog/bundle columns in the shared channel, worker-owned
+        Gibbs snapshots, delta-merge fresh values — are placed once in
+        parent-owned shared-memory segments and shipped as descriptors
+        that workers attach as zero-copy NumPy views, instead of being
+        pickled and re-materialized per worker.  ``"off"`` keeps the
+        pure pickle transport (for ``/dev/shm``-less hosts; the store
+        also falls back by itself if allocation fails).  Inert on the
+        serial/thread backends.  Bit-identical either way.
     """
 
     engine: str = "vectorized"
@@ -258,6 +282,7 @@ class ExecutionOptions:
     gibbs_state: str = _DEFAULT_GIBBS_STATE
     state_reinit: str = _DEFAULT_STATE_REINIT
     speculate_followups: bool = _DEFAULT_SPECULATE
+    shm: str = _DEFAULT_SHM
 
     def __post_init__(self):
         if self.engine not in ENGINES:
@@ -294,6 +319,9 @@ class ExecutionOptions:
             raise ValueError(
                 f"speculate_followups must be a bool, got "
                 f"{self.speculate_followups!r}")
+        if self.shm not in SHM_MODES:
+            raise ValueError(
+                f"unknown shm mode {self.shm!r}; supported: {SHM_MODES}")
 
     @classmethod
     def from_env(cls, **overrides) -> "ExecutionOptions":
@@ -319,6 +347,7 @@ class ExecutionOptions:
         ``MCDBR_GIBBS_STATE``       ``worker|broadcast``
         ``MCDBR_STATE_REINIT``      ``delta|full``
         ``MCDBR_SPECULATE``         ``1|0|true|false|yes|no|on|off``
+        ``MCDBR_SHM``               ``on|off``
         ==========================  =====================================
 
         Unrecognized ``MCDBR_*`` variables are rejected too: a
@@ -348,6 +377,7 @@ class ExecutionOptions:
             state_reinit=env_choice("MCDBR_STATE_REINIT", "delta",
                                     STATE_REINIT_MODES),
             speculate_followups=env_bool("MCDBR_SPECULATE", True),
+            shm=env_choice("MCDBR_SHM", "on", SHM_MODES),
         )
         known = {field.name for field in fields(cls)}
         unknown = set(overrides) - known

@@ -156,7 +156,10 @@ class Session:
         """Shut down the worker pool (idempotent; the session stays usable —
         a later sharded query simply spawns a fresh pool).  Any
         worker-owned Gibbs state dies with the workers: state tokens from
-        before the close can never resolve against the respawned pool."""
+        before the close can never resolve against the respawned pool.
+        On the process backend this also unlinks every shared-memory
+        segment of the zero-copy data plane — exiting the session's
+        ``with`` block leaves ``/dev/shm`` clean even on an exception."""
         if self._backend is not None:
             self._backend.close()
             self._backend = None

@@ -43,6 +43,7 @@ from repro.engine.mcdb import AggregateSpec, MonteCarloExecutor
 from repro.engine.operators import Select, random_table_pipeline
 from repro.engine.options import ExecutionOptions
 from repro.engine.random_table import RandomColumnSpec, RandomTableSpec
+from repro.engine.shm import leaked_segments
 from repro.engine.table import Catalog, Table
 from repro.sql import Session
 from repro.vg.builtin import NORMAL
@@ -710,6 +711,7 @@ class TestWorkerStateFaults:
             with pytest.raises(EngineError, match="state op exploded"):
                 backend.state_call(token, 1, "boom")
             assert backend.workers_alive == 0  # pool reset, no stale replies
+            assert leaked_segments() == []  # reset reaped its segments too
             fresh = backend.init_state([ExplodingState()])  # respawns
             assert backend.state_call(fresh, 0, "ok") == "fine"
         finally:
@@ -767,6 +769,9 @@ class TestWorkerStateFaults:
             with pytest.raises(EngineError, match="died"):
                 backend.state_call(token, 1, "die")
             assert backend.workers_alive == 0
+            # The killed worker can't unmap gracefully, but the parent
+            # owns every segment name: the reset must unlink them all.
+            assert leaked_segments() == []
             fresh = backend.init_state([SuicidalState()])
             assert backend.state_call(fresh, 0, "ok") == "alive"
         finally:
@@ -799,6 +804,7 @@ class TestWorkerStateFaults:
             backend.close()
             backend.close()  # idempotent
             assert backend.workers_alive == 0
+            assert backend.shm_live_segments == 0  # close unlinks everything
             with pytest.raises(EngineError, match="unknown worker state"):
                 backend.state_call(token, 0, "total")
             assert backend.workers_alive == 0  # no silent lazy respawn
@@ -868,6 +874,7 @@ class TestWorkerStateQueryFaults:
             with pytest.raises(EngineError):
                 session.execute(self.TAIL_QUERY)
             assert session.backend.workers_alive == 0  # pool torn down
+            assert leaked_segments() == []  # ...with its shm segments
             monkeypatch.undo()  # fresh workers fork from healthy code
             recovered = session.execute(self.TAIL_QUERY)
             np.testing.assert_array_equal(recovered.tail.samples,

@@ -6,9 +6,10 @@ acceptance statistics, same replenishment schedule — for the same session
 seed, on randomized plans and seeds.  Likewise the sharded Monte Carlo
 executor must be invariant to ``n_jobs`` and shard geometry, and every
 ``backend × n_jobs × engine × replenishment × window_growth ×
-gibbs_state`` combination — including seed-axis-sharded GibbsLooper runs
-with worker-owned state replaying commit notifications — must be
-bit-identical to the serial reference.  Nothing here is approximate:
+gibbs_state × shm`` combination — including seed-axis-sharded GibbsLooper
+runs with worker-owned state replaying commit notifications, with and
+without the zero-copy shared-memory data plane — must be bit-identical to
+the serial reference.  Nothing here is approximate:
 every comparison is exact.
 """
 
@@ -73,7 +74,7 @@ class TestLooperEquivalence:
              versions=40, predicate=None, max_proposals=100_000,
              replenishment="delta", n_jobs=1, backend="process",
              shard_size=None, window_growth=1.0, gibbs_state="worker",
-             state_reinit="delta", speculate_followups=True):
+             state_reinit="delta", speculate_followups=True, shm="on"):
         catalog, spec = _losses_catalog(customers)
         plan = random_table_pipeline(spec)
         if predicate is not None:
@@ -94,7 +95,8 @@ class TestLooperEquivalence:
                                      gibbs_state=gibbs_state,
                                      state_reinit=state_reinit,
                                      speculate_followups=
-                                     speculate_followups)).run()
+                                     speculate_followups,
+                                     shm=shm)).run()
 
     @given(customers=st.integers(3, 15),
            window=st.integers(60, 300),
@@ -555,6 +557,38 @@ class TestBackendMatrix:
             self._runner._run("vectorized", **kwargs),
             self._runner._run("vectorized", n_jobs=n_jobs, backend="serial",
                               **kwargs))
+
+
+class TestZeroCopyEquivalence:
+    """The ``shm`` axis: payloads delivered as shared-memory descriptors
+    must be bit-identical to pickled copies.  The data plane moves bytes
+    between transports, never values — catalog columns attach read-only,
+    worker-state snapshots attach writable and evolve through the same
+    notification replay, merge deltas splice the same fresh values."""
+
+    _runner = TestLooperEquivalence()
+    GIBBS = TestBackendMatrix.GIBBS
+
+    @pytest.mark.parametrize("gibbs_state", ["worker", "broadcast"])
+    @pytest.mark.parametrize("state_reinit", ["delta", "full"])
+    def test_gibbs_tail_shm_on_equals_off(self, gibbs_state, state_reinit):
+        serial = self._runner._run("vectorized", backend="serial",
+                                   **self.GIBBS)
+        runs = [self._runner._run("vectorized", n_jobs=2, backend="process",
+                                  gibbs_state=gibbs_state,
+                                  state_reinit=state_reinit, shm=shm,
+                                  **self.GIBBS)
+                for shm in ("on", "off")]
+        _assert_identical(serial, runs[0])
+        _assert_identical(runs[0], runs[1])
+
+    def test_monte_carlo_shm_on_equals_off(self):
+        serial = TestMonteCarloSharding._executor().run(120)
+        for shm in ("on", "off"):
+            sharded = TestMonteCarloSharding._executor(
+                ExecutionOptions(n_jobs=2, backend="process",
+                                 shm=shm)).run(120)
+            TestMonteCarloSharding._assert_results_equal(serial, sharded)
 
 
 class TestWorkerStateReplay:

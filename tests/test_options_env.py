@@ -15,7 +15,8 @@ from repro.engine.options import (
 ALL_KNOBS = (
     "MCDBR_ENGINE", "MCDBR_N_JOBS", "MCDBR_BACKEND", "MCDBR_SHARD_SIZE",
     "MCDBR_REPLENISHMENT", "MCDBR_DET_CACHE", "MCDBR_WINDOW_GROWTH",
-    "MCDBR_GIBBS_STATE", "MCDBR_STATE_REINIT", "MCDBR_SPECULATE")
+    "MCDBR_GIBBS_STATE", "MCDBR_STATE_REINIT", "MCDBR_SPECULATE",
+    "MCDBR_SHM")
 
 
 @pytest.fixture(autouse=True)
@@ -64,6 +65,7 @@ class TestFromEnvValues:
         ("MCDBR_GIBBS_STATE", "broadcast", "gibbs_state", "broadcast"),
         ("MCDBR_STATE_REINIT", "full", "state_reinit", "full"),
         ("MCDBR_SPECULATE", "0", "speculate_followups", False),
+        ("MCDBR_SHM", "off", "shm", "off"),
     ])
     def test_each_knob_flows_through(self, monkeypatch, name, value,
                                      field, expected):
@@ -87,6 +89,7 @@ class TestFromEnvRejections:
         ("MCDBR_DET_CACHE", "disk"),
         ("MCDBR_GIBBS_STATE", "parent"),
         ("MCDBR_STATE_REINIT", "incremental"),
+        ("MCDBR_SHM", "auto"),
     ])
     def test_invalid_choice_names_the_variable(self, monkeypatch, name,
                                                value):
