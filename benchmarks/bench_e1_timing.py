@@ -17,7 +17,9 @@ import numpy as np
 
 from repro.core.gibbs_looper import GibbsLooper
 from repro.core.params import TailParams
-from repro.experiments import format_table, print_experiment
+from repro.experiments import (
+    NullBenchmark, format_table, print_experiment, record_metric,
+    run_benchmark_cli)
 from repro.sql.parser import parse
 from repro.sql.planner import compile_select
 from repro.workloads import TPCHWorkload
@@ -92,6 +94,14 @@ def test_e1_iteration_timing_and_speedup(benchmark):
     print_experiment("E1: Appendix D timing (scaled TPC-H, timing variant)",
                      body)
 
+    record_metric("bench_e1_timing", "wallclock_speedup",
+                  round(naive_seconds / mcdbr_seconds, 2), gate="> 1x")
+    record_metric("bench_e1_timing", "monte_carlo_work_reduction",
+                  round(work_ratio, 1), gate="> 50x")
+    record_metric("bench_e1_timing", "mcdbr_total_seconds",
+                  round(mcdbr_seconds, 3))
+    record_metric("bench_e1_timing", "plan_runs", result.plan_runs)
+
     times = [step.seconds for step in result.trace]
     assert max(times) < 10 * max(min(times), 1e-3), "iteration times not flat"
     assert sum(step.replenish_runs for step in result.trace) >= 1
@@ -106,4 +116,16 @@ def test_e1_samples_are_valid_tail_samples():
     assert np.all(result.samples >= result.quantile_estimate)
     truth = WORKLOAD.analytic_distribution()
     true_q = truth.quantile(1.0 - PAPER_PARAMS.p)
-    assert abs(result.quantile_estimate - true_q) / true_q < 0.05
+    relative_error = abs(result.quantile_estimate - true_q) / true_q
+    record_metric("bench_e1_timing", "quantile_relative_error",
+                  round(relative_error, 5), gate="< 0.05")
+    assert relative_error < 0.05
+
+
+def _main_iteration_timing():
+    test_e1_iteration_timing_and_speedup(NullBenchmark())
+
+
+if __name__ == "__main__":
+    run_benchmark_cli([_main_iteration_timing,
+                       test_e1_samples_are_valid_tail_samples])

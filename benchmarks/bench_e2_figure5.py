@@ -15,7 +15,9 @@ import numpy as np
 
 from repro.core.gibbs_looper import GibbsLooper
 from repro.core.params import TailParams
-from repro.experiments import ascii_series, format_table, print_experiment
+from repro.experiments import (
+    NullBenchmark, ascii_series, format_table, print_experiment,
+    record_metric, run_benchmark_cli)
 from repro.sql.parser import parse
 from repro.sql.planner import compile_select
 from repro.workloads import TPCHWorkload
@@ -91,6 +93,15 @@ def test_e2_figure5_accuracy(benchmark):
     print_experiment("E2: Figure 5 accuracy (scaled Appendix D workload)",
                      body)
 
+    record_metric("bench_e2_figure5", "mean_estimate_relative_error",
+                  round(abs(mean_estimate - true_q) / true_q, 5),
+                  gate="< 0.01")
+    record_metric("bench_e2_figure5", "standard_error_over_width",
+                  round(std_error / width99, 4), gate="< 0.35")
+    record_metric("bench_e2_figure5", "max_cdf_deviation",
+                  round(float(np.max(np.abs(mean_cdf - analytic))), 4),
+                  gate="< 0.15")
+
     # Shape assertions: estimates cluster tightly around truth and the
     # empirical CDFs track the analytic one.
     assert abs(mean_estimate - true_q) / true_q < 0.01
@@ -98,3 +109,11 @@ def test_e2_figure5_accuracy(benchmark):
     assert np.max(np.abs(mean_cdf - analytic)) < 0.15
     for result in results:
         assert np.all(result.samples >= result.quantile_estimate)
+
+
+def _main_figure5_accuracy():
+    test_e2_figure5_accuracy(NullBenchmark())
+
+
+if __name__ == "__main__":
+    run_benchmark_cli([_main_figure5_accuracy])

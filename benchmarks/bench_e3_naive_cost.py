@@ -22,7 +22,9 @@ from repro.engine.mcdb import AggregateSpec, MonteCarloExecutor
 from repro.engine.operators import random_table_pipeline
 from repro.engine.random_table import RandomColumnSpec, RandomTableSpec
 from repro.engine.table import Catalog, Table
-from repro.experiments import format_table, print_experiment
+from repro.experiments import (
+    NullBenchmark, format_table, print_experiment, record_metric,
+    run_benchmark_cli)
 from repro.vg.builtin import NORMAL
 
 MEAN = 10e6
@@ -64,6 +66,12 @@ def test_e3_cost_claims(benchmark):
     print_experiment(
         "E3: Sec. 1 naive Monte Carlo cost arithmetic",
         format_table(["quantity", "computed", "paper"], rows))
+    record_metric("bench_e3_naive_cost", "reps_for_one_tail_sample",
+                  round(one_hit), gate="~ 3.5e6")
+    record_metric("bench_e3_naive_cost", "reps_for_area_estimate",
+                  round(area), gate="~ 130e9")
+    record_metric("bench_e3_naive_cost", "reps_for_quantile_estimate",
+                  round(quantile), gate="~ 10e6")
     assert one_hit == pytest.approx(3.5e6, rel=0.05)
     assert area == pytest.approx(130e9, rel=0.05)
     assert quantile == pytest.approx(10e6, rel=0.05)
@@ -87,6 +95,16 @@ def test_e3_empirical_tail_frequency():
     dist = executor.run(40_000).distribution("total")
     threshold = stats.norm.ppf(0.99, MEAN, STD)  # feasible 1% tail
     observed = dist.tail_probability(threshold)
+    record_metric("bench_e3_naive_cost", "empirical_tail_frequency",
+                  round(observed, 5), gate="~ 0.01")
     assert observed == pytest.approx(0.01, abs=0.0035)
     # And the observed cost-per-hit extrapolates the Sec. 1 arithmetic.
     assert 1.0 / max(observed, 1e-9) == pytest.approx(100.0, rel=0.45)
+
+
+def _main_cost_claims():
+    test_e3_cost_claims(NullBenchmark())
+
+
+if __name__ == "__main__":
+    run_benchmark_cli([_main_cost_claims, test_e3_empirical_tail_frequency])

@@ -16,7 +16,9 @@ import numpy as np
 
 from repro.core.cloner import tail_sample
 from repro.core.model import IndependentBlockModel, SeparableSumQuery
-from repro.experiments import format_table, print_experiment
+from repro.experiments import (
+    NullBenchmark, format_table, print_experiment, record_metric,
+    run_benchmark_cli)
 
 R = 20
 SAMPLES = 50
@@ -72,6 +74,16 @@ def test_e4_heavy_tail_ablation(benchmark):
     # proposals per acceptance (or stall outright) than the normal.
     deep = probabilities[-1]
     normal = summary[("Normal", deep)]
+    record_metric("bench_e4_heavy_tail", "normal_proposals_per_accept",
+                  round(normal["ppa"], 2))
+    for heavy in ("Lognormal", "Pareto(a=2.2)"):
+        slug = "lognormal" if heavy == "Lognormal" else "pareto"
+        record_metric(
+            "bench_e4_heavy_tail", f"{slug}_proposals_per_accept",
+            round(summary[(heavy, deep)]["ppa"], 2),
+            gate="> 2x normal, or stalls")
+        record_metric("bench_e4_heavy_tail", f"{slug}_stalls",
+                      summary[(heavy, deep)]["stalls"])
     for heavy in ("Lognormal", "Pareto(a=2.2)"):
         diag = summary[(heavy, deep)]
         assert (diag["ppa"] > 2.0 * normal["ppa"]
@@ -86,4 +98,14 @@ def test_e4_heavy_tail_ablation(benchmark):
 
 def test_e4_normal_stays_cheap():
     diag = _diagnostics(DISTRIBUTIONS["Normal"], 0.001, seed=23)
+    record_metric("bench_e4_heavy_tail", "normal_deep_tail_ppa",
+                  round(diag["ppa"], 2), gate="< 60")
     assert diag["ppa"] < 60
+
+
+def _main_heavy_tail_ablation():
+    test_e4_heavy_tail_ablation(NullBenchmark())
+
+
+if __name__ == "__main__":
+    run_benchmark_cli([_main_heavy_tail_ablation, test_e4_normal_stays_cheap])

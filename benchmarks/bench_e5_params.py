@@ -21,7 +21,9 @@ from scipy import stats
 from repro.core import params as pm
 from repro.core.cloner import tail_sample
 from repro.core.model import IndependentBlockModel, SeparableSumQuery
-from repro.experiments import format_table, print_experiment
+from repro.experiments import (
+    NullBenchmark, format_table, print_experiment, record_metric,
+    run_benchmark_cli)
 
 P = 0.25 ** 5       # the paper's running tail probability (~0.001)
 BUDGET = 500
@@ -59,6 +61,9 @@ def test_e5_msre_curve_and_optimal_m(benchmark):
     feasible = [(int(row[0]), float(row[1])) for row in rows
                 if row[1] != "infeasible"]
     best_m = min(feasible, key=lambda pair: pair[1])[0]
+    record_metric("bench_e5_params", "theorem1_m_star", m_star,
+                  gate="== curve minimizer")
+    record_metric("bench_e5_params", "curve_minimizer_m", best_m)
     assert best_m == m_star
     # The simulation must match the rounding-consistent closed form.
     for row in rows:
@@ -84,6 +89,8 @@ def test_e5_budget_convergence(benchmark):
     print_experiment(
         "E5b: w(N) — optimized MSRE vs total budget",
         format_table(["N", "m*", "w(N)"], rows))
+    record_metric("bench_e5_params", "w_at_max_budget",
+                  round(values[-1], 5), gate="< 0.05")
     assert values == sorted(values, reverse=True)
     assert values[-1] < 0.05
 
@@ -115,7 +122,27 @@ def test_e5_end_to_end_msre_matches_theory(benchmark):
         format_table(["quantity", "value"], [
             ["closed-form u", f"{theoretical:.4f}"],
             ["empirical MSRE (40 runs)", f"{empirical:.4f}"]]))
+    record_metric("bench_e5_params", "end_to_end_msre_ratio",
+                  round(empirical / theoretical, 3),
+                  gate="within 6x of closed form")
     # Gibbs dependence inflates the error slightly relative to the ideal
     # i.i.d. analysis; same order of magnitude is the reproduction target.
     assert empirical < 6.0 * theoretical
     assert empirical > theoretical / 6.0
+
+
+def _main_msre_curve():
+    test_e5_msre_curve_and_optimal_m(NullBenchmark())
+
+
+def _main_budget_convergence():
+    test_e5_budget_convergence(NullBenchmark())
+
+
+def _main_end_to_end_msre():
+    test_e5_end_to_end_msre_matches_theory(NullBenchmark())
+
+
+if __name__ == "__main__":
+    run_benchmark_cli([_main_msre_curve, test_e5_sec33_per_step_quantile,
+                       _main_budget_convergence, _main_end_to_end_msre])

@@ -14,7 +14,9 @@ proposal), plus the deterministic-subtree caching effect (Sec. 9).
 
 from repro.core.gibbs_looper import GibbsLooper
 from repro.core.params import TailParams
-from repro.experiments import format_table, print_experiment
+from repro.experiments import (
+    NullBenchmark, format_table, print_experiment, record_metric,
+    run_benchmark_cli)
 from repro.sql.parser import parse
 from repro.sql.planner import compile_select
 from repro.workloads import SalaryWorkload
@@ -53,6 +55,9 @@ def test_e6_plan_run_counts(benchmark):
     print_experiment("E6: plan-execution counts (salary-inversion workload)",
                      body)
 
+    record_metric("bench_e6_plan_runs", "plan_run_reduction",
+                  round(naive_plan_runs / max(actual, 1)), gate="> 100x")
+    record_metric("bench_e6_plan_runs", "gibbs_looper_plan_runs", actual)
     assert actual <= 1 + sum(step.replenish_runs for step in result.trace)
     assert naive_plan_runs / max(actual, 1) > 100
 
@@ -74,8 +79,20 @@ def test_e6_deterministic_caching_effect():
     assert result.plan_runs >= 2
     # Deterministic nodes executed once; only random nodes repeat.
     total_nodes = _count_nodes(compiled.plan)
+    record_metric("bench_e6_plan_runs", "node_executions",
+                  context.node_executions,
+                  gate=f"< {total_nodes * result.plan_runs} (no caching)")
     assert context.node_executions < total_nodes * result.plan_runs
 
 
 def _count_nodes(plan) -> int:
     return 1 + sum(_count_nodes(child) for child in plan.children)
+
+
+def _main_plan_run_counts():
+    test_e6_plan_run_counts(NullBenchmark())
+
+
+if __name__ == "__main__":
+    run_benchmark_cli([_main_plan_run_counts,
+                       test_e6_deterministic_caching_effect])

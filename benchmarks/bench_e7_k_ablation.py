@@ -19,7 +19,9 @@ from scipy import stats
 from repro.core.cloner import tail_sample
 from repro.core.model import IndependentBlockModel, SeparableSumQuery
 from repro.core.params import TailParams
-from repro.experiments import format_table, print_experiment
+from repro.experiments import (
+    NullBenchmark, format_table, print_experiment, record_metric,
+    run_benchmark_cli)
 
 R = 25
 P = 0.25 ** 4
@@ -65,6 +67,17 @@ def test_e7_k_ablation(benchmark):
              "sufficed' — k = 0 is the degenerate no-perturbation control")
     print_experiment("E7: ablation on Gibbs steps per iteration (k)", body)
 
+    record_metric("bench_e7_k_ablation", "k0_distinct_fraction",
+                  round(summary[0]["distinct"], 3), gate="< 0.8")
+    record_metric("bench_e7_k_ablation", "k1_distinct_fraction",
+                  round(summary[1]["distinct"], 3), gate="> 0.99")
+    record_metric("bench_e7_k_ablation", "k1_vs_k4_rmse_ratio",
+                  round(summary[1]["rmse"] / max(summary[4]["rmse"], 1e-12),
+                        3))
+    record_metric("bench_e7_k_ablation", "k1_vs_k4_proposal_ratio",
+                  round(summary[1]["proposals"] / summary[4]["proposals"],
+                        3), gate="< 0.5")
+
     # k = 0 leaves clones duplicated; any k >= 1 separates them fully.
     assert summary[0]["distinct"] < 0.8
     for k in (1, 2, 4):
@@ -75,3 +88,11 @@ def test_e7_k_ablation(benchmark):
     assert summary[1]["proposals"] < 0.5 * summary[4]["proposals"]
     # And k = 0 is *worse* than k = 1 on estimator dispersion.
     assert summary[0]["rmse"] > 0.8 * summary[1]["rmse"]
+
+
+def _main_k_ablation():
+    test_e7_k_ablation(NullBenchmark())
+
+
+if __name__ == "__main__":
+    run_benchmark_cli([_main_k_ablation])

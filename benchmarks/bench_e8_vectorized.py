@@ -26,8 +26,8 @@ from repro.core.params import TailParams
 from repro.engine.mcdb import AggregateSpec, MonteCarloExecutor
 from repro.engine.options import ExecutionOptions
 from repro.experiments import (
-    engine_comparison_table, format_table, print_experiment, record_metric,
-    run_benchmark_cli, timed)
+    NullBenchmark, engine_comparison_table, format_table, print_experiment,
+    record_metric, run_benchmark_cli, timed)
 from repro.sql.parser import parse
 from repro.sql.planner import compile_select
 from repro.workloads import PortfolioWorkload
@@ -137,15 +137,8 @@ def test_e8_sharded_montecarlo_consistency():
         format_table(["mode", "seconds", "identical to serial"], rows))
 
 
-class _NullBenchmark:
-    """Stand-in for the pytest-benchmark fixture under direct execution."""
-
-    def pedantic(self, fn, rounds=1, iterations=1):
-        fn()
-
-
 def _main_kernel_speedup():
-    test_e8_vectorized_kernel_speedup(_NullBenchmark())
+    test_e8_vectorized_kernel_speedup(NullBenchmark())
 
 
 if __name__ == "__main__":

@@ -52,6 +52,27 @@ re-ships they replace), at least two survived replenishments, > 0
 speculative follow-up hits with strictly fewer blocking state calls,
 and bit-identical samples across all four state_reinit x
 speculate_followups combinations.
+
+Part 4 — K-deep speculative window chains + adaptive sweep scheduling.
+PR 5's one-window-deep speculation still blocks on a ``state_call``
+every other follow-up once a rejection streak outruns the single
+buffered window.  ``speculate_depth=K`` lets each ``GibbsSeedShard``
+owner speculate a K-deep chain of successor windows
+(successor-of-successor under continued rejection), sized per seed from
+the acceptance-pressure counters, and ``sweep_order="adaptive"`` batches
+commit notifications per sweep segment and serves hot seeds first so
+the chains are warm when the sequential Gauss-Seidel consumer arrives.
+
+The workload is a deep-tail (m=3) run with one extreme-variance hot
+seed: the final conditioning steps reject almost every candidate, so
+the hot seed's versions burn through long full-rejection window streaks
+— exactly the premise a K-deep chain survives on.  Gates: the K-deep
+chained config cuts blocking follow-up ``state_calls`` per sweep >= 2x
+vs the PR 5 baseline (``speculate_depth=1``, natural order), the
+default depth-4 config >= 1.4x, speculated-window waste stays bounded
+(<= 1.5 wasted chain entries per follow-up window), commit batching
+really coalesces casts, and the samples are bit-identical across every
+leg.
 """
 
 import numpy as np
@@ -431,9 +452,163 @@ def test_delta_reinit_and_speculation_cut_replenishment_transport():
         f"({calls_without} -> {calls_with})")
 
 
+#: K-deep chain workload: one extreme-variance hot seed in a deep-tail
+#: (m=3) run.  The last conditioning steps accept ~1 candidate in tens
+#: of thousands for the hot seed, so its versions scan long streaks of
+#: entirely-rejected windows — the all-rejected premise a speculated
+#: chain survives on.  The proposal budget bounds each version's burn so
+#: streaks end in stalls (which leave the epoch alone) more often than
+#: in commits (which kill the chain), and the wide window keeps
+#: mid-sweep replenishments — whose merges invalidate every chain —
+#: rare.
+CHAIN_CUSTOMERS = 12
+CHAIN_HOT = 1
+CHAIN_HOT_SIGMA = 80.0
+CHAIN_COLD_SIGMA = 0.25
+CHAIN_WINDOW = 200_000
+CHAIN_VERSIONS = 34
+CHAIN_SAMPLES = 16
+CHAIN_M = 3
+CHAIN_K = 2
+CHAIN_P_STEP = 0.03
+CHAIN_MAX_PROPOSALS = 90_000
+CHAIN_WINDOW_GROWTH = 2.0
+CHAIN_N_JOBS = 2
+#: (label, speculate_depth, sweep_order) legs.  depth=1 + natural order
+#: is byte-for-byte the PR 5 protocol; depth=4 + adaptive is the
+#: shipping default; depth=8 is the deep-chain configuration the >= 2x
+#: gate runs against.
+CHAIN_LEGS = (
+    ("pr5 baseline", 1, "natural"),
+    ("default", 4, "adaptive"),
+    ("deep", 8, "adaptive"),
+)
+
+
+def _chain_looper(backend, speculate_depth, sweep_order):
+    catalog = Catalog()
+    rng = np.random.default_rng(7)
+    sigma = np.full(CHAIN_CUSTOMERS, CHAIN_COLD_SIGMA)
+    sigma[:CHAIN_HOT] = CHAIN_HOT_SIGMA
+    catalog.add_table(Table("means", {
+        "CID": np.arange(CHAIN_CUSTOMERS),
+        "m": rng.uniform(0.5, 3.0, size=CHAIN_CUSTOMERS),
+        "s": sigma}))
+    spec = RandomTableSpec(
+        name="Losses", parameter_table="means", vg=NORMAL,
+        vg_params=(col("m"), col("s")),
+        random_columns=(RandomColumnSpec("val"),),
+        passthrough_columns=("CID",))
+    params = TailParams(
+        p=CHAIN_P_STEP ** CHAIN_M, m=CHAIN_M,
+        n_steps=(CHAIN_VERSIONS,) * CHAIN_M,
+        p_steps=(CHAIN_P_STEP,) * CHAIN_M)
+    return GibbsLooper(
+        random_table_pipeline(spec), catalog, params, CHAIN_SAMPLES,
+        aggregate_kind="sum", aggregate_expr=col("val"),
+        window=CHAIN_WINDOW, base_seed=BASE_SEED, k=CHAIN_K,
+        max_proposals=CHAIN_MAX_PROPOSALS,
+        options=ExecutionOptions(
+            n_jobs=CHAIN_N_JOBS, backend="process", gibbs_state="worker",
+            window_growth=CHAIN_WINDOW_GROWTH,
+            speculate_depth=speculate_depth, sweep_order=sweep_order),
+        backend=backend)
+
+
+def test_chained_speculation_cuts_blocking_calls():
+    sweeps = CHAIN_M * CHAIN_K
+    results, stats = {}, {}
+    for label, depth, order in CHAIN_LEGS:
+        backend = ProcessBackend(CHAIN_N_JOBS)
+        try:
+            results[label] = _chain_looper(backend, depth, order).run()
+            stats[label] = dict(backend.stats)
+        finally:
+            backend.close()
+
+    baseline = results["pr5 baseline"]
+    for label, result in results.items():
+        np.testing.assert_array_equal(result.samples, baseline.samples)
+        assert result.assignments == baseline.assignments, label
+
+    # Blocking follow-up serves: every follow-up window that was NOT
+    # consumed from a speculated chain cost a synchronous state_call.
+    # The counters are transport-independent and exactly deterministic.
+    def blocking(result):
+        return result.followup_windows - result.speculated_windows
+
+    reductions = {
+        label: blocking(baseline) / max(blocking(results[label]), 1)
+        for label, _, _ in CHAIN_LEGS}
+    waste_ratios = {
+        label: results[label].wasted_speculations
+        / max(results[label].followup_windows, 1)
+        for label, _, _ in CHAIN_LEGS}
+
+    body = format_table(
+        ["leg", "depth", "order", "follow-ups", "chain hits", "blocking",
+         "per sweep", "reduction", "wasted", "max chain", "batched",
+         "state calls"],
+        [[label, depth, order, results[label].followup_windows,
+          results[label].speculated_windows, blocking(results[label]),
+          f"{blocking(results[label]) / sweeps:.1f}",
+          f"{reductions[label]:.2f}x",
+          results[label].wasted_speculations,
+          results[label].speculation_chain_depth,
+          results[label].batched_notifications,
+          stats[label]["state_calls"]]
+         for label, depth, order in CHAIN_LEGS])
+    body += (f"\n\nblocking follow-up calls per sweep: "
+             f"{blocking(baseline) / sweeps:.1f} -> "
+             f"{blocking(results['deep']) / sweeps:.1f} "
+             f"({reductions['deep']:.2f}x, gate: >= 2x) over {sweeps} "
+             f"sweeps; samples bit-identical across all legs")
+    print_experiment(
+        f"K-deep speculative window chains + adaptive sweep scheduling "
+        f"(n_jobs={CHAIN_N_JOBS}, {CHAIN_CUSTOMERS} seeds, "
+        f"{CHAIN_HOT} hot, m={CHAIN_M})", body)
+
+    record_metric("bench_scaling", "chain_blocking_reduction_deep",
+                  round(reductions["deep"], 2), gate=">= 2x")
+    record_metric("bench_scaling", "chain_blocking_reduction_default",
+                  round(reductions["default"], 2), gate=">= 1.4x")
+    record_metric("bench_scaling", "chain_waste_per_followup",
+                  round(waste_ratios["deep"], 2), gate="<= 1.5")
+    record_metric("bench_scaling", "chain_batched_notifications",
+                  results["deep"].batched_notifications, gate="> 0")
+    record_metric("bench_scaling", "chain_max_depth",
+                  results["deep"].speculation_chain_depth, gate="== 8")
+
+    # The PR 5 leg must really be the one-deep protocol: no chains past
+    # depth 1, nothing batched.
+    assert baseline.speculation_chain_depth <= 1
+    assert baseline.batched_notifications == 0
+    # The chained legs must reach their configured depth and pay for it:
+    # >= 2x fewer blocking serves at depth 8, >= 1.4x at the default
+    # depth 4, with waste bounded on both.
+    assert results["deep"].speculation_chain_depth == 8
+    assert results["default"].speculation_chain_depth == 4
+    assert reductions["deep"] >= 2.0, (
+        f"deep chains only cut blocking calls {reductions['deep']:.2f}x; "
+        "need >= 2x")
+    assert reductions["default"] >= 1.4, (
+        f"default chains only cut blocking calls "
+        f"{reductions['default']:.2f}x; need >= 1.4x")
+    for label in ("default", "deep"):
+        assert waste_ratios[label] <= 1.5, (
+            f"{label}: {results[label].wasted_speculations} wasted chain "
+            f"entries over {results[label].followup_windows} follow-ups")
+        # Commit batching really coalesced notification casts.  (Total
+        # state_casts is NOT lower than the baseline's: every extra
+        # chain hit sends a consumption note, and those notes buy the
+        # blocking-call reduction gated above.)
+        assert results[label].batched_notifications > 0
+
+
 if __name__ == "__main__":
     run_benchmark_cli([
         test_persistent_pool_amortizes_per_query_overhead,
         test_worker_state_cuts_gibbs_sweep_transport,
         test_delta_reinit_and_speculation_cut_replenishment_transport,
+        test_chained_speculation_cuts_blocking_calls,
     ])

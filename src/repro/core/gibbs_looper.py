@@ -146,6 +146,15 @@ class LooperResult:
     #: before use.  Diagnostics only; speculation never changes samples.
     speculated_windows: int = 0
     wasted_speculations: int = 0
+    #: K-deep chain accounting (``speculate_depth``/``sweep_order``):
+    #: ``speculation_chain_depth`` is the longest successor chain any
+    #: owner piggybacked on a reply this run, and
+    #: ``batched_notifications`` how many commit notifications rode a
+    #: flushed ``apply_batch`` message instead of their own cast
+    #: (``sweep_order="adaptive"`` only).  Diagnostics only — like every
+    #: transport knob, neither ever changes the samples.
+    speculation_chain_depth: int = 0
+    batched_notifications: int = 0
 
     @property
     def total_stats(self) -> GibbsStats:
@@ -339,14 +348,20 @@ class GibbsSeedShard:
       change; they are pure functions of position).  This is the
       worker-side mirror of the parent's ``replenishment="delta"`` fast
       path, and it replaces the discard + full snapshot re-ship.
-    * Speculative follow-up serving (``speculate_followups``): serve
-      requests carry the exact parameters of the *next* window assuming
-      full rejection, plus the seed's notification epoch.  For hinted
-      seeds the owner pre-computes that window right after serving the
-      current one and piggybacks it on the reply; it is only ever
-      consumed while the epoch still matches — i.e. while not a single
-      commit/clone/merge has touched the seed since — so a speculated
-      window is bit-identical to the fresh computation it replaces.
+    * Speculative follow-up serving (``speculate_followups`` +
+      ``speculate_depth``): serve requests carry the seed's notification
+      epoch, and the owner pre-computes a **chain** of successor windows
+      — the requests the sweep will send next under continued rejection,
+      each the successor of the one before it — and piggybacks the whole
+      chain on the reply.  Chain length adapts per seed to the
+      acceptance pressure the owner already tracks (``_chain_depth``):
+      hot low-acceptance seeds get deep chains, seeds above the 1/8
+      acceptance threshold get none.  An entry is only ever consumed
+      while its exact parameters and epoch still match — i.e. while not
+      a single commit/clone/merge has touched the seed and every earlier
+      entry was consumed fully rejected — so every hit is bit-identical
+      to the fresh computation it replaces, and the first mismatch kills
+      the whole remaining chain (its premise is the prefix's).
 
     State lifecycle: created fresh per query (tokens never alias across
     queries), spliced in place by delta re-inits, invalidated (discarded)
@@ -366,15 +381,31 @@ class GibbsSeedShard:
     """
 
     def __init__(self, seeds: dict, aggregate_expr: Expr | None,
-                 final_predicate: Expr | None, speculate: bool = False):
+                 final_predicate: Expr | None, speculate: bool = False,
+                 speculate_depth: int = 1, adaptive: bool = False):
         #: handle -> (gibbs tuples, _TupleStates), this shard's range only.
         self.seeds = seeds
         self.aggregate_expr = aggregate_expr
         self.final_predicate = final_predicate
         self.speculate = speculate
-        #: Speculation buffer: handle -> (params, epoch, matrices) for
-        #: the pre-computed next window (at most one per handle).
-        self._speculation: dict[int, tuple] = {}
+        #: Chain-length cap (the ``speculate_depth`` knob); the actual
+        #: per-seed depth adapts below it, see ``_chain_depth``.
+        self.speculate_depth = speculate_depth
+        #: Adaptive sweep scheduling (``sweep_order="adaptive"``): lets
+        #: ``_chain_depth`` fall back to the *previous* perturbation
+        #: call's acceptance counters right after a cursor reset, so hot
+        #: seeds' chains are already warm on the sweep-start scatter.
+        self.adaptive = adaptive
+        #: Speculation buffer: handle -> list of (params, epoch,
+        #: matrices) entries, each the successor of the one before it
+        #: under continued rejection.  Consumed from the head; dead as a
+        #: whole the moment any prefix entry mismatches.
+        self._speculation: dict[int, list] = {}
+        #: handle -> (consumed_total, served_total) of the seed's
+        #: previous perturbation call, recorded when the sweep-start
+        #: scatter resets the cursor.  Heuristic input to ``_chain_depth``
+        #: only — entry geometry always derives from the live cursor.
+        self._history: dict[int, tuple] = {}
         #: Mirror of the sweep's per-perturbation-call window cursor,
         #: handle -> [consumed_total, served_total, version, last_stop,
         #: last_count] — reset by the sweep-start scatter, advanced by
@@ -396,29 +427,38 @@ class GibbsSeedShard:
     def serve_followup(self, handle: int, first_version: int, count: int,
                        start: int, stop: int, epoch: int,
                        first: bool = False) -> tuple:
-        """One window + an optionally speculated successor.
+        """One window + the speculated successor chain.
 
-        Returns ``(matrices, speculation)``.  The served matrices come
-        from the speculation buffer when the request matches a
-        still-valid speculation (same parameters, same epoch — not a
-        single commit/clone/merge touched the seed in between), else
-        from a fresh ``serve_window``.  Either way the owner then
-        pre-computes the *successor* window for low-acceptance seeds —
-        the request the sweep will send next if it rejects this whole
-        window — and piggybacks it on the reply: the owned state cannot
-        change before the next message arrives (messages apply in FIFO
-        order), so the speculation is bit-identical to what serving
-        that request later would compute.
+        Returns ``(matrices, chain)``.  The served matrices come from
+        the chain head when the request matches it exactly (same
+        parameters, same epoch — not a single commit/clone/merge touched
+        the seed in between), else from a fresh ``serve_window`` — and a
+        head mismatch kills the *whole* chain, because every later entry
+        assumed the head's geometry.  Either way the owner then tops the
+        chain back up to the seed's adaptive depth — the requests the
+        sweep will send next if it keeps rejecting — and piggybacks the
+        chain on the reply: the owned state cannot change before the
+        next message arrives (messages apply in FIFO order), so each
+        entry is bit-identical to what serving its request later would
+        compute, for as long as its prefix premise holds.
         """
         key = (first_version, count, start, stop)
-        speculation = self._speculation.pop(handle, None)
-        if speculation is not None and speculation[0] == key \
-                and speculation[1] == epoch:
-            matrices = speculation[2]
-        else:
+        chain = self._speculation.get(handle)
+        matrices = None
+        if chain:
+            head = chain[0]
+            if head[0] == key and head[1] == epoch:
+                del chain[0]
+                matrices = head[2]
+            else:
+                del self._speculation[handle]
+        if matrices is None:
             matrices = self.serve_window(handle, first_version, count,
                                          start, stop)
         if first:
+            call = self._call_state.get(handle)
+            if call is not None and call[0]:
+                self._history[handle] = (call[0], call[1])
             self._call_state[handle] = [0, 0, 0, 0, 0]
         self._advance_cursor(handle, first_version, count, start, stop)
         return matrices, self._speculate(handle, epoch)
@@ -432,18 +472,20 @@ class GibbsSeedShard:
             in requests]
 
     def note_speculation(self, handle: int, epoch: int) -> None:
-        """The sweep consumed a piggybacked speculation without a call.
+        """The sweep consumed the chain head without a call.
 
         Advances the owner's call cursor exactly as serving that window
-        would have (the buffered copy carries its parameters), then
-        speculates the next one — so a fully rejected streak alternates
-        buffer hits (no round-trip at all) with served-from-buffer
-        calls, and the bookkeeping never desynchronizes from the sweep.
+        would have (the buffered copy carries its parameters), then tops
+        the chain back up — so a fully rejected streak costs one
+        blocking call per *chain* instead of per window, the owner
+        re-extending between messages while the sweep scans, and the
+        bookkeeping never desynchronizes from the sweep.
         """
-        speculation = self._speculation.pop(handle, None)
-        if speculation is None or speculation[1] != epoch:
+        chain = self._speculation.get(handle)
+        if not chain or chain[0][1] != epoch:
+            self._speculation.pop(handle, None)
             return  # stale note; the next serve re-syncs the cursor
-        first_version, count, start, stop = speculation[0]
+        (first_version, count, start, stop), _, _ = chain.pop(0)
         self._advance_cursor(handle, first_version, count, start, stop)
         self._speculate(handle, epoch)
 
@@ -462,42 +504,85 @@ class GibbsSeedShard:
         call[3] = stop
         call[4] = count
 
-    def _speculate(self, handle: int, epoch: int):
-        """Pre-compute the sweep's predicted next window, if worthwhile.
+    def _chain_depth(self, handle: int) -> int:
+        """Adaptive chain length from the seed's acceptance pressure.
 
-        The call cursor says where the consumption pointer and version
-        stand if the window just recorded is the last word (no further
-        commit for it); ``_window_geometry`` is a pure function of that
-        cursor, so the predicted request is exact whenever the
-        prediction's premise holds — any acceptance or stall changes the
-        real request, and the mismatch (or the commit's epoch bump)
-        discards the speculation unused.  Seeds whose observed
-        acceptance rate exceeds 1/8 are not worth pre-computing for:
-        their next request almost always follows a commit, which
-        re-speculates with better information anyway.
+        0 below the speculation gate — a young cursor, or an observed
+        acceptance rate above ``1/_SPECULATION_RATE_DENOM`` (such seeds'
+        next request almost always follows a commit, which re-speculates
+        with better information anyway); 1 at the gate, plus one entry
+        per further doubling of candidates-consumed-per-version-served,
+        capped at ``speculate_depth``.  Under adaptive sweep scheduling
+        a freshly reset cursor falls back to the previous call's final
+        counters (``_history``), so hot seeds keep deep chains across
+        the sweep boundary instead of re-proving hotness with blocking
+        calls each sweep.  The fallback influences only *whether and how
+        deep* to pre-compute, never what: entry geometry always derives
+        from the live cursor.
         """
-        if not self.speculate:
-            return None
-        consumed_total, served_total, version, stop, _ = \
-            self._call_state[handle]
+        if self.speculate_depth < 1:
+            return 0
+        consumed_total, served_total = self._call_state[handle][:2]
+        if consumed_total < _SPECULATION_MIN_CONSUMED and self.adaptive:
+            consumed_total, served_total = self._history.get(handle, (0, 0))
         if consumed_total < _SPECULATION_MIN_CONSUMED or \
                 served_total * _SPECULATION_RATE_DENOM > consumed_total:
+            return 0
+        pressure = consumed_total // max(served_total, 1)
+        depth = 1
+        while depth < self.speculate_depth and \
+                pressure >= _SPECULATION_RATE_DENOM << depth:
+            depth += 1
+        return depth
+
+    def _speculate(self, handle: int, epoch: int):
+        """Top the seed's chain up to its adaptive depth, if worthwhile.
+
+        The call cursor says where the consumption pointer and version
+        stand if the windows recorded so far are the last word (no
+        further commit); the walk below replays ``_advance_cursor``'s
+        provisional full-width charge over the entries already queued,
+        and ``_window_geometry`` is a pure function of that virtual
+        cursor — so entry ``i`` is exactly the request the sweep sends
+        after ``i`` fully rejected predecessors, and bit-identical to
+        serving it then.  Any acceptance or stall breaks the premise for
+        the whole remaining chain at once (each entry assumed its
+        predecessors' geometry), which is why consumption clears the
+        chain on the first mismatch instead of resyncing entry by entry.
+
+        Returns a snapshot copy of the chain (the serial mirror must
+        share entry tuples with the looper, never the mutable list
+        itself) or ``None`` when there is nothing speculated.
+        """
+        chain = self._speculation.get(handle)
+        if chain is None:
+            chain = []
+        depth = self._chain_depth(handle) if self.speculate else 0
+        if len(chain) < depth:
+            consumed_total, served_total, version, stop, _ = \
+                self._call_state[handle]
+            for (_, _, entry_start, entry_stop), _, _ in chain:
+                consumed_total += entry_stop - entry_start
+                stop = entry_stop
+            tuples, states = self.seeds[handle]
+            fresh_stop = self._window_length(tuples)
+            version_count = states[0].present.shape[0]
+            while len(chain) < depth and stop < fresh_stop:
+                width, max_rows = GibbsLooper._window_geometry(
+                    fresh_stop - stop, consumed_total, served_total)
+                count = min(version_count - version, max_rows)
+                if count <= 0:
+                    break
+                params = (version, count, stop, stop + width)
+                chain.append((params, epoch,
+                              self.serve_window(handle, *params)))
+                consumed_total += width
+                stop += width
+        if not chain:
+            self._speculation.pop(handle, None)
             return None
-        tuples, states = self.seeds[handle]
-        fresh_stop = self._window_length(tuples)
-        if stop >= fresh_stop:
-            return None  # the next step is a replenishment, not a window
-        version_count = states[0].present.shape[0]
-        width, max_rows = GibbsLooper._window_geometry(
-            fresh_stop - stop, consumed_total, served_total)
-        count = min(version_count - version, max_rows)
-        if count <= 0:
-            return None
-        params = (version, count, stop, stop + width)
-        speculation = (params, epoch,
-                       self.serve_window(handle, *params))
-        self._speculation[handle] = speculation
-        return speculation
+        self._speculation[handle] = chain
+        return list(chain)
 
     @staticmethod
     def _window_length(tuples: list) -> int:
@@ -526,7 +611,7 @@ class GibbsSeedShard:
         happens here, between messages, so the sweep's next serve call
         finds the window already built.
         """
-        self._speculation.pop(handle, None)  # epoch moved; entry is dead
+        self._speculation.pop(handle, None)  # epoch moved; chain is dead
         tuples, states = self.seeds[handle]
         for row, (gibbs_tuple, state) in enumerate(zip(tuples, states)):
             state.value[versions] = values[row]
@@ -618,6 +703,21 @@ class GibbsSeedShard:
                 state.presence = [flags[sources] for flags in state.presence]
                 state.value = state.value[sources]
                 state.present = state.present[sources]
+
+    def apply_batch(self, ops: list) -> None:
+        """Apply a flushed buffer of commit notifications, in issue order.
+
+        Adaptive sweep scheduling (``sweep_order="adaptive"``) buffers
+        ``apply_commit`` casts looper-side and flushes a whole sweep
+        segment's worth as one message right before anything that
+        depends on the mirrored state — a blocking serve, the next
+        scatter, a merge, a clone, the discard drain.  In-order dispatch
+        through ``getattr`` makes the batch observationally identical to
+        the casts having been sent one by one, including for white-box
+        suites that spy on the individual methods.
+        """
+        for method, args in ops:
+            getattr(self, method)(*args)
 
 
 class GibbsLooper:
@@ -742,12 +842,23 @@ class GibbsLooper:
         # cursors themselves (GibbsSeedShard); the sweep only holds the
         # piggybacked speculations and the epochs that guard them.
         self._spec_epoch: dict[int, int] = {}
-        self._speculated: dict[int, tuple] = {}
+        self._speculated: dict[int, list] = {}
         self._worker_state_inits = 0
         self._worker_state_merges = 0
         self._merged_positions = 0
         self._speculated_windows = 0
         self._wasted_speculations = 0
+        self._speculation_chain_depth = 0
+        # Adaptive sweep scheduling (sweep_order="adaptive"): per-shard
+        # buffers of unsent commit notifications (flushed before any
+        # message that reads the shard's mirror) and the looper-side
+        # acceptance-pressure record that orders scatter requests
+        # hottest-first.  Both pure transport: neither moves the
+        # Gauss-Seidel seed visit order, which stays ascending-handle.
+        self._batch_casts = False
+        self._pending_casts: list[list] = []
+        self._seed_pressure: dict[int, int] = {}
+        self._batched_notifications = 0
 
     # -- public entry ---------------------------------------------------------
 
@@ -833,7 +944,9 @@ class GibbsLooper:
             worker_state_merges=self._worker_state_merges,
             merged_positions=self._merged_positions,
             speculated_windows=self._speculated_windows,
-            wasted_speculations=self._wasted_speculations)
+            wasted_speculations=self._wasted_speculations,
+            speculation_chain_depth=self._speculation_chain_depth,
+            batched_notifications=self._batched_notifications)
 
     # -- ingestion and caches ---------------------------------------------------
 
@@ -1089,7 +1202,9 @@ class GibbsLooper:
             # overwrite on its owned states (the sources array is the
             # whole message; version counts may change with it).  Every
             # speculation dies with it — the version axis it was computed
-            # against no longer exists.
+            # against no longer exists.  Buffered commits flush first:
+            # the clone gathers from the state they mutate.
+            self._flush_casts()
             self._ensure_backend().state_cast_all(
                 self._state_token, "apply_clone", sources)
             self._invalidate_speculations()
@@ -1241,11 +1356,21 @@ class GibbsLooper:
                     shard_of[handle] = shard
                 payloads.append(GibbsSeedShard(
                     seeds, self.aggregate_expr, self.final_predicate,
-                    speculate=speculate))
+                    speculate=speculate,
+                    speculate_depth=self.options.speculate_depth,
+                    adaptive=self.options.sweep_order == "adaptive"))
             self._state_token = backend.init_state(payloads)
             self._shard_of_handle = shard_of
             self._state_shard_count = len(bounds)
             self._worker_state_inits += 1
+        # Commit batching rides the same transport condition as
+        # speculation: the thread backend's casts are elided no-ops, so
+        # there is nothing to coalesce.
+        self._batch_casts = (self.options.sweep_order == "adaptive"
+                             and backend.state_casts_apply())
+        if len(self._pending_casts) != self._state_shard_count:
+            self._pending_casts = [
+                [] for _ in range(self._state_shard_count)]
         requests: list[list] = [[] for _ in range(self._state_shard_count)]
         for handle, first_version, count, start, stop in \
                 self._first_window_requests():
@@ -1256,6 +1381,20 @@ class GibbsLooper:
             requests[self._shard_of_handle[handle]].append(
                 (handle, first_version, count, start, stop,
                  self._spec_epoch.get(handle, 0)))
+        if self.options.sweep_order == "adaptive":
+            # Serve hot (rejection-heavy) seeds first within each shard:
+            # their first windows — and, with warm chains, their whole
+            # opening streaks — are ready when the sequential
+            # Gauss-Seidel consumer reaches them.  Pure request-list
+            # ordering: replies are keyed by handle and each request is
+            # served independently, so the sweep's ascending-handle
+            # visit order (the bit-identity contract) is untouched.
+            for shard_requests in requests:
+                shard_requests.sort(key=lambda request: (
+                    -self._seed_pressure.get(request[0], 0), request[0]))
+        # The previous sweep's tail of buffered commits must land before
+        # the scatter reads the mirrors it mutates.
+        self._flush_casts()
         backend.state_scatter(self._state_token, "serve_windows",
                               [(shard_requests,) for shard_requests
                                in requests])
@@ -1279,11 +1418,16 @@ class GibbsLooper:
             served = self._ensure_backend().state_collect(
                 self._state_token, shard)
             for (entry_handle, start, stop, count, matrices,
-                 speculation) in served:
+                 chain) in served:
                 self._prefetched_windows[entry_handle] = (
                     start, stop, count, matrices)
-                if speculation is not None:
-                    self._speculated[entry_handle] = speculation
+                stale = self._speculated.pop(entry_handle, None)
+                if stale:
+                    self._wasted_speculations += len(stale)
+                if chain:
+                    self._speculated[entry_handle] = list(chain)
+                    self._speculation_chain_depth = max(
+                        self._speculation_chain_depth, len(chain))
         return self._prefetched_windows.pop(handle, None)
 
     def _discard_worker_state(self) -> None:
@@ -1295,14 +1439,22 @@ class GibbsLooper:
         """
         if self._state_token is None:
             return
+        # Flush, don't drop: the serial mirror's completeness contract
+        # (every notification eventually applied) is what the replay
+        # suites verify, and the final sweep's buffered commits are part
+        # of the stream.
+        self._flush_casts()
         token, self._state_token = self._state_token, None
         self._shard_of_handle = {}
         self._state_shard_count = 0
         self._scatter_pending = set()
         self._prefetched_windows = {}
-        self._wasted_speculations += len(self._speculated)
+        self._wasted_speculations += sum(
+            len(chain) for chain in self._speculated.values())
         self._speculated = {}
         self._spec_epoch = {}
+        self._batch_casts = False
+        self._pending_casts = []
         backend = self.backend if self.backend is not None \
             else self._owned_backend
         if backend is not None:
@@ -1330,6 +1482,9 @@ class GibbsLooper:
         self._scatter_pending = set()
         self._prefetched_windows = {}
         self._invalidate_speculations()
+        # Buffered commits index into the pre-refuel window geometry —
+        # they must land before the merge re-shapes the mirrors.
+        self._flush_casts()
         # The thread transport's state IS the caller's refreshed objects
         # (state_merge is a deliberate no-op there) — building the value
         # payloads would be pure waste, so only the splice *shape* is
@@ -1431,8 +1586,51 @@ class GibbsLooper:
         """
         for handle in self._shard_of_handle:
             self._spec_epoch[handle] = self._spec_epoch.get(handle, 0) + 1
-        self._wasted_speculations += len(self._speculated)
+        self._wasted_speculations += sum(
+            len(chain) for chain in self._speculated.values())
         self._speculated = {}
+
+    def _cast_commit(self, shard: int, *args) -> None:
+        """Send — or, under adaptive scheduling, buffer — one commit.
+
+        ``sweep_order="adaptive"`` coalesces commit notifications per
+        shard into a single ``apply_batch`` cast, flushed right before
+        the next message that reads the shard's mirror (a blocking
+        serve, the next scatter, a merge, a clone, the discard drain):
+        fewer, fatter messages on the process transport, with the
+        owner's in-order batch dispatch preserving the exact unbatched
+        sequence.  Speculation notes are deliberately *never* buffered —
+        they are what triggers the owner's between-message chain
+        extension, so delaying them would forfeit the latency hiding —
+        and that is safe because a commit clears the seed's looper-side
+        chain buffer, so no note for a seed can be issued while a commit
+        for it sits unflushed.
+        """
+        if self._batch_casts:
+            self._pending_casts[shard].append(("apply_commit", args))
+        else:
+            self._ensure_backend().state_cast(
+                self._state_token, shard, "apply_commit", *args)
+
+    def _flush_casts(self, shard: int | None = None) -> None:
+        """Deliver a shard's (or every shard's) buffered notifications."""
+        if not self._batch_casts or self._state_token is None:
+            return
+        backend = self._ensure_backend()
+        shards = range(len(self._pending_casts)) if shard is None \
+            else (shard,)
+        for index in shards:
+            ops = self._pending_casts[index]
+            if not ops:
+                continue
+            self._pending_casts[index] = []
+            if len(ops) == 1:
+                backend.state_cast(self._state_token, index,
+                                   ops[0][0], *ops[0][1])
+            else:
+                backend.state_cast(self._state_token, index,
+                                   "apply_batch", ops)
+                self._batched_notifications += len(ops)
 
     def _perturb_all_seeds(self, cutoff: float, stats: GibbsStats) -> None:
         """One systematic Gibbs step over every seed, seed-major (Sec. 7)."""
@@ -1576,6 +1774,12 @@ class GibbsLooper:
             served_total += len(accepted)
             if accepted:
                 self._apply_acceptances(ts, affected, window, accepted)
+        # Looper-side acceptance-pressure record, mirroring the owners'
+        # cursors: candidates consumed per version served in this call.
+        # Feeds only the adaptive scatter's hottest-first request
+        # ordering — a deterministic function of deterministic counters,
+        # so request order (and everything downstream) stays reproducible.
+        self._seed_pressure[handle] = consumed_total // max(served_total, 1)
 
     def _scan_window(self, ts: TSSeed, window, version: int,
                      proposals_used: int, stats: GibbsStats):
@@ -1677,11 +1881,11 @@ class GibbsLooper:
             if shard is not None:
                 epoch = self._spec_epoch.get(ts.handle, 0) + 1
                 self._spec_epoch[ts.handle] = epoch
-                if self._speculated.pop(ts.handle, None) is not None:
-                    self._wasted_speculations += 1
-                self._ensure_backend().state_cast(
-                    self._state_token, shard, "apply_commit", ts.handle,
-                    version_list, index_list,
+                stale = self._speculated.pop(ts.handle, None)
+                if stale:
+                    self._wasted_speculations += len(stale)
+                self._cast_commit(
+                    shard, ts.handle, version_list, index_list,
                     np.stack(committed_values), np.stack(committed_present),
                     epoch)
 
@@ -1700,14 +1904,17 @@ class GibbsLooper:
         is why the served matrices are bit-identical to a local build.
         Without worker state this is exactly ``_build_window``.
 
-        Speculation short-circuit: when the owner pre-computed exactly
-        this window (same parameters) and the seed's epoch has not moved
-        since (not a single commit/clone/merge touched its state), the
-        buffered matrices ARE what a fresh ``serve_window`` would return
-        — so no state call is made at all; a fire-and-forget note keeps
-        the owner's cursor in lockstep and triggers the next
-        speculation.  Otherwise the synchronous call goes out and comes
-        back with the owner's next speculation piggybacked.
+        Speculation short-circuit: when the head of the owner's
+        piggybacked chain is exactly this window (same parameters) and
+        the seed's epoch has not moved since (not a single
+        commit/clone/merge touched its state), the buffered matrices ARE
+        what a fresh ``serve_window`` would return — so no state call is
+        made at all; a fire-and-forget note keeps the owner's cursor in
+        lockstep and has it extend the chain between messages.  A
+        rejection streak therefore costs one blocking call per chain,
+        not per window.  On the first mismatch the whole remaining chain
+        dies (every entry assumed its prefix), and the synchronous call
+        goes out and comes back with a fresh chain piggybacked.
         """
         shard = self._shard_of_handle.get(ts.handle) \
             if self._state_token is not None else None
@@ -1717,9 +1924,13 @@ class GibbsLooper:
         count = min(self._version_count() - first_version, max_rows)
         key = (first_version, count, start, stop)
         epoch = self._spec_epoch.get(ts.handle, 0)
-        speculation = self._speculated.pop(ts.handle, None)
-        if speculation is not None:
-            if speculation[0] == key and speculation[1] == epoch:
+        chain = self._speculated.get(ts.handle)
+        if chain:
+            head = chain[0]
+            if head[0] == key and head[1] == epoch:
+                del chain[0]
+                if not chain:
+                    del self._speculated[ts.handle]
                 self._ensure_backend().state_cast(
                     self._state_token, shard, "note_speculation",
                     ts.handle, epoch)
@@ -1727,14 +1938,20 @@ class GibbsLooper:
                 self._followup_windows += 1
                 self._speculated_windows += 1
                 return self._window_from_matrices(
-                    first_version, start, stop, count, speculation[2],
-                    cutoff)
-            self._wasted_speculations += 1
-        matrices, speculation = self._ensure_backend().state_call(
+                    first_version, start, stop, count, head[2], cutoff)
+            self._wasted_speculations += len(chain)
+            del self._speculated[ts.handle]
+        # Buffered commits for this shard must land before the serve
+        # reads the mirror they mutate (and before the owner re-anchors
+        # its chain on the served request).
+        self._flush_casts(shard)
+        matrices, chain = self._ensure_backend().state_call(
             self._state_token, shard, "serve_followup",
             ts.handle, first_version, count, start, stop, epoch)
-        if speculation is not None:
-            self._speculated[ts.handle] = speculation
+        if chain:
+            self._speculated[ts.handle] = list(chain)
+            self._speculation_chain_depth = max(
+                self._speculation_chain_depth, len(chain))
         self._sharded_windows += 1
         self._followup_windows += 1
         return self._window_from_matrices(first_version, start, stop, count,

@@ -109,8 +109,11 @@ __all__ = [
 _SHARED_CACHE_LIMIT = 8
 
 #: Seconds :meth:`ProcessBackend.close` waits at each escalation step
-#: (stop message -> SIGTERM -> SIGKILL).  Module-level so the zombie
-#: escalation test can shrink it instead of wedging a worker for 10s.
+#: (stop message -> SIGTERM -> SIGKILL) when the backend was built
+#: without an explicit ``join_timeout``
+#: (``ExecutionOptions.join_timeout`` / ``MCDBR_JOIN_TIMEOUT``).
+#: Module-level so the zombie escalation test can shrink it instead of
+#: wedging a worker for 10s.
 _JOIN_TIMEOUT = 5
 
 
@@ -601,10 +604,19 @@ class ProcessBackend(ExecutionBackend):
 
     name = "process"
 
-    def __init__(self, n_workers: int, use_shm: bool = True):
+    def __init__(self, n_workers: int, use_shm: bool = True,
+                 join_timeout: float | None = None):
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        if join_timeout is not None and not join_timeout > 0:
+            raise ValueError(
+                f"join_timeout must be > 0 or None, got {join_timeout}")
         self.n_workers = n_workers
+        # Per-escalation-step shutdown patience (stop -> SIGTERM ->
+        # SIGKILL).  None defers to the module-level _JOIN_TIMEOUT *at
+        # close() time*, so suites that monkeypatch the module global
+        # keep their grip on backends built before the patch.
+        self._join_timeout = join_timeout
         self._workers: list[_WorkerHandle] = []
         self._next_job_id = 0
         self._next_state_token = 0
@@ -696,18 +708,20 @@ class ProcessBackend(ExecutionBackend):
                 worker.conn.send(("stop",))
             except (BrokenPipeError, OSError):
                 pass
+        join_timeout = self._join_timeout if self._join_timeout is not None \
+            else _JOIN_TIMEOUT
         for worker in self._workers:
-            worker.process.join(timeout=_JOIN_TIMEOUT)
+            worker.process.join(timeout=join_timeout)
             if worker.process.is_alive():
                 worker.process.terminate()
-                worker.process.join(timeout=_JOIN_TIMEOUT)
+                worker.process.join(timeout=join_timeout)
             if worker.process.is_alive():
                 # terminate() is SIGTERM, which a worker wedged in
                 # uninterruptible I/O (or with the signal masked) can
                 # outlive; without this escalation close() would silently
                 # leave a zombie holding every attached segment's pages.
                 worker.process.kill()
-                worker.process.join(timeout=_JOIN_TIMEOUT)
+                worker.process.join(timeout=join_timeout)
             worker.conn.close()
         self._workers = []
         self._shared_cache = {}
@@ -1099,5 +1113,6 @@ def make_backend(options) -> ExecutionBackend:
     if options.backend == "process":
         return ProcessBackend(
             options.n_jobs,
-            use_shm=getattr(options, "shm", "on") == "on")
+            use_shm=getattr(options, "shm", "on") == "on",
+            join_timeout=getattr(options, "join_timeout", None))
     raise ValueError(f"unknown backend {options.backend!r}")

@@ -43,8 +43,8 @@ from repro.engine.errors import EngineError
 
 __all__ = ["ENGINES", "BACKENDS", "REPLENISHMENT_MODES", "DET_CACHE_MODES",
            "GIBBS_STATE_MODES", "STATE_REINIT_MODES", "SHM_MODES",
-           "ExecutionOptions", "env_choice", "env_int", "env_float",
-           "env_bool"]
+           "SWEEP_ORDERS", "ExecutionOptions", "env_choice", "env_int",
+           "env_float", "env_bool"]
 
 #: Supported Gibbs perturbation kernels.
 ENGINES = ("vectorized", "reference")
@@ -85,6 +85,19 @@ GIBBS_STATE_MODES = ("worker", "broadcast")
 #: as the comparison baseline).  Bit-identical either way.
 STATE_REINIT_MODES = ("delta", "full")
 
+#: Sweep scheduling for worker-owned Gibbs state (tail path,
+#: ``gibbs_state="worker"`` only).  ``"adaptive"`` (default) batches
+#: commit/note notifications per sweep segment — buffered per shard and
+#: flushed as one message right before any send that depends on them —
+#: and orders each shard's sweep-start scatter hottest-seed-first, so
+#: owners build the rejection-heavy seeds' speculation chains while the
+#: sequential Gauss–Seidel consumer is still sweeping earlier seeds.
+#: ``"natural"`` casts every notification immediately and scatters in
+#: ascending handle order (the PR-5 behavior).  The *commit sequence*
+#: per seed is identical either way (flush-before-dependent-send keeps
+#: every mirror current before it serves), so results are bit-identical.
+SWEEP_ORDERS = ("adaptive", "natural")
+
 #: Zero-copy shared-memory data plane for ``backend="process"``
 #: (:mod:`repro.engine.shm`).  ``"on"`` (default) places bulk payload
 #: arrays — catalog columns, Gibbs state snapshots, delta-merge fresh
@@ -105,6 +118,7 @@ _ENV_KNOBS = frozenset((
     "MCDBR_ENGINE", "MCDBR_N_JOBS", "MCDBR_BACKEND", "MCDBR_SHARD_SIZE",
     "MCDBR_REPLENISHMENT", "MCDBR_DET_CACHE", "MCDBR_WINDOW_GROWTH",
     "MCDBR_GIBBS_STATE", "MCDBR_STATE_REINIT", "MCDBR_SPECULATE",
+    "MCDBR_SPECULATE_DEPTH", "MCDBR_SWEEP_ORDER", "MCDBR_JOIN_TIMEOUT",
     "MCDBR_SHM"))
 
 
@@ -180,6 +194,9 @@ _DEFAULT_GIBBS_STATE = env_choice("MCDBR_GIBBS_STATE", "worker",
 _DEFAULT_STATE_REINIT = env_choice("MCDBR_STATE_REINIT", "delta",
                                    STATE_REINIT_MODES)
 _DEFAULT_SPECULATE = env_bool("MCDBR_SPECULATE", True)
+_DEFAULT_SPECULATE_DEPTH = env_int("MCDBR_SPECULATE_DEPTH", 4, minimum=0)
+_DEFAULT_SWEEP_ORDER = env_choice("MCDBR_SWEEP_ORDER", "adaptive",
+                                  SWEEP_ORDERS)
 _DEFAULT_SHM = env_choice("MCDBR_SHM", "on", SHM_MODES)
 
 
@@ -259,6 +276,37 @@ class ExecutionOptions:
         A per-seed epoch invalidates speculations the moment a commit,
         clone or merge touches the seed — results stay bit-identical,
         only the number of blocking round-trips drops.
+    speculate_depth:
+        Maximum speculation-chain length per seed (default ``4``; env
+        ``MCDBR_SPECULATE_DEPTH``).  Owners speculate a K-deep chain of
+        successor windows — successor-of-successor under continued
+        rejection — so a fully rejected streak consumes K buffered
+        windows per blocking round-trip instead of alternating call/hit.
+        The *effective* depth per seed is adaptive: sized from the
+        seed's acceptance-pressure counters, deepest for hot
+        low-acceptance seeds, zero for seeds above the 1/8 acceptance
+        threshold.  ``1`` reproduces the one-window-deep PR-5 behavior;
+        ``0`` disables speculation entirely (like
+        ``speculate_followups=False``).  Every chain entry is guarded
+        by the same ``(params, epoch)`` exact-match rule, so results
+        are bit-identical at any depth.
+    sweep_order:
+        Sweep scheduling under ``gibbs_state="worker"`` (default
+        ``"adaptive"``; env ``MCDBR_SWEEP_ORDER``).  ``"adaptive"``
+        batches commit/note notifications per sweep segment (one
+        ``apply_batch`` cast at each flush point instead of a message
+        per event) and orders each shard's sweep-start scatter
+        hottest-seed-first so owners warm the rejection-heavy seeds'
+        chains before the sequential consumer arrives; ``"natural"``
+        keeps immediate casts and ascending-handle scatters.  Commits
+        always flush before any message that reads the seed's mirror,
+        so both orders are bit-identical.
+    join_timeout:
+        Seconds :meth:`ProcessBackend.close` waits at each shutdown
+        escalation step (stop message -> SIGTERM -> SIGKILL); ``None``
+        (default) uses the library default of 5 seconds.  Env
+        ``MCDBR_JOIN_TIMEOUT``; useful to shrink teardown latency in
+        fault-injection tests or supervised deployments.
     shm:
         Zero-copy shared-memory data plane for the process backend
         (default ``"on"``; env ``MCDBR_SHM``).  Bulk payload arrays —
@@ -282,6 +330,9 @@ class ExecutionOptions:
     gibbs_state: str = _DEFAULT_GIBBS_STATE
     state_reinit: str = _DEFAULT_STATE_REINIT
     speculate_followups: bool = _DEFAULT_SPECULATE
+    speculate_depth: int = _DEFAULT_SPECULATE_DEPTH
+    sweep_order: str = _DEFAULT_SWEEP_ORDER
+    join_timeout: float | None = None
     shm: str = _DEFAULT_SHM
 
     def __post_init__(self):
@@ -319,6 +370,20 @@ class ExecutionOptions:
             raise ValueError(
                 f"speculate_followups must be a bool, got "
                 f"{self.speculate_followups!r}")
+        if not isinstance(self.speculate_depth, int) \
+                or isinstance(self.speculate_depth, bool) \
+                or self.speculate_depth < 0:
+            raise ValueError(
+                f"speculate_depth must be an integer >= 0, got "
+                f"{self.speculate_depth!r}")
+        if self.sweep_order not in SWEEP_ORDERS:
+            raise ValueError(
+                f"unknown sweep_order mode {self.sweep_order!r}; "
+                f"supported: {SWEEP_ORDERS}")
+        if self.join_timeout is not None and not self.join_timeout > 0:
+            raise ValueError(
+                f"join_timeout must be > 0 or None, got "
+                f"{self.join_timeout}")
         if self.shm not in SHM_MODES:
             raise ValueError(
                 f"unknown shm mode {self.shm!r}; supported: {SHM_MODES}")
@@ -347,6 +412,9 @@ class ExecutionOptions:
         ``MCDBR_GIBBS_STATE``       ``worker|broadcast``
         ``MCDBR_STATE_REINIT``      ``delta|full``
         ``MCDBR_SPECULATE``         ``1|0|true|false|yes|no|on|off``
+        ``MCDBR_SPECULATE_DEPTH``   integer >= 0 (max chain length)
+        ``MCDBR_SWEEP_ORDER``       ``adaptive|natural``
+        ``MCDBR_JOIN_TIMEOUT``      number > 0 seconds (unset = 5s)
         ``MCDBR_SHM``               ``on|off``
         ==========================  =====================================
 
@@ -377,6 +445,11 @@ class ExecutionOptions:
             state_reinit=env_choice("MCDBR_STATE_REINIT", "delta",
                                     STATE_REINIT_MODES),
             speculate_followups=env_bool("MCDBR_SPECULATE", True),
+            speculate_depth=env_int("MCDBR_SPECULATE_DEPTH", 4, minimum=0),
+            sweep_order=env_choice("MCDBR_SWEEP_ORDER", "adaptive",
+                                   SWEEP_ORDERS),
+            join_timeout=(env_float("MCDBR_JOIN_TIMEOUT", 5.0, 1e-3)
+                          if "MCDBR_JOIN_TIMEOUT" in os.environ else None),
             shm=env_choice("MCDBR_SHM", "on", SHM_MODES),
         )
         known = {field.name for field in fields(cls)}

@@ -23,7 +23,20 @@ from typing import Callable, Mapping, Sequence
 
 __all__ = ["format_table", "print_experiment", "ascii_series", "timed",
            "engine_comparison_table", "record_metric", "write_metrics",
-           "run_benchmark_cli"]
+           "run_benchmark_cli", "NullBenchmark"]
+
+
+class NullBenchmark:
+    """Stand-in for the pytest-benchmark fixture under direct execution.
+
+    ``run_benchmark_cli`` runs benchmark functions as plain callables;
+    tests written against the ``benchmark`` fixture get this no-op
+    implementation instead, which calls the measured function once and
+    returns its result (the ``pedantic`` contract the scripts rely on).
+    """
+
+    def pedantic(self, fn, args=(), kwargs=None, rounds=1, iterations=1):
+        return fn(*args, **(kwargs or {}))
 
 #: Collected metric records, in call order.  Module-level on purpose:
 #: benchmark functions stay plain callables (pytest collects them too,

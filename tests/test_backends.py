@@ -203,6 +203,30 @@ class TestOptionsValidation:
         assert isinstance(_make_backend("thread"), ThreadBackend)
         assert isinstance(_make_backend("process"), ProcessBackend)
 
+    @pytest.mark.parametrize("bad", [0, -1.0, float("nan")])
+    def test_join_timeout_must_be_positive(self, bad):
+        with pytest.raises(ValueError, match="join_timeout"):
+            ProcessBackend(1, join_timeout=bad)
+        with pytest.raises(ValueError, match="join_timeout"):
+            ExecutionOptions(join_timeout=bad)
+
+    def test_join_timeout_flows_from_options_to_backend(self):
+        backend = make_backend(
+            ExecutionOptions(backend="process", join_timeout=2.5))
+        try:
+            assert backend._join_timeout == 2.5
+        finally:
+            backend.close()
+
+    def test_join_timeout_defaults_to_module_global(self):
+        # None defers to backends._JOIN_TIMEOUT at close() time so test
+        # suites that monkeypatch the global keep their grip.
+        backend = make_backend(ExecutionOptions(backend="process"))
+        try:
+            assert backend._join_timeout is None
+        finally:
+            backend.close()
+
 
 class TestResultsTransparency:
     """run_job == the serial loop, on every transport."""
@@ -370,6 +394,7 @@ class TestPayloadRegression:
         assert catalog_bytes > 100_000
         assert task == ("run", 7, 0, 0, 25)  # integers only, nothing rides
 
+    @pytest.mark.slow
     def test_broadcast_job_excludes_catalog(self):
         executor = _mc_executor(rows=50_000)
         job_bytes = len(pickle.dumps(executor, pickle.HIGHEST_PROTOCOL))
@@ -388,6 +413,7 @@ class TestPayloadRegression:
             result.distribution("total").samples,
             executor.run_shard(0, 4).distribution("total").samples)
 
+    @pytest.mark.slow
     def test_end_to_end_transport_sizes(self):
         executor = _mc_executor(rows=20_000,
                                 options=ExecutionOptions(n_jobs=2))

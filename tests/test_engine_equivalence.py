@@ -74,7 +74,8 @@ class TestLooperEquivalence:
              versions=40, predicate=None, max_proposals=100_000,
              replenishment="delta", n_jobs=1, backend="process",
              shard_size=None, window_growth=1.0, gibbs_state="worker",
-             state_reinit="delta", speculate_followups=True, shm="on"):
+             state_reinit="delta", speculate_followups=True, shm="on",
+             speculate_depth=4, sweep_order="adaptive"):
         catalog, spec = _losses_catalog(customers)
         plan = random_table_pipeline(spec)
         if predicate is not None:
@@ -96,7 +97,9 @@ class TestLooperEquivalence:
                                      state_reinit=state_reinit,
                                      speculate_followups=
                                      speculate_followups,
-                                     shm=shm)).run()
+                                     shm=shm,
+                                     speculate_depth=speculate_depth,
+                                     sweep_order=sweep_order)).run()
 
     @given(customers=st.integers(3, 15),
            window=st.integers(60, 300),
@@ -726,7 +729,8 @@ class TestDeltaStateReinit:
 
     @staticmethod
     def _run_skewed(n_jobs=1, backend="serial", state_reinit="delta",
-                    speculate_followups=True):
+                    speculate_followups=True, speculate_depth=4,
+                    sweep_order="adaptive"):
         """Skew-rejection workload: a few extreme-variance seeds.
 
         Their versions burn thousands of candidates — long zero-accept
@@ -754,7 +758,9 @@ class TestDeltaStateReinit:
             options=ExecutionOptions(
                 n_jobs=n_jobs, backend=backend, gibbs_state="worker",
                 state_reinit=state_reinit,
-                speculate_followups=speculate_followups)).run()
+                speculate_followups=speculate_followups,
+                speculate_depth=speculate_depth,
+                sweep_order=sweep_order)).run()
 
     @pytest.mark.parametrize("speculate", [False, True])
     @pytest.mark.parametrize("state_reinit", ["delta", "full"])
@@ -893,6 +899,208 @@ class TestDeltaStateReinit:
                               shard_size=shard_size, gibbs_state="worker",
                               state_reinit="delta",
                               speculate_followups=speculate, **kwargs))
+
+
+class TestSpeculationChains:
+    """``speculate_depth`` x ``sweep_order``: K-deep speculative window
+    chains and adaptive sweep scheduling are pure transport — chain
+    entries are consumed only on an exact ``(params, epoch)`` match, hot
+    seeds are served first only within the bit-identity rules, and
+    commit notifications are batched but never reordered within a seed's
+    dependency chain — so every combination must land on the serial
+    sweep's exact bits.
+    """
+
+    _runner = TestLooperEquivalence()
+    HEAVY = TestBackendMatrix.GIBBS
+
+    @staticmethod
+    def _run_chain(n_jobs=1, backend="serial", speculate_depth=4,
+                   sweep_order="adaptive", state_reinit="delta",
+                   base_seed=2026, shard_size=None):
+        """Deep-tail (m=3) workload with one extreme-variance hot seed.
+
+        The final conditioning step accepts ~1 candidate in tens of
+        thousands for the hot seed, so its versions scan long streaks of
+        entirely-rejected windows — pressure builds past the adaptive
+        gate and the owner's chain really deepens past one entry.
+        """
+        catalog = Catalog()
+        sigma = np.full(8, 0.25)
+        sigma[0] = 80.0
+        catalog.add_table(Table("means", {
+            "CID": np.arange(8),
+            "m": np.linspace(0.8, 3.5, 8),
+            "s": sigma}))
+        spec = RandomTableSpec(
+            name="Losses", parameter_table="means", vg=NORMAL,
+            vg_params=(col("m"), col("s")),
+            random_columns=(RandomColumnSpec("val"),),
+            passthrough_columns=("CID",))
+        params = TailParams(p=0.03 ** 3, m=3, n_steps=(34,) * 3,
+                            p_steps=(0.03,) * 3)
+        return GibbsLooper(
+            random_table_pipeline(spec), catalog, params, 8,
+            aggregate_kind="sum", aggregate_expr=col("val"),
+            window=30000, base_seed=base_seed, k=1, max_proposals=30000,
+            options=ExecutionOptions(
+                n_jobs=n_jobs, backend=backend, gibbs_state="worker",
+                state_reinit=state_reinit, window_growth=2.0,
+                speculate_depth=speculate_depth, sweep_order=sweep_order,
+                shard_size=shard_size)).run()
+
+    @pytest.mark.parametrize("state_reinit", ["delta", "full"])
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("speculate_depth,sweep_order",
+                             [(0, "natural"), (0, "adaptive"),
+                              (4, "natural"), (4, "adaptive")])
+    def test_chain_matrix_equals_serial(self, speculate_depth, sweep_order,
+                                        backend, state_reinit):
+        """The full knob matrix on the replenishment-heavy workload."""
+        serial = self._runner._run("vectorized", **self.HEAVY)
+        sharded = self._runner._run(
+            "vectorized", n_jobs=2, backend=backend, gibbs_state="worker",
+            state_reinit=state_reinit, speculate_depth=speculate_depth,
+            sweep_order=sweep_order, **self.HEAVY)
+        _assert_identical(serial, sharded)
+        assert sharded.plan_runs > 1  # the scenario must replenish
+        if speculate_depth == 0:
+            assert sharded.speculated_windows == 0
+            assert sharded.speculation_chain_depth == 0
+
+    def test_pr5_protocol_is_depth_one_natural(self):
+        """``speculate_depth=1`` + ``sweep_order="natural"`` is exactly
+        the PR 5 wire protocol: one-deep chains, nothing batched."""
+        result = TestDeltaStateReinit._run_skewed(
+            n_jobs=2, backend="serial", speculate_depth=1,
+            sweep_order="natural")
+        _assert_identical(TestDeltaStateReinit._run_skewed(), result)
+        assert result.speculated_windows > 0
+        assert result.speculation_chain_depth == 1
+        assert result.batched_notifications == 0
+
+    def test_depth_zero_disables_speculation(self):
+        result = TestDeltaStateReinit._run_skewed(
+            n_jobs=2, backend="serial", speculate_depth=0)
+        _assert_identical(TestDeltaStateReinit._run_skewed(), result)
+        assert result.speculated_windows == 0
+        assert result.wasted_speculations == 0
+        assert result.speculation_chain_depth == 0
+
+    @pytest.mark.parametrize("backend", ["serial", "process"])
+    def test_deep_chains_flow_bit_identically(self, backend):
+        serial = self._run_chain()
+        deep = self._run_chain(n_jobs=2, backend=backend,
+                               speculate_depth=4, sweep_order="adaptive")
+        np.testing.assert_array_equal(serial.samples, deep.samples)
+        assert serial.assignments == deep.assignments
+        assert deep.speculation_chain_depth >= 2  # chains really deepen
+        assert deep.speculated_windows > 0
+        assert deep.batched_notifications > 0
+
+    @pytest.mark.slow
+    @given(speculate_depth=st.integers(0, 8),
+           sweep_order=st.sampled_from(["natural", "adaptive"]),
+           base_seed=st.integers(0, 10_000),
+           shard_size=st.sampled_from([None, 1, 3]))
+    @settings(max_examples=10, deadline=None)
+    def test_property_chain_replay_bit_identical(self, speculate_depth,
+                                                 sweep_order, base_seed,
+                                                 shard_size):
+        """Random depths x orders x seeds over the serial backend's
+        pickled mirror: every example draws a different rejection path,
+        so the owners build, partially consume, and invalidate different
+        chains — chain prefixes serve only while the all-rejected
+        premise holds, epoch bumps kill whole chains — and every replay
+        must land on the unsharded sweep's exact bits."""
+        reference = self._run_chain(base_seed=base_seed)
+        replayed = self._run_chain(
+            n_jobs=2, backend="serial", base_seed=base_seed,
+            speculate_depth=speculate_depth, sweep_order=sweep_order,
+            shard_size=shard_size)
+        np.testing.assert_array_equal(reference.samples, replayed.samples)
+        assert reference.assignments == replayed.assignments
+        assert reference.plan_runs == replayed.plan_runs
+
+    def test_chain_prefix_serves_and_epoch_bump_kills(self, monkeypatch):
+        """White-box on the owner: a follow-up that matches the chain
+        head is served the buffered matrices (the prefix premise held);
+        any mismatch — or a commit's epoch bump — leaves no stale-epoch
+        entry behind, ever."""
+        from repro.core import gibbs_looper as gl
+        hits = []
+        orig_serve = gl.GibbsSeedShard.serve_followup
+
+        def serve(self, handle, first_version, count, start, stop, epoch,
+                  first=False):
+            before = list(self._speculation.get(handle, ()))
+            out = orig_serve(self, handle, first_version, count, start,
+                             stop, epoch, first=first)
+            if before and not first:
+                key = (first_version, count, start, stop)
+                if before[0][0] == key and before[0][1] == epoch:
+                    hits.append(len(before))
+                    # the chain head's buffered matrices were served
+                    assert out[0] is before[0][2]
+            # hit, miss, or re-speculation: whatever survives carries
+            # the request's epoch — stale entries never linger
+            assert all(entry[1] == epoch
+                       for entry in self._speculation.get(handle, ()))
+            return out
+
+        orig_commit = gl.GibbsSeedShard.apply_commit
+
+        def commit(self, handle, versions, indices, values, present,
+                   epoch=0):
+            orig_commit(self, handle, versions, indices, values, present,
+                        epoch)
+            # the bump killed every pre-commit entry; any rebuilt chain
+            # is anchored on the committed epoch
+            assert all(entry[1] == epoch
+                       for entry in self._speculation.get(handle, ()))
+
+        monkeypatch.setattr(gl.GibbsSeedShard, "serve_followup", serve)
+        monkeypatch.setattr(gl.GibbsSeedShard, "apply_commit", commit)
+        result = self._run_chain(n_jobs=2, backend="serial",
+                                 speculate_depth=4)
+        assert result.speculated_windows > 0
+        assert hits  # the chain-head fast path really served windows
+        assert max(hits) >= 2  # ...from a chain deeper than one entry
+
+    def test_adaptive_never_reorders_commits_within_a_seed(
+            self, monkeypatch):
+        """White-box: hot-seed-first scatter ordering and per-segment
+        commit batching may interleave *different* seeds' notifications
+        differently, but each seed's commit stream — its Gauss-Seidel
+        dependency chain — must reach the owner in exactly the natural
+        order, with strictly increasing epochs."""
+        from repro.core import gibbs_looper as gl
+        streams = {}
+        orig_commit = gl.GibbsSeedShard.apply_commit
+
+        def commit(self, handle, versions, indices, values, present,
+                   epoch=0):
+            streams.setdefault(handle, []).append(
+                (epoch, versions.tobytes(), indices.tobytes(),
+                 values.tobytes(), present.tobytes()))
+            orig_commit(self, handle, versions, indices, values, present,
+                        epoch)
+
+        monkeypatch.setattr(gl.GibbsSeedShard, "apply_commit", commit)
+        observed = {}
+        for sweep_order in ("natural", "adaptive"):
+            streams.clear()
+            TestDeltaStateReinit._run_skewed(n_jobs=2, backend="serial",
+                                             sweep_order=sweep_order)
+            observed[sweep_order] = {
+                handle: list(stream) for handle, stream in streams.items()}
+            assert observed[sweep_order]  # commits really flowed
+            for stream in observed[sweep_order].values():
+                epochs = [entry[0] for entry in stream]
+                assert epochs == sorted(epochs)
+                assert len(set(epochs)) == len(epochs)
+        # Batching and hot-first serving moved nothing within a seed.
+        assert observed["adaptive"] == observed["natural"]
 
 
 class TestWindowGrowth:

@@ -16,7 +16,8 @@ ALL_KNOBS = (
     "MCDBR_ENGINE", "MCDBR_N_JOBS", "MCDBR_BACKEND", "MCDBR_SHARD_SIZE",
     "MCDBR_REPLENISHMENT", "MCDBR_DET_CACHE", "MCDBR_WINDOW_GROWTH",
     "MCDBR_GIBBS_STATE", "MCDBR_STATE_REINIT", "MCDBR_SPECULATE",
-    "MCDBR_SHM")
+    "MCDBR_SHM", "MCDBR_SPECULATE_DEPTH", "MCDBR_SWEEP_ORDER",
+    "MCDBR_JOIN_TIMEOUT")
 
 
 @pytest.fixture(autouse=True)
@@ -32,7 +33,8 @@ class TestFromEnvDefaults:
             engine="vectorized", n_jobs=1, backend="process",
             shard_size=None, replenishment="delta", det_cache="session",
             window_growth=1.0, gibbs_state="worker", state_reinit="delta",
-            speculate_followups=True)
+            speculate_followups=True, speculate_depth=4,
+            sweep_order="adaptive", join_timeout=None)
 
     def test_overrides_win_over_environment(self, monkeypatch):
         monkeypatch.setenv("MCDBR_N_JOBS", "4")
@@ -66,6 +68,10 @@ class TestFromEnvValues:
         ("MCDBR_STATE_REINIT", "full", "state_reinit", "full"),
         ("MCDBR_SPECULATE", "0", "speculate_followups", False),
         ("MCDBR_SHM", "off", "shm", "off"),
+        ("MCDBR_SPECULATE_DEPTH", "8", "speculate_depth", 8),
+        ("MCDBR_SPECULATE_DEPTH", "0", "speculate_depth", 0),
+        ("MCDBR_SWEEP_ORDER", "natural", "sweep_order", "natural"),
+        ("MCDBR_JOIN_TIMEOUT", "2.5", "join_timeout", 2.5),
     ])
     def test_each_knob_flows_through(self, monkeypatch, name, value,
                                      field, expected):
@@ -90,6 +96,7 @@ class TestFromEnvRejections:
         ("MCDBR_GIBBS_STATE", "parent"),
         ("MCDBR_STATE_REINIT", "incremental"),
         ("MCDBR_SHM", "auto"),
+        ("MCDBR_SWEEP_ORDER", "random"),
     ])
     def test_invalid_choice_names_the_variable(self, monkeypatch, name,
                                                value):
@@ -123,6 +130,18 @@ class TestFromEnvRejections:
     def test_invalid_boolean(self, monkeypatch, value):
         monkeypatch.setenv("MCDBR_SPECULATE", value)
         with pytest.raises(EngineError, match="MCDBR_SPECULATE"):
+            ExecutionOptions.from_env()
+
+    @pytest.mark.parametrize("value", ["-1", "four", "2.5", ""])
+    def test_invalid_speculate_depth(self, monkeypatch, value):
+        monkeypatch.setenv("MCDBR_SPECULATE_DEPTH", value)
+        with pytest.raises(EngineError, match="MCDBR_SPECULATE_DEPTH"):
+            ExecutionOptions.from_env()
+
+    @pytest.mark.parametrize("value", ["0", "-2", "soon", ""])
+    def test_invalid_join_timeout(self, monkeypatch, value):
+        monkeypatch.setenv("MCDBR_JOIN_TIMEOUT", value)
+        with pytest.raises(EngineError, match="MCDBR_JOIN_TIMEOUT"):
             ExecutionOptions.from_env()
 
 
@@ -160,3 +179,9 @@ class TestEnvHelpers:
             ExecutionOptions(state_reinit="bogus")
         with pytest.raises(ValueError, match="speculate_followups"):
             ExecutionOptions(speculate_followups="yes")
+        with pytest.raises(ValueError, match="speculate_depth"):
+            ExecutionOptions(speculate_depth=-1)
+        with pytest.raises(ValueError, match="sweep_order"):
+            ExecutionOptions(sweep_order="random")
+        with pytest.raises(ValueError, match="join_timeout"):
+            ExecutionOptions(join_timeout=0.0)
