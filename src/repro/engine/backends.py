@@ -154,11 +154,12 @@ def catalog_share_key(catalog) -> tuple:
     Two queries in one session share the key while the catalog is
     unmutated, so the broadcast is skipped; any ``CREATE TABLE`` /
     ``add_table`` / ``FTABLE`` registration bumps ``Catalog.version`` and
-    forces a re-broadcast.  The parent-side cache holds a strong
-    reference to the catalog while the key is live, so ``id()`` cannot be
-    recycled under it.
+    forces a re-broadcast.  Identity is ``Catalog.uid`` — a monotone
+    process-unique counter — not ``id()``: an address can be recycled
+    after garbage collection, so a session that swaps catalogs could
+    otherwise alias a dead catalog's channel entry at the same version.
     """
-    return ("catalog", id(catalog), catalog.version)
+    return ("catalog", catalog.uid, catalog.version)
 
 
 class ExecutionBackend:

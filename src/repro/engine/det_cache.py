@@ -14,10 +14,20 @@ query; this module generalizes it into pluggable tiers:
   *structural fingerprint* of the plan subtree
   (:meth:`~repro.engine.operators.PlanNode.fingerprint`), so a freshly
   compiled plan hits the entries an earlier, structurally identical plan
-  populated.  The cache records the catalog version it was filled under
-  and drops everything when the catalog mutates — a ``CREATE TABLE``,
-  ``add_table`` or ``FTABLE`` registration may change what a ``Scan``
-  would produce.
+  populated.  Validity is governed by ``keying``:
+
+  - ``"table"`` (default) records each entry's dependency set
+    (:meth:`~repro.engine.operators.PlanNode.base_tables`) together with
+    the per-name catalog versions it was filled under.  A lookup drops
+    only entries whose dependencies actually moved — queries over
+    disjoint tables survive each other's DDL — and when every moved
+    dependency grew *append-only* (per the catalog's append journal) the
+    entry is refreshed in place by splicing just the new rows
+    (:func:`~repro.engine.operators.refresh_after_append`) instead of
+    being recomputed.
+  - ``"catalog"`` reproduces the original coarse protocol bit-for-bit:
+    any catalog mutation (tracked by the global ``Catalog.version``)
+    drops every entry.
 * :class:`NullDetCache` — caching disabled (``det_cache="off"``); every
   deterministic subtree re-runs on every plan execution.
 
@@ -29,8 +39,10 @@ disagrees with the requesting context it is re-stamped (copied with new
 
 from __future__ import annotations
 
+from repro.engine.options import DET_CACHE_KEYINGS
+
 __all__ = ["ContextDetCache", "SessionDetCache", "NullDetCache",
-           "make_det_cache"]
+           "make_det_cache", "DET_CACHE_KEYINGS"]
 
 
 class ContextDetCache:
@@ -49,54 +61,159 @@ class ContextDetCache:
             self.hits += 1
         return cached
 
-    def store(self, node, relation) -> None:
+    def store(self, node, relation, context=None) -> None:
         self._entries[node.node_id] = relation
 
     def __len__(self) -> int:
         return len(self._entries)
 
 
+class _CacheEntry:
+    """A cached deterministic relation plus the versions it was built at.
+
+    ``versions`` maps each dependency name (lowercased, from
+    ``PlanNode.base_tables()``) to the catalog's per-name version when
+    the entry was stored — the granularity the ``"table"`` keying
+    validates against.
+    """
+
+    __slots__ = ("relation", "versions")
+
+    def __init__(self, relation, versions: dict[str, int]):
+        self.relation = relation
+        self.versions = versions
+
+
 class SessionDetCache:
     """Cross-query cache keyed by structural plan fingerprint.
 
     The fingerprint identifies *what* a deterministic subtree computes
-    (operator types, tables, predicates, column lists); the catalog
-    version identifies what the referenced tables *contain*.  A lookup
-    under a newer catalog version invalidates the whole cache — coarse,
-    but catalog mutation is rare compared to query execution, and
-    correctness never depends on guessing which tables a mutation touched.
+    (operator types, tables, predicates, column lists); the recorded
+    catalog versions identify what the referenced tables *contained*.
+    Under ``keying="table"`` each entry is checked against only the
+    per-name versions of its own dependency set, and append-only growth
+    is spliced in instead of recomputed; ``keying="catalog"`` keeps the
+    original whole-cache drop on any mutation.
     """
 
-    def __init__(self):
-        self._entries: dict[str, object] = {}
+    def __init__(self, keying: str = "table"):
+        if keying not in DET_CACHE_KEYINGS:
+            raise ValueError(
+                f"unknown det-cache keying {keying!r}; "
+                f"supported: {DET_CACHE_KEYINGS}")
+        self.keying = keying
+        self._entries: dict[str, _CacheEntry] = {}
         self._catalog_version: int | None = None
+        self._catalog_uid: int | None = None
         self.hits = 0
         self.misses = 0
+        #: Whole-cache drops (catalog swapped, or any mutation under
+        #: ``keying="catalog"``).
         self.invalidations = 0
+        #: Single entries dropped because their own dependencies moved
+        #: non-append-only (``keying="table"``).
+        self.partial_invalidations = 0
+        #: Entries refreshed in place by splicing appended rows.
+        self.append_refreshes = 0
 
     def _sync_catalog(self, context) -> None:
-        version = context.catalog.version
-        if self._catalog_version != version:
+        catalog = context.catalog
+        if self._catalog_uid != catalog.uid:
+            # A different catalog object entirely: per-name versions are
+            # not comparable across catalogs, so start from scratch.
             if self._entries:
                 self.invalidations += 1
             self._entries.clear()
-            self._catalog_version = version
+            self._catalog_version = None
+            self._catalog_uid = catalog.uid
+        if self.keying == "catalog":
+            version = catalog.version
+            if self._catalog_version != version:
+                if self._entries:
+                    self.invalidations += 1
+                self._entries.clear()
+                self._catalog_version = version
 
     def lookup(self, node, context):
         self._sync_catalog(context)
-        cached = self._entries.get(node.fingerprint())
-        if cached is None:
+        fingerprint = node.fingerprint()
+        entry = self._entries.get(fingerprint)
+        if entry is not None and self.keying == "table":
+            entry = self._validate(fingerprint, entry, node, context)
+        if entry is None:
             self.misses += 1
-        else:
-            self.hits += 1
-        return cached
+            return None
+        self.hits += 1
+        return entry.relation
 
-    def store(self, node, relation) -> None:
-        self._entries[node.fingerprint()] = relation
+    def _validate(self, fingerprint, entry, node, context):
+        """Dependency check for one entry: keep, splice-refresh, or drop."""
+        catalog = context.catalog
+        moved = {name: recorded for name, recorded in entry.versions.items()
+                 if catalog.table_version(name) != recorded}
+        if not moved:
+            return entry
+        appends: dict[str, tuple[int, int]] | None = {}
+        for name, recorded in moved.items():
+            grew = catalog.appended_range(name, recorded)
+            if grew is None:
+                appends = None  # rewritten/dropped: not splicable
+                break
+            appends[name] = grew
+        refreshed = self._refresh(node, context, appends) if appends else None
+        if refreshed is None:
+            del self._entries[fingerprint]
+            self.partial_invalidations += 1
+            return None
+        return refreshed
+
+    def _refresh(self, node, context, appends):
+        """Splice appended rows into this subtree's cached relations.
+
+        Every refreshed node (the root and any moved descendants) is
+        re-stored with current dependency versions; a ``None`` from the
+        splicer means some operator on a moved path is not splicable and
+        the caller falls back to dropping the entry.
+        """
+        # Imported lazily: operators imports this module at load time.
+        from repro.engine.operators import refresh_after_append
+
+        def stale_of(inner):
+            stale = self._entries.get(inner.fingerprint())
+            return None if stale is None else stale.relation
+
+        relation = refresh_after_append(
+            node, context, appends, stale_of,
+            lambda inner, refreshed: self.store(inner, refreshed, context))
+        if relation is None:
+            return None
+        self.append_refreshes += 1
+        return self._entries[node.fingerprint()]
+
+    def store(self, node, relation, context=None) -> None:
+        versions: dict[str, int] = {}
+        if context is not None:
+            catalog = context.catalog
+            versions = {name: catalog.table_version(name)
+                        for name in node.base_tables()}
+        self._entries[node.fingerprint()] = _CacheEntry(relation, versions)
+
+    def stats(self) -> dict:
+        """Counter snapshot (the ``Session.cache_stats()`` payload)."""
+        return {
+            "keying": self.keying,
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+            "partial_invalidations": self.partial_invalidations,
+            "append_refreshes": self.append_refreshes,
+        }
 
     def clear(self) -> None:
         self._entries.clear()
         self._catalog_version = None
+        self._catalog_uid = None
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -111,7 +228,7 @@ class NullDetCache:
     def lookup(self, node, context):
         return None
 
-    def store(self, node, relation) -> None:
+    def store(self, node, relation, context=None) -> None:
         pass
 
     def __len__(self) -> int:

@@ -47,6 +47,7 @@ from repro.vg.streams import gather_stream_windows
 __all__ = [
     "ExecutionContext", "PlanNode", "Scan", "Seed", "Instantiate",
     "Select", "Project", "Join", "Split", "random_table_pipeline",
+    "refresh_after_append",
 ]
 
 
@@ -173,6 +174,7 @@ class PlanNode(ABC):
         self.node_id = next(PlanNode._id_counter)
         self.children = list(children)
         self._fingerprint: str | None = None
+        self._base_tables: frozenset[str] | None = None
 
     @property
     def contains_random(self) -> bool:
@@ -191,12 +193,12 @@ class PlanNode(ABC):
                     # sufficient.
                     cached = _restamp(cached, context.positions,
                                       context.aligned)
-                    context.det_cache.store(self, cached)
+                    context.det_cache.store(self, cached, context)
                 return cached
         context.node_executions += 1
         result = self._run(context)
         if not self.contains_random:
-            context.det_cache.store(self, result)
+            context.det_cache.store(self, result, context)
         return result
 
     def fingerprint(self) -> str:
@@ -218,6 +220,28 @@ class PlanNode(ABC):
         """Operator-specific identity fields; subclasses must override."""
         raise EngineError(
             f"{type(self).__name__} does not define a structural fingerprint")
+
+    def base_tables(self) -> frozenset[str]:
+        """Catalog names (lowercased) this subtree's output depends on.
+
+        The memoized companion to :meth:`fingerprint`: the fingerprint
+        says *what* a subtree computes, ``base_tables()`` says which
+        catalog entries it computes it *from* — the dependency key a
+        table-granular cache checks against per-name catalog versions.
+        Covers base tables (``Scan``) and random-table specs (recorded on
+        the ``Seed`` a :func:`random_table_pipeline` plants), and unions
+        through every combinator the way ``fresh_slots`` propagates.
+        """
+        if self._base_tables is None:
+            tables = set(self._own_base_tables())
+            for child in self.children:
+                tables |= child.base_tables()
+            self._base_tables = frozenset(tables)
+        return self._base_tables
+
+    def _own_base_tables(self) -> tuple[str, ...]:
+        """Names this node itself reads (beyond its children's)."""
+        return ()
 
     @abstractmethod
     def _run(self, context: ExecutionContext) -> BundleRelation:
@@ -273,6 +297,9 @@ class Scan(PlanNode):
     def _fingerprint_parts(self):
         return (self.table_name, self.prefix)
 
+    def _own_base_tables(self):
+        return (self.table_name.lower(),)
+
     def _describe_line(self):
         alias = f" AS {self.prefix.rstrip('.')}" if self.prefix else ""
         return f"Scan({self.table_name}{alias})"
@@ -290,10 +317,16 @@ class Seed(PlanNode):
     prefix so the two occurrences' handle columns do not collide in a join.
     """
 
-    def __init__(self, child: PlanNode, label: str, column_name: str | None = None):
+    def __init__(self, child: PlanNode, label: str, column_name: str | None = None,
+                 depends_on: Sequence[str] = ()):
         super().__init__([child])
         self.label = label
         self._column_name = column_name
+        #: Extra catalog names this seeding depends on beyond the child's
+        #: scans — :func:`random_table_pipeline` records the random-table
+        #: spec here, so dropping/re-registering the spec invalidates
+        #: cached subtrees built from the old definition.
+        self.depends_on = tuple(depends_on)
 
     @property
     def handle_column(self) -> str:
@@ -319,6 +352,9 @@ class Seed(PlanNode):
 
     def _fingerprint_parts(self):
         return (self.label, self.handle_column)
+
+    def _own_base_tables(self):
+        return tuple(name.lower() for name in self.depends_on)
 
     def _describe_line(self):
         return f"Seed({self.label})"
@@ -642,7 +678,9 @@ class Project(PlanNode):
         self.keep = None if keep is None else list(keep)
 
     def _run(self, context):
-        relation = self.children[0].execute(context)
+        return self._project(self.children[0].execute(context))
+
+    def _project(self, relation: BundleRelation) -> BundleRelation:
         out = BundleRelation(relation.length, relation.positions, relation.aligned)
         kept = relation.column_names if self.keep is None else self.keep
         for name in kept:
@@ -705,7 +743,17 @@ class Join(PlanNode):
             raise PlanError(
                 f"join would duplicate columns {sorted(overlap)}; "
                 "alias one side")
+        return self._join(left, right)
 
+    def _join(self, left: BundleRelation,
+              right: BundleRelation) -> BundleRelation:
+        """Hash-match + combine, left row order preserved.
+
+        Factored out of :meth:`_run` so the append-splice refresh can
+        join just the appended left rows against the unchanged right
+        side — the output rows land exactly where a full re-run would
+        put them (after every old left row's matches).
+        """
         index: dict[tuple, list[int]] = {}
         right_key_columns = [right.det_columns[k] for k in self.right_keys]
         for row in range(right.length):
@@ -799,6 +847,125 @@ class Split(PlanNode):
         return f"Split({self.column})"
 
 
+def refresh_after_append(node: PlanNode, context: ExecutionContext,
+                         appends: dict, stale_of, store_refreshed):
+    """Splice appended base-table rows into a cached deterministic subtree.
+
+    The append-only refresh path of the table-granular
+    :class:`~repro.engine.det_cache.SessionDetCache`: when every moved
+    dependency of a cached entry grew purely by appends (per the catalog's
+    append journal), the new output equals the stale cached relation plus
+    the rows the appended tuples produce — deterministic operators are
+    row-local (Scan/Seed/Select/Project) or left-row-ordered (Join), so
+    the fresh rows land exactly at the end.  This mirrors how the delta
+    ``Instantiate`` merges only never-materialized stream positions: only
+    the delta touches the operators, everything else is reused.
+
+    ``appends`` maps lowercased table names to their journaled
+    ``(old_rows, new_rows)`` growth; ``stale_of(node)`` returns the stale
+    cached relation for a subtree (or ``None``); ``store_refreshed(node,
+    relation)`` re-stores each refreshed node bottom-up so inner cache
+    entries update alongside the root.  Returns the refreshed full
+    relation, or ``None`` when any operator on a moved path is not
+    splicable (a join whose right side also moved, a missing stale child,
+    an unsupported operator) — the caller then falls back to a full
+    recompute, which is always correct.
+    """
+    spliced = _splice(node, context, appends, stale_of, store_refreshed)
+    return None if spliced is None else spliced[0]
+
+
+def _splice(node, context, appends, stale_of, store_refreshed):
+    """Recursive splice for a subtree with >= 1 moved dependency.
+
+    Returns ``(full, delta)`` — the refreshed full relation and the
+    appended-rows-only delta relation — or ``None`` if not splicable.
+    """
+    stale = stale_of(node)
+    if stale is None or stale.rand_columns or stale.presence:
+        return None
+    if isinstance(node, Scan):
+        table = context.catalog.table(node.table_name)
+        old_rows, new_rows = appends[node.table_name.lower()]
+        if stale.length != old_rows or len(table) != new_rows:
+            return None  # cache and journal disagree on the base rows
+        delta = BundleRelation(new_rows - old_rows, context.positions,
+                               context.aligned)
+        for name in table.column_names:
+            delta.det_columns[node.prefix + name] = \
+                table.column(name)[old_rows:new_rows]
+    elif isinstance(node, Seed):
+        child = _splice(node.children[0], context, appends, stale_of,
+                        store_refreshed)
+        if child is None:
+            return None
+        child_full, child_delta = child
+        offset = child_full.length - child_delta.length
+        if stale.length != offset:
+            return None
+        label_id = context.register_label(node.label)
+        # A full run numbers handles by row position; the appended rows
+        # sit after the stale prefix, so their handles start at its end.
+        handles = np.array(
+            [seed_handle(label_id, offset + row)
+             for row in range(child_delta.length)], dtype=np.int64)
+        delta = child_delta.take(np.arange(child_delta.length))
+        delta.add_det_column(node.handle_column, handles)
+    elif isinstance(node, Select):
+        child = _splice(node.children[0], context, appends, stale_of,
+                        store_refreshed)
+        if child is None:
+            return None
+        child_delta = child[1]
+        if child_delta.random_columns_in(node.predicate):
+            return None  # presence semantics: never in a det subtree
+        mask = np.asarray(child_delta.evaluate_scalar(node.predicate),
+                          dtype=bool)
+        delta = child_delta.filter_rows(mask)
+    elif isinstance(node, Project):
+        child = _splice(node.children[0], context, appends, stale_of,
+                        store_refreshed)
+        if child is None:
+            return None
+        delta = node._project(child[1])
+        if delta.rand_columns or delta.presence:
+            return None
+    elif isinstance(node, Join):
+        left, right = node.children
+        if right.base_tables() & set(appends):
+            # The build side moved too: appended left rows against a
+            # grown right side would not reproduce full-run row order.
+            return None
+        child = _splice(left, context, appends, stale_of, store_refreshed)
+        if child is None:
+            return None
+        left_delta = child[1]
+        right_full = right.execute(context)  # unchanged: cache serves it
+        delta = node._join(left_delta, right_full)
+    else:
+        # Aggregates, Split re-partitions, random operators: recompute.
+        return None
+    full = _concat_det(stale, delta, context.positions, context.aligned)
+    if full is None:
+        return None
+    store_refreshed(node, full)
+    return full, delta
+
+
+def _concat_det(stale, delta, positions: int, aligned: bool):
+    """Stale det relation + delta rows, stamped for the current context."""
+    if set(stale.det_columns) != set(delta.det_columns):
+        return None
+    out = BundleRelation(stale.length + delta.length, positions, aligned)
+    for name, old in stale.det_columns.items():
+        if delta.length:
+            out.det_columns[name] = np.concatenate(
+                [old, delta.det_columns[name]])
+        else:
+            out.det_columns[name] = old
+    return out
+
+
 def random_table_pipeline(spec: RandomTableSpec, prefix: str = "",
                           occurrence: str = "") -> PlanNode:
     """Expand a random-table spec into ``Scan -> Seed -> Instantiate``.
@@ -816,7 +983,8 @@ def random_table_pipeline(spec: RandomTableSpec, prefix: str = "",
         params = [_prefix_expr(expr, prefix) for expr in spec.vg_params]
     else:
         params = list(spec.vg_params)
-    seed = Seed(scan, label=label, column_name=f"{prefix}{spec.name}#seed")
+    seed = Seed(scan, label=label, column_name=f"{prefix}{spec.name}#seed",
+                depends_on=(spec.name,))
     outputs = [(prefix + column.name, column.component)
                for column in spec.random_columns]
     instantiate = Instantiate(seed, spec.vg, params, outputs, seed.handle_column)

@@ -42,9 +42,9 @@ from dataclasses import dataclass, fields
 from repro.engine.errors import EngineError
 
 __all__ = ["ENGINES", "BACKENDS", "REPLENISHMENT_MODES", "DET_CACHE_MODES",
-           "GIBBS_STATE_MODES", "STATE_REINIT_MODES", "SHM_MODES",
-           "SWEEP_ORDERS", "ExecutionOptions", "env_choice", "env_int",
-           "env_float", "env_bool"]
+           "DET_CACHE_KEYINGS", "GIBBS_STATE_MODES", "STATE_REINIT_MODES",
+           "SHM_MODES", "SWEEP_ORDERS", "ExecutionOptions", "env_choice",
+           "env_int", "env_float", "env_bool"]
 
 #: Supported Gibbs perturbation kernels.
 ENGINES = ("vectorized", "reference")
@@ -67,6 +67,15 @@ REPLENISHMENT_MODES = ("delta", "full")
 #: cache to one plan execution context (the seed behavior); ``"off"``
 #: disables caching entirely.
 DET_CACHE_MODES = ("session", "context", "off")
+
+#: Session det-cache invalidation granularity.  ``"table"`` (default)
+#: keys each entry by the base/random tables its subtree actually scans
+#: (``PlanNode.base_tables()``) and their per-name catalog versions:
+#: mutating table A leaves entries scanning only B untouched, and
+#: append-only growth (``Catalog.append``) splices the new rows into the
+#: cached relation instead of recomputing.  ``"catalog"`` reproduces the
+#: coarse protocol bit-for-bit: any catalog mutation drops every entry.
+DET_CACHE_KEYINGS = ("table", "catalog")
 
 #: Gibbs seed-axis state placement.  ``"worker"`` (default) makes backend
 #: workers *stateful*: each owns the tuples/states of its TS-seed handle
@@ -119,7 +128,7 @@ _ENV_KNOBS = frozenset((
     "MCDBR_REPLENISHMENT", "MCDBR_DET_CACHE", "MCDBR_WINDOW_GROWTH",
     "MCDBR_GIBBS_STATE", "MCDBR_STATE_REINIT", "MCDBR_SPECULATE",
     "MCDBR_SPECULATE_DEPTH", "MCDBR_SWEEP_ORDER", "MCDBR_JOIN_TIMEOUT",
-    "MCDBR_SHM"))
+    "MCDBR_SHM", "MCDBR_DET_CACHE_KEYING"))
 
 
 def env_choice(name: str, default: str, allowed: tuple) -> str:
@@ -198,6 +207,8 @@ _DEFAULT_SPECULATE_DEPTH = env_int("MCDBR_SPECULATE_DEPTH", 4, minimum=0)
 _DEFAULT_SWEEP_ORDER = env_choice("MCDBR_SWEEP_ORDER", "adaptive",
                                   SWEEP_ORDERS)
 _DEFAULT_SHM = env_choice("MCDBR_SHM", "on", SHM_MODES)
+_DEFAULT_DET_CACHE_KEYING = env_choice("MCDBR_DET_CACHE_KEYING", "table",
+                                       DET_CACHE_KEYINGS)
 
 
 @dataclass(frozen=True)
@@ -236,6 +247,19 @@ class ExecutionOptions:
         ``"context"`` (per plan execution) or ``"off"``.  Executors used
         directly fall back to ``"context"`` scoping unless a session cache
         object is handed to them.
+    det_cache_keying:
+        Invalidation granularity of the session det-cache (default
+        ``"table"``; env ``MCDBR_DET_CACHE_KEYING``).  ``"table"`` keys
+        every entry by the catalog names its subtree scans
+        (``PlanNode.base_tables()``) and the per-name versions they were
+        filled under: a mutation invalidates only entries that depend on
+        the touched name, and an append-only mutation
+        (``Catalog.append``) *refreshes* dependent entries by splicing
+        the new rows into the cached relation (full recompute only for
+        non-splicable shapes, e.g. a join whose build side also moved).
+        ``"catalog"`` reproduces the coarse whole-cache drop on any
+        mutation.  Bit-identical either way — only the amount of
+        recomputation after catalog mutations differs.
     window_growth:
         Geometric growth factor applied to the GibbsLooper's window after
         each replenishment (``1.0`` — the default — disables growth).
@@ -326,6 +350,7 @@ class ExecutionOptions:
     shard_size: int | None = None
     replenishment: str = "delta"
     det_cache: str = "session"
+    det_cache_keying: str = _DEFAULT_DET_CACHE_KEYING
     window_growth: float = 1.0
     gibbs_state: str = _DEFAULT_GIBBS_STATE
     state_reinit: str = _DEFAULT_STATE_REINIT
@@ -358,6 +383,10 @@ class ExecutionOptions:
             raise ValueError(
                 f"unknown det_cache mode {self.det_cache!r}; "
                 f"supported: {DET_CACHE_MODES}")
+        if self.det_cache_keying not in DET_CACHE_KEYINGS:
+            raise ValueError(
+                f"unknown det_cache_keying mode {self.det_cache_keying!r}; "
+                f"supported: {DET_CACHE_KEYINGS}")
         if self.gibbs_state not in GIBBS_STATE_MODES:
             raise ValueError(
                 f"unknown gibbs_state mode {self.gibbs_state!r}; "
@@ -408,6 +437,7 @@ class ExecutionOptions:
         ``MCDBR_SHARD_SIZE``        integer >= 1 (unset = even split)
         ``MCDBR_REPLENISHMENT``     ``delta|full``
         ``MCDBR_DET_CACHE``         ``session|context|off``
+        ``MCDBR_DET_CACHE_KEYING``  ``table|catalog``
         ``MCDBR_WINDOW_GROWTH``     number >= 1.0
         ``MCDBR_GIBBS_STATE``       ``worker|broadcast``
         ``MCDBR_STATE_REINIT``      ``delta|full``
@@ -439,6 +469,8 @@ class ExecutionOptions:
                                      REPLENISHMENT_MODES),
             det_cache=env_choice("MCDBR_DET_CACHE", "session",
                                  DET_CACHE_MODES),
+            det_cache_keying=env_choice("MCDBR_DET_CACHE_KEYING", "table",
+                                        DET_CACHE_KEYINGS),
             window_growth=env_float("MCDBR_WINDOW_GROWTH", 1.0, 1.0),
             gibbs_state=env_choice("MCDBR_GIBBS_STATE", "worker",
                                    GIBBS_STATE_MODES),

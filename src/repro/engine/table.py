@@ -9,11 +9,17 @@ the bundle operators can work vectorized.
 
 from __future__ import annotations
 
+import itertools
 from typing import Iterable, Mapping, Sequence
 
 import numpy as np
 
 __all__ = ["Table", "Catalog"]
+
+#: Process-unique catalog ids.  ``id(catalog)`` is NOT a stable identity —
+#: CPython recycles addresses after garbage collection, so two catalogs
+#: alive at different times can alias; a monotone counter never can.
+_catalog_uids = itertools.count(1)
 
 
 def _as_column(values: Sequence) -> np.ndarray:
@@ -76,6 +82,53 @@ class Table:
     def __contains__(self, column_name: str) -> bool:
         return column_name in self._columns
 
+    def append_rows(self, rows) -> tuple[int, int]:
+        """Append rows in place; returns ``(old_row_count, new_row_count)``.
+
+        ``rows`` is either a column mapping (``{name: values}``, like the
+        constructor) or an iterable of row dicts.  The column set must
+        match exactly — appending is a *growth* of the relation, never a
+        schema change.
+        """
+        if isinstance(rows, Mapping):
+            columns = {name: _as_column(values)
+                       for name, values in rows.items()}
+        else:
+            row_dicts = list(rows)
+            columns = {
+                name: _as_column([row[name] for row in row_dicts])
+                for name in self._columns}
+            for row in row_dicts:
+                extra = set(row) - set(self._columns)
+                if extra:
+                    raise ValueError(
+                        f"appended row has unknown columns {sorted(extra)}; "
+                        f"table {self.name!r} has {self.column_names}")
+        if set(columns) != set(self._columns):
+            raise ValueError(
+                f"append to table {self.name!r} must supply exactly its "
+                f"columns {self.column_names}, got {sorted(columns)}")
+        added = None
+        for name, array in columns.items():
+            if array.ndim != 1:
+                raise ValueError(
+                    f"appended column {name!r} of table {self.name!r} "
+                    "must be 1-D")
+            if added is None:
+                added = len(array)
+            elif len(array) != added:
+                raise ValueError(
+                    f"appended column {name!r} has {len(array)} rows, "
+                    f"expected {added}")
+        old = self._length
+        if not added:
+            return old, old
+        for name, array in columns.items():
+            self._columns[name] = np.concatenate(
+                [self._columns[name], array])
+        self._length = old + added
+        return old, self._length
+
     def row(self, index: int) -> dict:
         return {name: values[index] for name, values in self._columns.items()}
 
@@ -90,22 +143,56 @@ class Catalog:
     """Name → table/random-table-spec lookup for a session.
 
     ``version`` counts catalog mutations; cross-query caches key their
-    validity on it (a mutation may change what any plan would compute, so
-    the :class:`~repro.engine.det_cache.SessionDetCache` drops all entries
-    when the version moves).
+    validity on it.  Alongside the global counter the catalog keeps a
+    *per-name* version (:meth:`table_version`) bumped only when that name
+    is touched, so a table-granular cache invalidates only entries whose
+    dependencies actually moved.  Per-name versions are monotone for the
+    life of the catalog — dropping and re-adding a name still moves its
+    version, so stale entries can never alias the new contents.
+
+    Append-only growth is first-class: :meth:`append` extends a base
+    table in place and records ``(old_row_count, new_row_count)`` in an
+    append journal keyed by the table's pre-append version.  Consumers
+    can then distinguish "grew by K rows" (splice the new rows into a
+    cached relation) from "arbitrarily rewritten" (recompute): a rewrite
+    (``add_table`` over an existing name) or ``drop`` truncates the
+    journal, breaking the version chain.
+
+    ``uid`` is a process-unique monotone identity for keyed transports
+    (the process backend's shared catalog channel) — unlike ``id()`` it
+    survives address reuse after garbage collection.
     """
 
     def __init__(self) -> None:
         self._tables: dict[str, Table] = {}
         self._random_specs: dict[str, object] = {}  # RandomTableSpec, untyped to avoid cycle
         self.version = 0
+        self.uid = next(_catalog_uids)
+        #: name -> global version at that name's last mutation (monotone
+        #: per name; survives drop so re-adding never rewinds).
+        self._name_versions: dict[str, int] = {}
+        #: name -> {from_version: (to_version, old_rows, new_rows)} —
+        #: the append chain walked by :meth:`appended_range`.
+        self._append_journal: dict[str, dict[int, tuple[int, int, int]]] = {}
+
+    def _bump(self, key: str) -> None:
+        self.version += 1
+        self._name_versions[key] = self.version
+
+    def table_version(self, name: str) -> int:
+        """This name's version: the global version at its last mutation
+        (0 for a name this catalog never touched)."""
+        return self._name_versions.get(name.lower(), 0)
 
     def add_table(self, table: Table) -> Table:
         key = table.name.lower()
         if key in self._random_specs:
             raise ValueError(f"{table.name!r} already names a random table")
+        if key in self._tables:
+            # Rewrite: the append chain no longer describes the contents.
+            self._append_journal.pop(key, None)
         self._tables[key] = table
-        self.version += 1
+        self._bump(key)
         return table
 
     def add_random_table(self, spec) -> None:
@@ -113,7 +200,55 @@ class Catalog:
         if key in self._tables:
             raise ValueError(f"{spec.name!r} already names a base table")
         self._random_specs[key] = spec
-        self.version += 1
+        self._bump(key)
+
+    def append(self, name: str, rows) -> tuple[int, int]:
+        """Append rows to a base table, journaling the growth.
+
+        Returns ``(old_row_count, new_row_count)``.  The journal entry is
+        keyed by the table's pre-append version, so a cached entry that
+        recorded version ``v`` can later walk the chain from ``v`` to the
+        current version and learn exactly which row range is new.
+        """
+        key = name.lower()
+        if key in self._random_specs:
+            raise ValueError(
+                f"cannot append to random table {name!r}; append to its "
+                "parameter table instead")
+        table = self.table(name)
+        from_version = self.table_version(key)
+        old, new = table.append_rows(rows)
+        if new == old:
+            return old, new  # empty append: no mutation, no version bump
+        self._bump(key)
+        self._append_journal.setdefault(key, {})[from_version] = (
+            self._name_versions[key], old, new)
+        return old, new
+
+    def appended_range(self, name: str, since_version: int):
+        """Rows appended since ``since_version``, or ``None``.
+
+        Walks the append journal from ``since_version`` to the name's
+        current version.  Returns ``(old_rows, new_rows)`` — the
+        contents grew from ``old_rows`` to ``new_rows`` purely by
+        appends — or ``None`` when the chain is broken (a rewrite or
+        drop truncated the journal, or the name was never journaled).
+        """
+        key = name.lower()
+        current = self.table_version(key)
+        if current == since_version:
+            return None  # nothing moved; nothing to splice
+        journal = self._append_journal.get(key, {})
+        version = since_version
+        old_rows = new_rows = None
+        while version != current:
+            record = journal.get(version)
+            if record is None:
+                return None
+            version, step_old, new_rows = record
+            if old_rows is None:
+                old_rows = step_old
+        return old_rows, new_rows
 
     def table(self, name: str) -> Table:
         try:
@@ -137,10 +272,12 @@ class Catalog:
         return name.lower() in self._tables or name.lower() in self._random_specs
 
     def drop(self, name: str) -> None:
-        dropped_table = self._tables.pop(name.lower(), None)
-        dropped_spec = self._random_specs.pop(name.lower(), None)
+        key = name.lower()
+        dropped_table = self._tables.pop(key, None)
+        dropped_spec = self._random_specs.pop(key, None)
         if dropped_table is not None or dropped_spec is not None:
-            self.version += 1
+            self._append_journal.pop(key, None)
+            self._bump(key)
 
     def table_names(self) -> list[str]:
         return sorted(self._tables)

@@ -385,12 +385,19 @@ def describe_compiled(compiled: CompiledSelect, tail_mode: bool,
 
 
 def _describe_with_det_markers(node: PlanNode, indent: int) -> str:
-    """``PlanNode.describe`` with ``[det-cached]`` on cacheable roots."""
+    """``PlanNode.describe`` with ``[det-cached]`` on cacheable roots.
+
+    Each marker also lists the subtree's dependency set
+    (``PlanNode.base_tables()``) — the names whose per-table catalog
+    versions the session cache's ``keying="table"`` mode validates the
+    entry against.
+    """
     line = "  " * indent + node._describe_line()
     if not node.contains_random:
         # The whole subtree is served from the deterministic cache; its
         # children never re-execute, so one marker at the root suffices.
-        return line + "  [det-cached]"
+        deps = ", ".join(sorted(node.base_tables()))
+        return line + f"  [det-cached] [deps: {deps}]"
     return "\n".join([line] + [
         _describe_with_det_markers(child, indent + 1)
         for child in node.children])

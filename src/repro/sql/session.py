@@ -129,10 +129,14 @@ class Session:
         self.options = options or ExecutionOptions()
         #: Cross-query deterministic sub-plan cache (``det_cache="session"``,
         #: the default): materialized deterministic relations keyed by
-        #: structural plan fingerprint, invalidated whenever the catalog
-        #: mutates.  Re-running a query — or a structurally overlapping one —
-        #: skips every deterministic subtree.
-        self.det_cache = SessionDetCache()
+        #: structural plan fingerprint.  Under
+        #: ``det_cache_keying="table"`` (default) entries are additionally
+        #: keyed by the per-name catalog versions of the tables their
+        #: subtree scans — a mutation invalidates only dependent entries,
+        #: and :meth:`append` refreshes them by splicing the new rows in;
+        #: ``"catalog"`` drops everything on any mutation.
+        self.det_cache = SessionDetCache(
+            keying=self.options.det_cache_keying)
         #: Persistent shard backend (``n_jobs > 1``), built lazily on the
         #: first sharded query and kept until :meth:`close`.
         self._backend = None
@@ -190,6 +194,17 @@ class Session:
         """Register a deterministic base table from column data."""
         return self.catalog.add_table(Table(name, columns))
 
+    def append(self, name: str, rows) -> tuple[int, int]:
+        """Append rows to a base table (column mapping or row dicts).
+
+        The append is journaled in the catalog, so under the default
+        ``det_cache_keying="table"`` cached deterministic subtrees over
+        the table are *refreshed* — the new rows spliced into the cached
+        relations — rather than recomputed, and entries over other
+        tables are untouched.  Returns ``(old_row_count, new_row_count)``.
+        """
+        return self.catalog.append(name, rows)
+
     # -- execution ---------------------------------------------------------------
 
     def execute(self, sql: str) -> QueryOutput:
@@ -205,7 +220,8 @@ class Session:
         Tail queries additionally show the pulled-up predicate and the
         aggregate the GibbsLooper will drive.  ``det_markers`` flags the
         deterministic subtree roots the det-cache tiers serve without
-        re-execution.
+        re-execution (with the base tables each depends on), and appends
+        the session cache's counters (:meth:`cache_stats`).
         """
         statement = parse(sql)
         if not isinstance(statement, SelectStmt):
@@ -213,8 +229,24 @@ class Session:
         spec = statement.result_spec
         tail_mode = spec is not None and spec.domain is not None
         compiled = compile_select(statement, self.catalog, tail_mode=tail_mode)
-        return describe_compiled(compiled, tail_mode=tail_mode,
+        text = describe_compiled(compiled, tail_mode=tail_mode,
                                  det_markers=det_markers)
+        if det_markers:
+            stats = self.cache_stats()
+            text += ("\ndet-cache: keying={keying} entries={entries} "
+                     "hits={hits} misses={misses} "
+                     "invalidations={invalidations} "
+                     "partial-invalidations={partial_invalidations} "
+                     "append-refreshes={append_refreshes}").format(**stats)
+        return text
+
+    def cache_stats(self) -> dict:
+        """Session det-cache counters: ``keying``, ``entries``, ``hits``,
+        ``misses``, ``invalidations`` (whole-cache drops),
+        ``partial_invalidations`` (single entries whose dependencies moved
+        non-append-only) and ``append_refreshes`` (entries refreshed in
+        place by splicing appended rows)."""
+        return self.det_cache.stats()
 
     def _execute_create(self, statement: CreateRandomTable) -> QueryOutput:
         vg = self.registry.lookup(statement.vg_name)

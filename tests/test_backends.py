@@ -373,6 +373,27 @@ class TestSharedChannel:
         assert before != after
         assert catalog_share_key(catalog) == after  # stable while unmutated
 
+    def test_catalog_share_key_never_aliases_across_catalogs(self):
+        """Two distinct catalogs at the same version must never share a
+        key.  The seed keyed on ``id(catalog)``, which CPython recycles
+        the moment a catalog is garbage-collected — a stale worker-side
+        cache entry could then serve the *old* catalog's columns for a
+        brand-new catalog.  ``Catalog.uid`` is monotone per process, so
+        recycled addresses can't collide."""
+        def build():
+            catalog = Catalog()
+            catalog.add_table(Table("t", {"x": [1.0]}))
+            return catalog
+
+        first = build()
+        first_key = catalog_share_key(first)
+        del first  # frees the address for recycling
+        second = build()
+        assert catalog_share_key(second) != first_key
+        # Same catalog, same version: the key is a pure function of
+        # (uid, version), not of object identity at call time.
+        assert catalog_share_key(second) == catalog_share_key(second)
+
 
 class TestPayloadRegression:
     """Shard tasks must never regrow a catalog payload.

@@ -23,7 +23,8 @@ from repro.engine.det_cache import (
 from repro.engine.errors import EngineError
 from repro.engine.expressions import col, lit
 from repro.engine.operators import (
-    ExecutionContext, Instantiate, Scan, Seed, Select, random_table_pipeline)
+    ExecutionContext, Instantiate, Join, Project, Scan, Seed, Select,
+    random_table_pipeline)
 from repro.engine.options import ExecutionOptions
 from repro.engine.random_table import RandomColumnSpec, RandomTableSpec
 from repro.engine.table import Catalog, Table
@@ -148,8 +149,35 @@ class TestSessionDetCache:
             first.distributions.distribution("loss").samples,
             second.distributions.distribution("loss").samples)
 
-    def test_catalog_mutation_invalidates(self):
-        session = self._session()
+    def test_dependent_mutation_invalidates(self):
+        """Rewriting a table a cached subtree scans drops exactly the
+        dependent entries (table keying, the default)."""
+        session = self._session(det_cache_keying="table")
+        session.execute(self.QUERY)
+        assert len(session.det_cache) > 0
+        session.add_table("means", {
+            "CID": np.arange(12), "m": np.linspace(2.0, 4.0, 12)})
+        session.execute(self.QUERY)
+        assert session.det_cache.partial_invalidations >= 1
+
+    def test_unrelated_mutation_survives_table_keying(self):
+        """The point of table-granular keying: DDL on a disjoint table
+        leaves cached entries — and their arrays — untouched."""
+        session = self._session(det_cache_keying="table")
+        session.execute(self.QUERY)
+        entries = len(session.det_cache)
+        misses = session.det_cache.misses
+        session.add_table("extra", {"x": [1.0]})
+        session.execute(self.QUERY)
+        assert session.det_cache.misses == misses  # every subtree served
+        assert session.det_cache.invalidations == 0
+        assert session.det_cache.partial_invalidations == 0
+        assert len(session.det_cache) == entries
+
+    def test_catalog_keying_drops_everything(self):
+        """keying="catalog" reproduces the coarse protocol: any mutation
+        (even of an unrelated table) clears the whole cache."""
+        session = self._session(det_cache_keying="catalog")
         session.execute(self.QUERY)
         assert len(session.det_cache) > 0
         session.add_table("extra", {"x": [1.0]})
@@ -200,6 +228,209 @@ class TestSessionDetCache:
             ExecutionOptions(det_cache="warp")
         with pytest.raises(ValueError, match="replenishment"):
             ExecutionOptions(replenishment="sometimes")
+
+
+class TestBaseTables:
+    def test_scan_and_combinators_union(self):
+        assert Scan("A").base_tables() == frozenset({"a"})
+        join = Join(Scan("A"), Scan("B", "b."), ["k"], ["b.k"])
+        assert join.base_tables() == frozenset({"a", "b"})
+        assert Select(join, col("k") < lit(1)).base_tables() == \
+            frozenset({"a", "b"})
+
+    def test_random_pipeline_depends_on_spec_and_parameter_table(self):
+        plan = random_table_pipeline(_losses_spec())
+        assert plan.base_tables() == frozenset({"means", "losses"})
+
+    def test_memoized(self):
+        node = Select(Scan("A"), col("k") < lit(1))
+        assert node.base_tables() is node.base_tables()
+
+
+class TestCrossInvalidationMatrix:
+    """Mutations hit exactly the entries that depend on the touched name."""
+
+    def _catalog(self):
+        catalog = Catalog()
+        catalog.add_table(Table("a", {
+            "k": np.arange(4), "v": np.linspace(0.0, 1.0, 4)}))
+        catalog.add_table(Table("b", {
+            "k2": np.arange(3), "w": np.linspace(5.0, 6.0, 3)}))
+        return catalog
+
+    def _context(self, catalog, cache):
+        return ExecutionContext(catalog, positions=4, aligned=True,
+                                det_cache=cache)
+
+    def test_mutating_a_leaves_b_entries_identical(self):
+        catalog = self._catalog()
+        cache = SessionDetCache()
+        scan_b = Scan("b")
+        served = scan_b.execute(self._context(catalog, cache))
+        catalog.add_table(Table("a", {"k": [0], "v": [9.0]}))
+        again = scan_b.execute(self._context(catalog, cache))
+        assert cache.partial_invalidations == 0
+        assert cache.misses == 1  # only the initial fill
+        # The very same arrays, not recomputed copies.
+        assert again.det_columns["w"] is served.det_columns["w"]
+
+    def test_mutating_a_drops_only_a_entries(self):
+        catalog = self._catalog()
+        cache = SessionDetCache()
+        scan_a, scan_b = Scan("a"), Scan("b")
+        scan_a.execute(self._context(catalog, cache))
+        scan_b.execute(self._context(catalog, cache))
+        catalog.add_table(Table("a", {"k": [0], "v": [9.0]}))
+        refreshed = scan_a.execute(self._context(catalog, cache))
+        scan_b.execute(self._context(catalog, cache))
+        assert cache.partial_invalidations == 1
+        np.testing.assert_array_equal(refreshed.det_columns["v"], [9.0])
+
+    def test_drop_and_readd_same_name_invalidates(self):
+        """Re-adding even identical contents must invalidate: the
+        per-name version is monotone across drop/re-add."""
+        catalog = self._catalog()
+        cache = SessionDetCache()
+        scan = Scan("a")
+        scan.execute(self._context(catalog, cache))
+        catalog.drop("a")
+        catalog.add_table(Table("a", {
+            "k": np.arange(4), "v": np.linspace(0.0, 1.0, 4)}))
+        misses = cache.misses
+        scan.execute(self._context(catalog, cache))
+        assert cache.partial_invalidations == 1
+        assert cache.misses == misses + 1
+
+    def test_different_catalog_clears_everything(self):
+        catalog = self._catalog()
+        cache = SessionDetCache()
+        scan = Scan("a")
+        scan.execute(self._context(catalog, cache))
+        other = self._catalog()
+        scan.execute(self._context(other, cache))
+        assert cache.invalidations == 1
+
+
+class TestAppendSpliceRefresh:
+    """Append-only growth refreshes cached det subtrees in place."""
+
+    def _catalog(self):
+        catalog = Catalog()
+        catalog.add_table(Table("ledger", {
+            "acct": np.arange(6) % 3,
+            "amount": np.linspace(1.0, 2.0, 6)}))
+        catalog.add_table(Table("accounts", {
+            "acct2": np.arange(3), "region": np.array([0, 1, 0])}))
+        return catalog
+
+    def _context(self, catalog, cache=None):
+        return ExecutionContext(catalog, positions=4, aligned=True,
+                                det_cache=cache)
+
+    def _pipeline(self):
+        join = Join(Scan("ledger"), Scan("accounts"), ["acct"], ["acct2"])
+        select = Select(join, col("region") < lit(1))
+        return Project(select, outputs=(("double", col("amount") + col("amount")),),
+                       keep=["acct", "amount"])
+
+    def test_scan_splice_matches_fresh_run(self):
+        catalog = self._catalog()
+        cache = SessionDetCache()
+        scan = Scan("ledger")
+        scan.execute(self._context(catalog, cache))
+        catalog.append("ledger", {"acct": [7, 8], "amount": [9.0, 8.0]})
+        served = scan.execute(self._context(catalog, cache))
+        assert cache.append_refreshes == 1
+        assert cache.misses == 1  # refresh is not a recomputation
+        fresh = Scan("ledger").execute(self._context(catalog))
+        np.testing.assert_array_equal(served.det_columns["amount"],
+                                      fresh.det_columns["amount"])
+        np.testing.assert_array_equal(served.det_columns["acct"],
+                                      fresh.det_columns["acct"])
+
+    def test_seed_splice_matches_fresh_handles(self):
+        catalog = self._catalog()
+        cache = SessionDetCache()
+        seed = Seed(Scan("ledger"), label="L")
+        seed.execute(self._context(catalog, cache))
+        catalog.append("ledger", {"acct": [5], "amount": [3.0]})
+        served = seed.execute(self._context(catalog, cache))
+        assert cache.append_refreshes >= 1
+        fresh = Seed(Scan("ledger"), label="L").execute(
+            self._context(catalog))
+        np.testing.assert_array_equal(served.det_columns["L#seed"],
+                                      fresh.det_columns["L#seed"])
+
+    def test_join_pipeline_splice_matches_fresh_run(self):
+        catalog = self._catalog()
+        cache = SessionDetCache()
+        plan = self._pipeline()
+        plan.execute(self._context(catalog, cache))
+        misses = cache.misses
+        # acct 0 and 1 join (region 0 survives the Select, 1 does not);
+        # acct 5 has no accounts match at all.
+        catalog.append("ledger", {
+            "acct": [0, 1, 5], "amount": [9.0, 8.0, 7.0]})
+        served = plan.execute(self._context(catalog, cache))
+        assert cache.append_refreshes >= 1
+        assert cache.misses == misses  # nothing recomputed
+        fresh = self._pipeline().execute(self._context(catalog))
+        for name in ("acct", "amount", "double"):
+            np.testing.assert_array_equal(served.det_columns[name],
+                                          fresh.det_columns[name])
+
+    def test_join_build_side_append_falls_back_to_recompute(self):
+        catalog = self._catalog()
+        cache = SessionDetCache()
+        plan = self._pipeline()
+        plan.execute(self._context(catalog, cache))
+        catalog.append("accounts", {"acct2": [7], "region": [0]})
+        served = plan.execute(self._context(catalog, cache))
+        # The join is not splicable when its build side moved; dependent
+        # entries drop and recompute (the accounts Scan itself splices).
+        assert cache.partial_invalidations >= 1
+        fresh = self._pipeline().execute(self._context(catalog))
+        for name in ("acct", "amount", "double"):
+            np.testing.assert_array_equal(served.det_columns[name],
+                                          fresh.det_columns[name])
+
+    def test_rewrite_after_append_recomputes(self):
+        catalog = self._catalog()
+        cache = SessionDetCache()
+        scan = Scan("ledger")
+        scan.execute(self._context(catalog, cache))
+        catalog.append("ledger", {"acct": [7], "amount": [9.0]})
+        catalog.add_table(Table("ledger", {
+            "acct": [1], "amount": [4.0]}))  # rewrite truncates journal
+        served = scan.execute(self._context(catalog, cache))
+        assert cache.append_refreshes == 0
+        assert cache.partial_invalidations == 1
+        np.testing.assert_array_equal(served.det_columns["amount"], [4.0])
+
+    def test_session_append_bit_identical_to_fresh_session(self):
+        """End to end: MC samples after Session.append equal a fresh
+        session built directly on the grown table."""
+        query = TestSessionDetCache.QUERY
+        session = TestSessionDetCache()._session(det_cache_keying="table")
+        session.execute(query)
+        session.append("means", {"CID": [12, 13], "m": [3.2, 3.4]})
+        grown = session.execute(query)
+        assert session.cache_stats()["append_refreshes"] >= 1
+
+        baseline = Session(base_seed=7, tail_budget=300, window=200)
+        baseline.add_table("means", {
+            "CID": np.arange(14),
+            "m": np.concatenate([np.linspace(1.0, 3.0, 12), [3.2, 3.4]])})
+        baseline.execute("""
+            CREATE TABLE Losses (CID, val) AS
+            FOR EACH CID IN means
+            WITH myVal AS Normal(VALUES(m, 1.0))
+            SELECT CID, myVal.* FROM myVal
+        """)
+        expected = baseline.execute(query)
+        np.testing.assert_array_equal(
+            grown.distributions.distribution("loss").samples,
+            expected.distributions.distribution("loss").samples)
 
 
 class TestFingerprints:

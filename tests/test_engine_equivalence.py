@@ -546,6 +546,33 @@ class TestBackendMatrix:
         assert sharded.sharded_windows == 0
         assert sharded.followup_windows == 0
 
+    _sql = TestSessionLevelEquivalence()
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("det_cache_keying", ["table", "catalog"])
+    def test_det_cache_keying_axis_with_appends(self, backend,
+                                                det_cache_keying):
+        """Table-granular cache keying — including an append-splice refresh
+        mid-session — must reproduce the coarse catalog protocol's tail
+        samples bit-for-bit, on every backend."""
+        def run(options):
+            with self._sql._session(options) as session:
+                before = session.execute(self._sql.TAIL_QUERY)
+                session.append("means", {"CID": [15, 16], "m": [3.2, 3.4]})
+                after = session.execute(self._sql.TAIL_QUERY)
+                stats = session.cache_stats()
+            return before, after, stats
+
+        baseline = run(ExecutionOptions(det_cache_keying="catalog"))
+        keyed = run(ExecutionOptions(det_cache_keying=det_cache_keying,
+                                     n_jobs=2, backend=backend))
+        _assert_identical(baseline[0].tail, keyed[0].tail)
+        _assert_identical(baseline[1].tail, keyed[1].tail)
+        if det_cache_keying == "table":
+            assert keyed[2]["append_refreshes"] >= 1
+        else:
+            assert keyed[2]["invalidations"] >= 1
+
     @given(base_seed=st.integers(0, 10_000),
            n_jobs=st.integers(2, 4),
            aggregate_kind=st.sampled_from(["sum", "count", "avg"]))

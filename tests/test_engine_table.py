@@ -94,6 +94,118 @@ class TestCatalog:
         catalog.drop("t")
         assert not catalog.has("t")
 
+    def test_uid_is_process_unique(self):
+        a, b = Catalog(), Catalog()
+        assert a.uid != b.uid
+        assert Catalog().uid > b.uid  # monotone
+
+
+class TestTableAppend:
+    def test_append_column_mapping(self):
+        table = Table("t", {"a": [1, 2], "b": ["x", "y"]})
+        assert table.append_rows({"a": [3], "b": ["z"]}) == (2, 3)
+        np.testing.assert_array_equal(table.column("a"), [1, 2, 3])
+        assert list(table.column("b")) == ["x", "y", "z"]
+
+    def test_append_row_dicts(self):
+        table = Table("t", {"a": [1]})
+        assert table.append_rows([{"a": 2}, {"a": 3}]) == (1, 3)
+        np.testing.assert_array_equal(table.column("a"), [1, 2, 3])
+
+    def test_append_schema_mismatch_rejected(self):
+        table = Table("t", {"a": [1], "b": [2]})
+        with pytest.raises(ValueError, match="exactly its"):
+            table.append_rows({"a": [3]})
+        with pytest.raises(ValueError, match="unknown columns"):
+            table.append_rows([{"a": 3, "b": 4, "c": 5}])
+        with pytest.raises(ValueError, match="expected"):
+            table.append_rows({"a": [3, 4], "b": [5]})
+
+
+class TestPerNameVersions:
+    def test_mutations_bump_only_the_touched_name(self):
+        catalog = Catalog()
+        catalog.add_table(Table("a", {"x": [1]}))
+        catalog.add_table(Table("b", {"x": [1]}))
+        version_a = catalog.table_version("a")
+        version_b = catalog.table_version("b")
+        catalog.add_table(Table("b", {"x": [2]}))
+        assert catalog.table_version("a") == version_a
+        assert catalog.table_version("b") > version_b
+
+    def test_untouched_name_is_version_zero(self):
+        assert Catalog().table_version("nope") == 0
+
+    def test_drop_and_readd_moves_the_version(self):
+        catalog = Catalog()
+        catalog.add_table(Table("t", {"x": [1]}))
+        before = catalog.table_version("t")
+        catalog.drop("t")
+        assert catalog.table_version("t") > before
+        dropped = catalog.table_version("t")
+        catalog.add_table(Table("t", {"x": [1]}))
+        assert catalog.table_version("t") > dropped
+
+    def test_random_spec_names_are_versioned_too(self):
+        catalog = Catalog()
+        catalog.add_table(Table("means", {"CID": [1], "m": [1.0]}))
+        catalog.add_random_table(_losses_spec())
+        assert catalog.table_version("losses") > 0
+
+
+class TestAppendJournal:
+    def _catalog(self):
+        catalog = Catalog()
+        catalog.add_table(Table("t", {"x": [1.0, 2.0]}))
+        return catalog
+
+    def test_append_journals_the_row_range(self):
+        catalog = self._catalog()
+        recorded = catalog.table_version("t")
+        assert catalog.append("t", {"x": [3.0]}) == (2, 3)
+        assert catalog.appended_range("t", recorded) == (2, 3)
+
+    def test_chained_appends_combine(self):
+        catalog = self._catalog()
+        recorded = catalog.table_version("t")
+        catalog.append("t", {"x": [3.0]})
+        middle = catalog.table_version("t")
+        catalog.append("t", {"x": [4.0, 5.0]})
+        assert catalog.appended_range("t", recorded) == (2, 5)
+        assert catalog.appended_range("t", middle) == (3, 5)
+
+    def test_unmoved_version_has_no_range(self):
+        catalog = self._catalog()
+        assert catalog.appended_range("t", catalog.table_version("t")) is None
+
+    def test_rewrite_truncates_the_journal(self):
+        catalog = self._catalog()
+        recorded = catalog.table_version("t")
+        catalog.append("t", {"x": [3.0]})
+        catalog.add_table(Table("t", {"x": [9.0]}))  # rewrite
+        assert catalog.appended_range("t", recorded) is None
+
+    def test_drop_truncates_the_journal(self):
+        catalog = self._catalog()
+        recorded = catalog.table_version("t")
+        catalog.append("t", {"x": [3.0]})
+        catalog.drop("t")
+        catalog.add_table(Table("t", {"x": [1.0, 2.0, 3.0]}))
+        assert catalog.appended_range("t", recorded) is None
+
+    def test_empty_append_is_a_no_op(self):
+        catalog = self._catalog()
+        version = catalog.version
+        assert catalog.append("t", {"x": []}) == (2, 2)
+        assert catalog.version == version
+
+    def test_append_to_random_table_rejected(self):
+        catalog = Catalog()
+        catalog.add_table(Table("means", {"CID": [1], "m": [1.0]}))
+        catalog.add_random_table(_losses_spec())
+        with pytest.raises(ValueError, match="parameter table"):
+            catalog.append("Losses", {"CID": [2], "m": [2.0]})
+
 
 class TestRandomTableSpec:
     def test_column_names(self):

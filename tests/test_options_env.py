@@ -17,7 +17,7 @@ ALL_KNOBS = (
     "MCDBR_REPLENISHMENT", "MCDBR_DET_CACHE", "MCDBR_WINDOW_GROWTH",
     "MCDBR_GIBBS_STATE", "MCDBR_STATE_REINIT", "MCDBR_SPECULATE",
     "MCDBR_SHM", "MCDBR_SPECULATE_DEPTH", "MCDBR_SWEEP_ORDER",
-    "MCDBR_JOIN_TIMEOUT")
+    "MCDBR_JOIN_TIMEOUT", "MCDBR_DET_CACHE_KEYING")
 
 
 @pytest.fixture(autouse=True)
@@ -32,7 +32,7 @@ class TestFromEnvDefaults:
         assert options == ExecutionOptions(
             engine="vectorized", n_jobs=1, backend="process",
             shard_size=None, replenishment="delta", det_cache="session",
-            window_growth=1.0, gibbs_state="worker", state_reinit="delta",
+            det_cache_keying="table", window_growth=1.0, gibbs_state="worker", state_reinit="delta",
             speculate_followups=True, speculate_depth=4,
             sweep_order="adaptive", join_timeout=None)
 
@@ -63,6 +63,7 @@ class TestFromEnvValues:
         ("MCDBR_SHARD_SIZE", "7", "shard_size", 7),
         ("MCDBR_REPLENISHMENT", "full", "replenishment", "full"),
         ("MCDBR_DET_CACHE", "off", "det_cache", "off"),
+        ("MCDBR_DET_CACHE_KEYING", "catalog", "det_cache_keying", "catalog"),
         ("MCDBR_WINDOW_GROWTH", "2.5", "window_growth", 2.5),
         ("MCDBR_GIBBS_STATE", "broadcast", "gibbs_state", "broadcast"),
         ("MCDBR_STATE_REINIT", "full", "state_reinit", "full"),
@@ -93,6 +94,7 @@ class TestFromEnvRejections:
         ("MCDBR_BACKEND", "fork"),
         ("MCDBR_REPLENISHMENT", "partial"),
         ("MCDBR_DET_CACHE", "disk"),
+        ("MCDBR_DET_CACHE_KEYING", "row"),
         ("MCDBR_GIBBS_STATE", "parent"),
         ("MCDBR_STATE_REINIT", "incremental"),
         ("MCDBR_SHM", "auto"),
@@ -177,6 +179,8 @@ class TestEnvHelpers:
         # misuse; EngineError is specifically the env-parsing surface.
         with pytest.raises(ValueError, match="state_reinit"):
             ExecutionOptions(state_reinit="bogus")
+        with pytest.raises(ValueError, match="det_cache_keying"):
+            ExecutionOptions(det_cache_keying="row")
         with pytest.raises(ValueError, match="speculate_followups"):
             ExecutionOptions(speculate_followups="yes")
         with pytest.raises(ValueError, match="speculate_depth"):
