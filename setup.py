@@ -1,4 +1,18 @@
-"""Shim for environments without the `wheel` package (legacy editable installs)."""
-from setuptools import setup
+"""Packaging for the MCDB-R reproduction (src layout, stdlib+numpy)."""
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="mcdbr-repro",
+    version="0.9.0",
+    description="Reproduction of MCDB-R: risk analysis in the database "
+                "(VLDB 2010), with a multi-tenant risk query service",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+    entry_points={
+        "console_scripts": [
+            "repro-risk-server = repro.server.cli:main",
+        ],
+    },
+)

@@ -91,6 +91,7 @@ Per-backend state semantics (all three produce identical results):
 from __future__ import annotations
 
 import pickle
+import threading
 import traceback
 from concurrent.futures import ThreadPoolExecutor
 from multiprocessing import get_context
@@ -101,7 +102,7 @@ from repro.engine.shm import ShmAttachCache, ShmBlockStore, shm_loads
 
 __all__ = [
     "ExecutionBackend", "SerialBackend", "ThreadBackend", "ProcessBackend",
-    "make_backend", "catalog_share_key",
+    "SharedBackend", "make_backend", "catalog_share_key",
 ]
 
 #: Keep at most this many distinct shared-channel entries pinned in the
@@ -1098,6 +1099,96 @@ class ProcessBackend(ExecutionBackend):
             self._replies.pop(ticket, None)
         if failure is not None:
             raise failure
+
+
+class SharedBackend(ExecutionBackend):
+    """One backend shared by several sessions across threads.
+
+    The risk-service front end (:mod:`repro.server`) runs many tenant
+    sessions against ONE persistent worker pool — the whole point of a
+    long-lived service — but the concrete backends assume a single
+    calling thread.  This wrapper makes the sharing safe:
+
+    * every protocol operation delegates under one re-entrant lock, so
+      two sessions' messages never interleave *within* an operation and
+      all parent-side bookkeeping (tickets, reply stash, shared-channel
+      cache) stays consistent;
+    * *across* operations, interleaving is already correct by
+      construction: worker-owned state is token-scoped, replies are
+      ticket-addressed (out-of-order arrivals are stashed), and each
+      message's FIFO-ordering obligations are only to its own token's
+      traffic — so concurrent queries simply multiplex the pool;
+    * :meth:`close` is reserved for the *owner* (the server): sessions
+      holding a shared backend must not tear down a pool other tenants
+      are using, which is what ``Session(shared_backend=...)`` enforces
+      by never closing a backend it doesn't own.
+
+    One failure domain, by design: a worker death or in-worker error
+    still resets the whole inner pool, so every in-flight query of every
+    tenant surfaces an :class:`~repro.engine.errors.EngineError` for
+    that run — the pool respawns lazily for the next query.
+    """
+
+    name = "shared"
+
+    def __init__(self, inner: ExecutionBackend):
+        if isinstance(inner, SharedBackend):
+            raise ValueError("SharedBackend cannot wrap a SharedBackend")
+        self.inner = inner
+        self._lock = threading.RLock()
+
+    @property
+    def stats(self):
+        # ProcessBackend transport accounting; other backends keep none.
+        return getattr(self.inner, "stats", {})
+
+    def run_job(self, job, bounds) -> list:
+        with self._lock:
+            return self.inner.run_job(job, bounds)
+
+    def close(self) -> None:
+        with self._lock:
+            self.inner.close()
+
+    def state_shard_limit(self) -> int | None:
+        return self.inner.state_shard_limit()
+
+    def state_casts_apply(self) -> bool:
+        return self.inner.state_casts_apply()
+
+    def init_state(self, payloads: list) -> int:
+        with self._lock:
+            return self.inner.init_state(payloads)
+
+    def state_call(self, token: int, shard: int, method: str, *args):
+        with self._lock:
+            return self.inner.state_call(token, shard, method, *args)
+
+    def state_cast(self, token: int, shard: int, method: str, *args) -> None:
+        with self._lock:
+            self.inner.state_cast(token, shard, method, *args)
+
+    def state_cast_all(self, token: int, method: str, *args) -> None:
+        with self._lock:
+            self.inner.state_cast_all(token, method, *args)
+
+    def state_merge(self, token: int, shard: int, method: str,
+                    *args) -> None:
+        with self._lock:
+            self.inner.state_merge(token, shard, method, *args)
+
+    def state_scatter(self, token: int, method: str,
+                      per_shard_args: list) -> None:
+        with self._lock:
+            self.inner.state_scatter(token, method, per_shard_args)
+
+    def state_collect(self, token: int, shard: int):
+        with self._lock:
+            return self.inner.state_collect(token, shard)
+
+    def discard_state(self, token: int) -> None:
+        with self._lock:
+            self.inner.discard_state(token)
 
 
 def make_backend(options) -> ExecutionBackend:

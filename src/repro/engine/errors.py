@@ -1,10 +1,23 @@
 """Exception types for the engine and planner."""
 
-__all__ = ["EngineError", "PlanError", "AlignmentError"]
+__all__ = ["EngineError", "PlanError", "AlignmentError", "CatalogError"]
 
 
 class EngineError(Exception):
     """Base class for execution-time engine failures."""
+
+
+class CatalogError(EngineError):
+    """A catalog mutation was rejected before touching any state.
+
+    Raised by the append path for a missing table or a schema mismatch —
+    always naming the table (and column, where one is at fault) — so
+    callers above the engine (the risk service front end above all) can
+    map data errors to client responses without parsing ``KeyError`` /
+    ``ValueError`` strings.  The contract is transactional: a rejected
+    append mutates nothing — no rows, no ``table_version`` bump, no
+    append-journal entry.
+    """
 
 
 class PlanError(EngineError):

@@ -86,6 +86,14 @@ class MonteCarloResult:
             raise KeyError(
                 f"no aggregate {aggregate!r}; have {sorted(by_name)}") from None
 
+    def aggregates(self, group: tuple = ()) -> dict[str, ResultDistribution]:
+        """All aggregate distributions of one group, keyed by name."""
+        try:
+            return dict(self._groups[tuple(group)])
+        except KeyError:
+            raise KeyError(
+                f"no group {group!r}; groups: {self.group_keys}") from None
+
     def scalar(self, aggregate: str, group: tuple = ()) -> float:
         """Convenience for deterministic queries (n = 1): the single value."""
         distribution = self.distribution(aggregate, group)

@@ -43,8 +43,8 @@ from repro.engine.errors import EngineError
 
 __all__ = ["ENGINES", "BACKENDS", "REPLENISHMENT_MODES", "DET_CACHE_MODES",
            "DET_CACHE_KEYINGS", "GIBBS_STATE_MODES", "STATE_REINIT_MODES",
-           "SHM_MODES", "SWEEP_ORDERS", "ExecutionOptions", "env_choice",
-           "env_int", "env_float", "env_bool"]
+           "SHM_MODES", "SWEEP_ORDERS", "ExecutionOptions", "ServerOptions",
+           "env_choice", "env_int", "env_float", "env_bool"]
 
 #: Supported Gibbs perturbation kernels.
 ENGINES = ("vectorized", "reference")
@@ -128,7 +128,12 @@ _ENV_KNOBS = frozenset((
     "MCDBR_REPLENISHMENT", "MCDBR_DET_CACHE", "MCDBR_WINDOW_GROWTH",
     "MCDBR_GIBBS_STATE", "MCDBR_STATE_REINIT", "MCDBR_SPECULATE",
     "MCDBR_SPECULATE_DEPTH", "MCDBR_SWEEP_ORDER", "MCDBR_JOIN_TIMEOUT",
-    "MCDBR_SHM", "MCDBR_DET_CACHE_KEYING"))
+    "MCDBR_SHM", "MCDBR_DET_CACHE_KEYING",
+    # Risk-service front-end knobs (repro.server), parsed by
+    # ServerOptions.from_env — registered here so ExecutionOptions.from_env
+    # running inside the server process doesn't reject them as typos.
+    "MCDBR_SERVER_CONCURRENCY", "MCDBR_SERVER_QUEUE_DEPTH",
+    "MCDBR_SERVER_QUERY_TIMEOUT"))
 
 
 def env_choice(name: str, default: str, allowed: tuple) -> str:
@@ -516,3 +521,83 @@ class ExecutionOptions:
             bounds.append((lo, hi))
             lo = hi
         return bounds
+
+
+@dataclass(frozen=True)
+class ServerOptions:
+    """Admission policy of the risk-service front end (:mod:`repro.server`).
+
+    Where :class:`ExecutionOptions` governs how one query runs, this
+    object governs how many may run — the server's bounded admission
+    queue and its executor pool:
+
+    concurrency:
+        Executor threads draining the admission queue — the maximum
+        number of tenant queries in flight at once (each tenant session
+        is additionally single-flight, so concurrency beyond the tenant
+        count buys nothing).  Env ``MCDBR_SERVER_CONCURRENCY``.
+    queue_depth:
+        Maximum *queued* (admitted but not yet running) queries.  A
+        submit that would exceed it is refused with HTTP 429 — load
+        sheds at the door instead of piling onto the pool.  Env
+        ``MCDBR_SERVER_QUEUE_DEPTH``.
+    query_timeout:
+        Seconds one query may spend from admission to completion
+        (queue wait included) before it is abandoned and reported as
+        ``"timeout"``; ``None`` disables the limit.  Env
+        ``MCDBR_SERVER_QUERY_TIMEOUT`` (a number; ``0`` or less is
+        rejected — use unset for no limit).
+    """
+
+    concurrency: int = 4
+    queue_depth: int = 32
+    query_timeout: float | None = 30.0
+
+    def __post_init__(self):
+        if not isinstance(self.concurrency, int) \
+                or isinstance(self.concurrency, bool) \
+                or self.concurrency < 1:
+            raise ValueError(
+                f"concurrency must be an integer >= 1, got "
+                f"{self.concurrency!r}")
+        if not isinstance(self.queue_depth, int) \
+                or isinstance(self.queue_depth, bool) \
+                or self.queue_depth < 1:
+            raise ValueError(
+                f"queue_depth must be an integer >= 1, got "
+                f"{self.queue_depth!r}")
+        if self.query_timeout is not None and not self.query_timeout > 0:
+            raise ValueError(
+                f"query_timeout must be > 0 or None, got "
+                f"{self.query_timeout}")
+
+    @classmethod
+    def from_env(cls, **overrides) -> "ServerOptions":
+        """Server knobs from the ``MCDBR_SERVER_*`` environment.
+
+        Same eager-validation contract as
+        :meth:`ExecutionOptions.from_env`: a typo'd value raises
+        :class:`EngineError` naming the variable.
+
+        ==============================  ================================
+        variable                        values
+        ==============================  ================================
+        ``MCDBR_SERVER_CONCURRENCY``    integer >= 1 (executor threads)
+        ``MCDBR_SERVER_QUEUE_DEPTH``    integer >= 1 (429 past this)
+        ``MCDBR_SERVER_QUERY_TIMEOUT``  number > 0 seconds (unset = 30s)
+        ==============================  ================================
+        """
+        values = dict(
+            concurrency=env_int("MCDBR_SERVER_CONCURRENCY", 4),
+            queue_depth=env_int("MCDBR_SERVER_QUEUE_DEPTH", 32),
+            query_timeout=(
+                env_float("MCDBR_SERVER_QUERY_TIMEOUT", 30.0, 1e-3)
+                if "MCDBR_SERVER_QUERY_TIMEOUT" in os.environ else 30.0),
+        )
+        known = {field.name for field in fields(cls)}
+        unknown = set(overrides) - known
+        if unknown:
+            raise EngineError(
+                f"unknown ServerOptions overrides: {sorted(unknown)}")
+        values.update(overrides)
+        return cls(**values)

@@ -14,6 +14,8 @@ from typing import Iterable, Mapping, Sequence
 
 import numpy as np
 
+from repro.engine.errors import CatalogError
+
 __all__ = ["Table", "Catalog"]
 
 #: Process-unique catalog ids.  ``id(catalog)`` is NOT a stable identity —
@@ -88,38 +90,55 @@ class Table:
         ``rows`` is either a column mapping (``{name: values}``, like the
         constructor) or an iterable of row dicts.  The column set must
         match exactly — appending is a *growth* of the relation, never a
-        schema change.
+        schema change.  Any mismatch raises
+        :class:`~repro.engine.errors.CatalogError` naming the table and
+        the offending column, *before* anything is mutated: a rejected
+        append leaves the relation byte-for-byte untouched.
         """
         if isinstance(rows, Mapping):
             columns = {name: _as_column(values)
                        for name, values in rows.items()}
         else:
             row_dicts = list(rows)
+            for row in row_dicts:
+                missing = set(self._columns) - set(row)
+                extra = set(row) - set(self._columns)
+                if missing:
+                    raise CatalogError(
+                        f"appended row is missing column "
+                        f"{sorted(missing)[0]!r} of table {self.name!r}; "
+                        f"columns: {self.column_names}")
+                if extra:
+                    raise CatalogError(
+                        f"appended row has unknown columns {sorted(extra)}; "
+                        f"table {self.name!r} has {self.column_names}")
             columns = {
                 name: _as_column([row[name] for row in row_dicts])
                 for name in self._columns}
-            for row in row_dicts:
-                extra = set(row) - set(self._columns)
-                if extra:
-                    raise ValueError(
-                        f"appended row has unknown columns {sorted(extra)}; "
-                        f"table {self.name!r} has {self.column_names}")
         if set(columns) != set(self._columns):
-            raise ValueError(
+            missing = sorted(set(self._columns) - set(columns))
+            extra = sorted(set(columns) - set(self._columns))
+            detail = []
+            if missing:
+                detail.append(f"missing {missing[0]!r}")
+            if extra:
+                detail.append(f"unknown {extra[0]!r}")
+            raise CatalogError(
                 f"append to table {self.name!r} must supply exactly its "
-                f"columns {self.column_names}, got {sorted(columns)}")
+                f"columns {self.column_names}, got {sorted(columns)} "
+                f"({', '.join(detail)})")
         added = None
         for name, array in columns.items():
             if array.ndim != 1:
-                raise ValueError(
+                raise CatalogError(
                     f"appended column {name!r} of table {self.name!r} "
                     "must be 1-D")
             if added is None:
                 added = len(array)
             elif len(array) != added:
-                raise ValueError(
-                    f"appended column {name!r} has {len(array)} rows, "
-                    f"expected {added}")
+                raise CatalogError(
+                    f"appended column {name!r} of table {self.name!r} has "
+                    f"{len(array)} rows, expected {added}")
         old = self._length
         if not added:
             return old, old
@@ -209,13 +228,24 @@ class Catalog:
         keyed by the table's pre-append version, so a cached entry that
         recorded version ``v`` can later walk the chain from ``v`` to the
         current version and learn exactly which row range is new.
+
+        Error paths are transactional and typed: a missing table, an
+        append aimed at a random table, or any schema mismatch raises
+        :class:`~repro.engine.errors.CatalogError` naming the table (and
+        column), with no version bump and no journal entry.
         """
         key = name.lower()
         if key in self._random_specs:
-            raise ValueError(
+            raise CatalogError(
                 f"cannot append to random table {name!r}; append to its "
                 "parameter table instead")
-        table = self.table(name)
+        try:
+            table = self.table(name)
+        except KeyError:
+            known = ", ".join(self.table_names()) or "<none>"
+            raise CatalogError(
+                f"cannot append to unknown table {name!r}; "
+                f"base tables: {known}") from None
         from_version = self.table_version(key)
         old, new = table.append_rows(rows)
         if new == old:

@@ -1,0 +1,25 @@
+"""Multi-tenant risk-service front end on the persistent worker pool.
+
+See :mod:`repro.server.app` for the service and its query lifecycle,
+:mod:`repro.server.registry` for tenant isolation, and
+:mod:`repro.server.records` for the versioned analysis journal.
+"""
+
+from .app import QueryRecord, RiskServer, RiskService
+from .records import AnalysisJournal, AnalysisRecord, UnknownAnalysisError
+from .registry import TenantRegistry, TenantState
+from .wire import ApiError, columns_from_wire, output_to_wire
+
+__all__ = [
+    "AnalysisJournal",
+    "AnalysisRecord",
+    "ApiError",
+    "QueryRecord",
+    "RiskServer",
+    "RiskService",
+    "TenantRegistry",
+    "TenantState",
+    "UnknownAnalysisError",
+    "columns_from_wire",
+    "output_to_wire",
+]

@@ -1,0 +1,597 @@
+"""The risk service: a multi-tenant HTTP front end on one worker pool.
+
+MCDB-R positions tail queries as something an analyst *service* runs all
+day, not a one-shot script: many analysts, one warehouse, shared compute.
+This module is that front end, stdlib-only (``http.server`` +
+``ThreadingHTTPServer``, JSON wire):
+
+* **One pool, many tenants.**  The server owns a single
+  process-backend worker pool (wrapped in
+  :class:`~repro.engine.backends.SharedBackend`) and multiplexes every
+  tenant's sharded work onto it.  Tenants stay isolated where it
+  matters — catalog, det-cache, journal are per-tenant — and share where
+  it pays — worker processes and their warm state plane.
+* **Bounded admission.**  Queries enter a bounded queue
+  (:class:`~repro.engine.options.ServerOptions`: ``concurrency`` runner
+  threads, ``queue_depth`` waiting slots).  A full queue answers **429**
+  immediately instead of letting latency grow without bound, and every
+  admitted query carries an admission-to-result deadline
+  (``query_timeout``) — exceeded deadlines report status ``"timeout"``
+  and the late result is discarded.
+* **Audited results.**  Every run that completes is journaled as an
+  immutable versioned analysis record (:mod:`repro.server.records`)
+  before its status flips to ``"done"``.
+
+Lifecycle of one query::
+
+    POST /tenants/{t}/queries
+      └─ admission queue (≤ queue_depth; full → 429)
+           └─ runner thread (≤ concurrency in flight)
+                └─ Session.execute on the shared pool
+                     ├─ deadline exceeded → status "timeout"
+                     └─ done → journal analysis version → status "done"
+                            GET /queries/{id} serves the payload
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import queue
+import re
+import threading
+import time
+import urllib.parse
+import uuid
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from ..engine.backends import SharedBackend, make_backend
+from ..engine.errors import CatalogError, EngineError
+from ..engine.options import ExecutionOptions, ServerOptions
+from ..sql.lexer import SqlSyntaxError
+from ..sql.parser import parse as parse_sql
+from .records import UnknownAnalysisError
+from .registry import TenantRegistry
+from .wire import ApiError, columns_from_wire, output_to_wire
+
+__all__ = ["QueryRecord", "RiskService", "RiskServer"]
+
+_STOP = object()  # admission-queue sentinel: one per runner at shutdown
+
+
+def _default_analysis_name(sql: str) -> str:
+    """Stable name for unnamed analyses: re-running the same statement
+    accumulates versions of one analysis instead of a pile of singletons."""
+    digest = hashlib.sha1(" ".join(sql.split()).encode()).hexdigest()
+    return f"q-{digest[:12]}"
+
+
+class QueryRecord:
+    """Mutable lifecycle record of one submitted query.
+
+    All mutation happens under the owning service's query lock; status
+    moves ``queued → running → done|error|timeout`` and whichever of the
+    runner / the timeout watchdog transitions first wins — the loser's
+    write is discarded, so a late result can never resurrect a query
+    that already reported ``"timeout"``.
+    """
+
+    __slots__ = ("query_id", "tenant", "sql", "analysis_name", "timeout",
+                 "status", "submitted_at", "_submitted_mono",
+                 "queue_seconds", "run_seconds", "total_seconds",
+                 "result", "error", "analysis", "settled")
+
+    def __init__(self, tenant: str, sql: str, analysis_name: str,
+                 timeout: float | None):
+        self.query_id = uuid.uuid4().hex
+        self.tenant = tenant
+        self.sql = sql
+        self.analysis_name = analysis_name
+        self.timeout = timeout
+        self.status = "queued"
+        self.submitted_at = time.time()
+        self._submitted_mono = time.monotonic()
+        self.queue_seconds = None
+        self.run_seconds = None
+        self.total_seconds = None
+        self.result = None
+        self.error = None
+        self.analysis = None  # {"name": ..., "version": ...} once journaled
+        #: Set exactly once, when status leaves queued/running — lets
+        #: ``GET /queries/{id}?wait=s`` long-poll instead of spinning.
+        self.settled = threading.Event()
+
+    def deadline(self) -> float | None:
+        if self.timeout is None:
+            return None
+        return self._submitted_mono + self.timeout
+
+    def to_wire(self) -> dict:
+        payload = {
+            "query_id": self.query_id,
+            "tenant": self.tenant,
+            "sql": self.sql,
+            "status": self.status,
+            "submitted_at": self.submitted_at,
+            "timeout": self.timeout,
+            "queue_seconds": self.queue_seconds,
+            "run_seconds": self.run_seconds,
+            "total_seconds": self.total_seconds,
+            "analysis": self.analysis,
+        }
+        if self.result is not None:
+            payload["result"] = self.result
+        if self.error is not None:
+            payload["error"] = self.error
+        return payload
+
+
+class RiskService:
+    """Engine-facing core of the server (HTTP-free, directly testable)."""
+
+    def __init__(self, options: ExecutionOptions | None = None,
+                 server_options: ServerOptions | None = None,
+                 base_seed: int = 0):
+        self.options = options if options is not None \
+            else ExecutionOptions.from_env()
+        self.server_options = server_options if server_options is not None \
+            else ServerOptions.from_env()
+        # The one pool.  Serial configurations (n_jobs == 1) need none:
+        # sessions execute inline and the service is still fully
+        # functional — just without shard parallelism.
+        self.pool = SharedBackend(make_backend(self.options)) \
+            if self.options.sharded else None
+        self.registry = TenantRegistry(
+            self.options, shared_backend=self.pool, base_seed=base_seed)
+        self._queue: queue.Queue = queue.Queue(
+            maxsize=self.server_options.queue_depth)
+        self._qlock = threading.Lock()
+        self._queries: dict[str, QueryRecord] = {}
+        self._runners: list[threading.Thread] = []
+        self._started = False
+        self.counters = {"submitted": 0, "completed": 0, "rejected": 0,
+                         "timeouts": 0, "errors": 0}
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        for index in range(self.server_options.concurrency):
+            thread = threading.Thread(
+                target=self._runner_loop, name=f"risk-runner-{index}",
+                daemon=True)
+            thread.start()
+            self._runners.append(thread)
+
+    def stop(self) -> None:
+        if self._started:
+            for _ in self._runners:
+                self._queue.put(_STOP)
+            for thread in self._runners:
+                thread.join(timeout=30.0)
+            self._runners.clear()
+            self._started = False
+        self.registry.close()
+        if self.pool is not None:
+            self.pool.close()
+
+    # -- admission ---------------------------------------------------------
+
+    def submit(self, tenant_id: str, body) -> QueryRecord:
+        """Admit one query or fail fast: 400 on bad SQL, 429 when full."""
+        state = self.registry.get(tenant_id)
+        if not isinstance(body, dict) or not isinstance(
+                body.get("sql"), str) or not body["sql"].strip():
+            raise ApiError(400, "body must carry a non-empty 'sql' string")
+        sql = body["sql"]
+        try:
+            parse_sql(sql)  # reject syntax errors at the door, not async
+        except SqlSyntaxError as exc:
+            raise ApiError(400, f"SQL syntax error: {exc}") from None
+        analysis_name = body.get("analysis") or _default_analysis_name(sql)
+        if not isinstance(analysis_name, str) or len(analysis_name) > 200:
+            raise ApiError(400, "'analysis' must be a short string")
+        timeout = self.server_options.query_timeout
+        if "timeout" in body:
+            override = body["timeout"]
+            if override is not None and (
+                    not isinstance(override, (int, float))
+                    or isinstance(override, bool) or override <= 0):
+                raise ApiError(
+                    400, "'timeout' must be a positive number of seconds "
+                         "or null")
+            timeout = override
+        record = QueryRecord(tenant_id, sql, analysis_name, timeout)
+        with self._qlock:
+            self._queries[record.query_id] = record
+            self.counters["submitted"] += 1
+        try:
+            self._queue.put_nowait((state, record))
+        except queue.Full:
+            with self._qlock:
+                del self._queries[record.query_id]
+                self.counters["submitted"] -= 1
+                self.counters["rejected"] += 1
+            raise ApiError(
+                429, f"admission queue full "
+                     f"({self.server_options.queue_depth} waiting); "
+                     "retry later") from None
+        return record
+
+    def query(self, query_id: str) -> QueryRecord:
+        with self._qlock:
+            record = self._queries.get(query_id)
+        if record is None:
+            raise ApiError(404, f"unknown query {query_id!r}")
+        return record
+
+    # -- execution ---------------------------------------------------------
+
+    def _runner_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _STOP:
+                return
+            state, record = item
+            try:
+                self._run_one(state, record)
+            except Exception as exc:  # defensive: a runner must not die
+                self._transition(record, "error", error=repr(exc))
+
+    def _transition(self, record: QueryRecord, status: str, *,
+                    result=None, error=None, analysis=None,
+                    started_mono=None) -> bool:
+        """CAS a record out of its in-flight state; False if it lost."""
+        now = time.monotonic()
+        with self._qlock:
+            if record.status not in ("queued", "running"):
+                return False  # watchdog/runner race already settled
+            record.status = status
+            record.result = result
+            record.error = error
+            record.analysis = analysis
+            if started_mono is not None:
+                record.run_seconds = now - started_mono
+            record.total_seconds = now - record._submitted_mono
+            if record.queue_seconds is None:
+                record.queue_seconds = record.total_seconds
+            key = {"done": "completed", "timeout": "timeouts",
+                   "error": "errors"}[status]
+            self.counters[key] += 1
+            record.settled.set()
+        return True
+
+    def _complete(self, state, record: QueryRecord, kind: str, wire: dict,
+                  versions: dict, started_mono: float) -> bool:
+        """Journal + flip to "done" atomically, so a run that lost its
+        deadline race can never leave an analysis version behind."""
+        now = time.monotonic()
+        with self._qlock:
+            if record.status != "running":
+                return False  # timed out meanwhile; drop the result
+            entry = state.journal.record(
+                record.analysis_name, record.query_id, record.sql,
+                kind, wire, versions)
+            record.status = "done"
+            record.result = wire
+            record.analysis = {"name": entry.name, "version": entry.version}
+            record.run_seconds = now - started_mono
+            record.total_seconds = now - record._submitted_mono
+            self.counters["completed"] += 1
+            state.queries += 1
+            record.settled.set()
+        return True
+
+    def _run_one(self, state, record: QueryRecord) -> None:
+        started = time.monotonic()
+        deadline = record.deadline()
+        if deadline is not None and started >= deadline:
+            # The whole budget burned in the queue.
+            self._transition(record, "timeout",
+                             error="deadline exceeded while queued")
+            return
+        with self._qlock:
+            record.status = "running"
+            record.queue_seconds = started - record._submitted_mono
+        done = threading.Event()
+
+        def _execute() -> None:
+            try:
+                output = state.session.execute(record.sql)
+                wire = output_to_wire(output)
+                versions = state.table_versions()
+            except Exception as exc:
+                self._transition(record, "error", error=f"{exc}",
+                                 started_mono=started)
+            else:
+                self._complete(state, record, output.kind, wire, versions,
+                               started)
+            finally:
+                done.set()
+
+        # The execute runs in a helper so the runner can enforce the
+        # deadline; on timeout the helper is orphaned (daemon) — it still
+        # holds the tenant session's single-flight lock until the engine
+        # returns, it just loses the status CAS and its result is
+        # dropped.  Note the journal entry of a timed-out run is dropped
+        # with it: only runs that *report* completion are versioned.
+        if deadline is None:
+            _execute()
+            return
+        helper = threading.Thread(
+            target=_execute, name=f"risk-exec-{record.query_id[:8]}",
+            daemon=True)
+        helper.start()
+        if not done.wait(timeout=deadline - started):
+            self._transition(
+                record, "timeout",
+                error=f"query exceeded its {record.timeout:g}s "
+                      "admission-to-result deadline",
+                started_mono=started)
+
+    # -- stats -------------------------------------------------------------
+
+    def stats(self) -> dict:
+        with self._qlock:
+            counters = dict(self.counters)
+        payload = {
+            "server": {
+                "concurrency": self.server_options.concurrency,
+                "queue_depth": self.server_options.queue_depth,
+                "query_timeout": self.server_options.query_timeout,
+                "queued_now": self._queue.qsize(),
+            },
+            "counters": counters,
+            "evictions": self.registry.evictions,
+            "tenants": [state.stats() for state in self.registry.states()],
+        }
+        if self.pool is not None:
+            payload["pool"] = {
+                key: value for key, value in self.pool.stats.items()
+                if isinstance(value, (int, float, str, bool))}
+        return payload
+
+
+# -- HTTP layer -------------------------------------------------------------
+
+_TENANT = r"(?P<tenant>[A-Za-z0-9_-]{1,64})"
+_NAME = r"(?P<name>[^/]{1,200})"
+
+_ROUTES: list[tuple[str, re.Pattern, str]] = [
+    ("GET", re.compile(r"^/healthz$"), "health"),
+    ("GET", re.compile(r"^/stats$"), "stats"),
+    ("GET", re.compile(r"^/tenants$"), "list_tenants"),
+    ("POST", re.compile(rf"^/tenants/{_TENANT}$"), "create_tenant"),
+    ("DELETE", re.compile(rf"^/tenants/{_TENANT}$"), "evict_tenant"),
+    ("POST", re.compile(rf"^/tenants/{_TENANT}/tables$"), "create_table"),
+    ("POST", re.compile(rf"^/tenants/{_TENANT}/tables/{_NAME}/rows$"),
+     "append_rows"),
+    ("POST", re.compile(rf"^/tenants/{_TENANT}/queries$"), "submit_query"),
+    ("GET", re.compile(r"^/queries/(?P<query_id>[0-9a-f]{32})$"),
+     "get_query"),
+    ("GET", re.compile(rf"^/tenants/{_TENANT}/analyses$"), "list_analyses"),
+    ("GET", re.compile(rf"^/tenants/{_TENANT}/analyses/{_NAME}/versions$"),
+     "list_versions"),
+    ("GET", re.compile(
+        rf"^/tenants/{_TENANT}/analyses/{_NAME}"
+        r"/versions/(?P<version>\d+)$"), "get_version"),
+    ("POST", re.compile(
+        rf"^/tenants/{_TENANT}/analyses/{_NAME}"
+        r"/versions/(?P<version>\d+)/commit$"), "commit_version"),
+]
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Regex-routed JSON handler; one instance per request (stdlib)."""
+
+    service: RiskService  # injected via subclass by RiskServer
+    protocol_version = "HTTP/1.1"
+    quiet = True
+
+    # -- plumbing ----------------------------------------------------------
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if not self.quiet:
+            super().log_message(format, *args)
+
+    def _read_body(self):
+        length = int(self.headers.get("Content-Length") or 0)
+        if length == 0:
+            return None
+        raw = self.rfile.read(length)
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ApiError(400, f"request body is not valid JSON: {exc}") \
+                from None
+
+    def _reply(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _dispatch(self, method: str) -> None:
+        path, _, query_string = self.path.partition("?")
+        self.query_params = dict(urllib.parse.parse_qsl(query_string))
+        try:
+            path_known = False
+            for route_method, pattern, handler_name in _ROUTES:
+                match = pattern.match(path)
+                if match and route_method == method:
+                    status, payload = getattr(self, handler_name)(
+                        **match.groupdict())
+                    self._reply(status, payload)
+                    return
+                path_known = path_known or match is not None
+            if path_known:
+                raise ApiError(405, f"{method} not allowed on {path}")
+            raise ApiError(404, f"no such endpoint: {method} {path}")
+        except ApiError as exc:
+            self._reply(exc.status, exc.to_wire())
+        except UnknownAnalysisError as exc:
+            self._reply(404, {"error": str(exc.args[0]), "status": 404})
+        except (SqlSyntaxError, CatalogError, EngineError) as exc:
+            self._reply(400, {"error": str(exc), "status": 400})
+        except Exception as exc:  # don't leak tracebacks onto the wire
+            self._reply(500, {"error": f"internal error: {exc!r}",
+                              "status": 500})
+
+    def do_GET(self):
+        self._dispatch("GET")
+
+    def do_POST(self):
+        self._dispatch("POST")
+
+    def do_DELETE(self):
+        self._dispatch("DELETE")
+
+    # -- endpoints ---------------------------------------------------------
+
+    def health(self):
+        return 200, {"ok": True}
+
+    def stats(self):
+        return 200, self.service.stats()
+
+    def list_tenants(self):
+        return 200, {"tenants": self.service.registry.tenant_ids()}
+
+    def create_tenant(self, tenant):
+        config = self._read_body()
+        _, created = self.service.registry.create(tenant, config)
+        return (201 if created else 200), {"tenant": tenant,
+                                           "created": created}
+
+    def evict_tenant(self, tenant):
+        self.service.registry.evict(tenant)
+        return 200, {"tenant": tenant, "evicted": True}
+
+    def create_table(self, tenant):
+        state = self.service.registry.get(tenant)
+        body = self._read_body() or {}
+        name = body.get("name")
+        if not isinstance(name, str) or not name:
+            raise ApiError(400, "body must carry a table 'name' string")
+        columns = columns_from_wire(body)
+        try:
+            table = state.session.add_table(name, columns)
+        except ValueError as exc:  # ragged/empty/2-D construction errors
+            raise ApiError(400, str(exc)) from None
+        return 201, {"tenant": tenant, "table": table.name,
+                     "rows": len(table),
+                     "table_version": state.session.catalog.table_version(
+                         table.name)}
+
+    def append_rows(self, tenant, name):
+        state = self.service.registry.get(tenant)
+        if not state.session.catalog.has(name):
+            raise ApiError(
+                404, f"tenant {tenant!r} has no table {name!r}")
+        columns = columns_from_wire(self._read_body() or {})
+        # CatalogError (schema mismatch, random-table target) maps to 400
+        # via the dispatcher; the failed append mutated nothing.
+        old_rows, new_rows = state.session.append(name, columns)
+        return 200, {"tenant": tenant, "table": name,
+                     "appended": new_rows - old_rows, "rows": new_rows,
+                     "table_version":
+                         state.session.catalog.table_version(name)}
+
+    def submit_query(self, tenant):
+        record = self.service.submit(tenant, self._read_body() or {})
+        return 202, {"query_id": record.query_id, "status": record.status,
+                     "analysis": {"name": record.analysis_name}}
+
+    def get_query(self, query_id):
+        record = self.service.query(query_id)
+        wait = self.query_params.get("wait")
+        if wait is not None:
+            # Long-poll: block (capped) until the query settles instead
+            # of making clients spin — the reply carries whatever state
+            # the record is in when the wait ends.
+            try:
+                seconds = float(wait)
+            except ValueError:
+                raise ApiError(
+                    400, f"'wait' must be a number of seconds, "
+                         f"got {wait!r}") from None
+            if seconds > 0:
+                record.settled.wait(timeout=min(seconds, 30.0))
+        return 200, record.to_wire()
+
+    def list_analyses(self, tenant):
+        state = self.service.registry.get(tenant)
+        return 200, {"tenant": tenant, "analyses": state.journal.names()}
+
+    def list_versions(self, tenant, name):
+        state = self.service.registry.get(tenant)
+        chain = state.journal.versions(name)
+        return 200, {"tenant": tenant, "name": name, "versions": [
+            {"version": entry.version, "query_id": entry.query_id,
+             "kind": entry.kind, "created_at": entry.created_at,
+             "committed":
+                 state.journal.committed_at(name, entry.version) is not None}
+            for entry in chain]}
+
+    def get_version(self, tenant, name, version):
+        state = self.service.registry.get(tenant)
+        return 200, state.journal.to_wire(name, int(version))
+
+    def commit_version(self, tenant, name, version):
+        state = self.service.registry.get(tenant)
+        committed_at = state.journal.commit(name, int(version))
+        return 200, {"tenant": tenant, "name": name,
+                     "version": int(version), "committed": True,
+                     "committed_at": committed_at}
+
+
+class RiskServer:
+    """A :class:`RiskService` bound to a ``ThreadingHTTPServer``.
+
+    ``port=0`` binds an ephemeral port (tests, benchmarks); the bound
+    address is available as :attr:`url` after construction.  Use as a
+    context manager to guarantee the pool and runner threads die.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 options: ExecutionOptions | None = None,
+                 server_options: ServerOptions | None = None,
+                 base_seed: int = 0, quiet: bool = True):
+        self.service = RiskService(options=options,
+                                   server_options=server_options,
+                                   base_seed=base_seed)
+        handler = type("BoundHandler", (_Handler,),
+                       {"service": self.service, "quiet": quiet})
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._httpd.daemon_threads = True
+        self._thread: threading.Thread | None = None
+        self.host, self.port = self._httpd.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "RiskServer":
+        self.service.start()
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="risk-http", daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+        self.service.stop()
+
+    def __enter__(self) -> "RiskServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -1,0 +1,53 @@
+"""``repro-risk-server``: run the risk service from the command line.
+
+Engine knobs come from ``MCDBR_*`` environment variables
+(:meth:`~repro.engine.options.ExecutionOptions.from_env`); server knobs
+from ``MCDBR_SERVER_CONCURRENCY`` / ``MCDBR_SERVER_QUEUE_DEPTH`` /
+``MCDBR_SERVER_QUERY_TIMEOUT``
+(:meth:`~repro.engine.options.ServerOptions.from_env`), with ``--host``
+/ ``--port`` / ``--base-seed`` on the command line.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..engine.options import ExecutionOptions, ServerOptions
+from .app import RiskServer
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-risk-server",
+        description="Multi-tenant MCDB-R risk query service")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8309)
+    parser.add_argument("--base-seed", type=int, default=0,
+                        help="default tenant base seed (tenants may "
+                             "override at creation)")
+    parser.add_argument("--verbose", action="store_true",
+                        help="log one line per HTTP request")
+    args = parser.parse_args(argv)
+
+    options = ExecutionOptions.from_env()
+    server_options = ServerOptions.from_env()
+    server = RiskServer(host=args.host, port=args.port, options=options,
+                        server_options=server_options,
+                        base_seed=args.base_seed, quiet=not args.verbose)
+    print(f"risk service listening on {server.url} "
+          f"(n_jobs={options.n_jobs}, backend={options.backend!r}, "
+          f"concurrency={server_options.concurrency}, "
+          f"queue_depth={server_options.queue_depth}, "
+          f"query_timeout={server_options.query_timeout})")
+    server.start()
+    try:
+        server._thread.join()
+    except KeyboardInterrupt:
+        print("shutting down")
+        server.stop()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

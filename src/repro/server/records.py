@@ -1,0 +1,144 @@
+"""Versioned analysis records: the risk service's audit journal.
+
+MCDB-R's pitch is risk analysis *in the database*: the numbers a tail
+query produces feed decisions, so a service serving many analysts must be
+able to answer "what did this analysis say last Tuesday, and against
+which data?" long after the catalog has moved on.  Every completed query
+run is therefore journaled as an **immutable versioned analysis record**
+(cf. the versioned ``risk_analysis`` model / risk-router lineage in
+SNIPPETS.md §1/§3): repeated runs of the same analysis accumulate
+versions, each pinning the SQL, the result payload, and the per-table
+catalog versions it ran against — so two versions of one analysis can be
+diffed against exactly the catalog states that produced them.
+
+Records never change after creation.  The one post-hoc act is
+:meth:`AnalysisJournal.commit` — marking a version as the blessed one —
+which is tracked *next to* the records, not inside them, so committing
+can never mutate (or be confused with) the audited payload.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Mapping
+
+__all__ = ["AnalysisRecord", "AnalysisJournal", "UnknownAnalysisError"]
+
+
+class UnknownAnalysisError(KeyError):
+    """Lookup of an analysis name or version this journal never recorded."""
+
+
+@dataclass(frozen=True)
+class AnalysisRecord:
+    """One immutable, versioned run of a named analysis.
+
+    ``table_versions`` maps every catalog name that existed when the run
+    finished to its per-name :meth:`~repro.engine.table.Catalog.table_version`
+    — the provenance that makes risk numbers auditable across catalog
+    mutations: a later reader can tell exactly which appends/rewrites
+    separate two versions of the same analysis.
+    """
+
+    tenant: str
+    name: str
+    version: int
+    query_id: str
+    sql: str
+    kind: str                      # QueryOutput.kind of the run
+    result: Mapping                # wire payload (treat as frozen)
+    table_versions: Mapping[str, int] = field(default_factory=dict)
+    created_at: float = 0.0        # unix seconds
+
+    def to_wire(self, committed_at: float | None = None) -> dict:
+        return {
+            "tenant": self.tenant,
+            "name": self.name,
+            "version": self.version,
+            "query_id": self.query_id,
+            "sql": self.sql,
+            "kind": self.kind,
+            "result": self.result,
+            "table_versions": dict(self.table_versions),
+            "created_at": self.created_at,
+            "committed": committed_at is not None,
+            "committed_at": committed_at,
+        }
+
+
+class AnalysisJournal:
+    """Append-only per-tenant store of :class:`AnalysisRecord` versions.
+
+    Versions are dense per name, starting at 1, assigned under the
+    journal lock at record time — concurrent queries of one tenant can
+    never race to the same version number.  Nothing is ever deleted or
+    rewritten; eviction of the whole tenant drops the whole journal.
+    """
+
+    def __init__(self, tenant: str):
+        self.tenant = tenant
+        self._lock = threading.Lock()
+        self._versions: dict[str, list[AnalysisRecord]] = {}
+        self._committed: dict[tuple[str, int], float] = {}
+
+    def record(self, name: str, query_id: str, sql: str, kind: str,
+               result: Mapping,
+               table_versions: Mapping[str, int]) -> AnalysisRecord:
+        """Journal one completed run as the next version of ``name``."""
+        with self._lock:
+            chain = self._versions.setdefault(name, [])
+            entry = AnalysisRecord(
+                tenant=self.tenant, name=name, version=len(chain) + 1,
+                query_id=query_id, sql=sql, kind=kind, result=result,
+                table_versions=dict(table_versions),
+                created_at=time.time())
+            chain.append(entry)
+            return entry
+
+    def names(self) -> list[dict]:
+        """Per-analysis summaries (name, version count, committed versions)."""
+        with self._lock:
+            return [{
+                "name": name,
+                "versions": len(chain),
+                "latest_version": chain[-1].version,
+                "committed_versions": sorted(
+                    version for (committed_name, version) in self._committed
+                    if committed_name == name),
+            } for name, chain in sorted(self._versions.items())]
+
+    def versions(self, name: str) -> list[AnalysisRecord]:
+        with self._lock:
+            try:
+                return list(self._versions[name])
+            except KeyError:
+                raise UnknownAnalysisError(
+                    f"tenant {self.tenant!r} has no analysis {name!r}; "
+                    f"known: {sorted(self._versions)}") from None
+
+    def get(self, name: str, version: int) -> AnalysisRecord:
+        chain = self.versions(name)
+        if not 1 <= version <= len(chain):
+            raise UnknownAnalysisError(
+                f"analysis {name!r} of tenant {self.tenant!r} has versions "
+                f"1..{len(chain)}, not {version}")
+        return chain[version - 1]
+
+    def commit(self, name: str, version: int) -> float:
+        """Mark one version as committed; idempotent, returns the stamp."""
+        record = self.get(name, version)  # existence check
+        with self._lock:
+            key = (record.name, record.version)
+            if key not in self._committed:
+                self._committed[key] = time.time()
+            return self._committed[key]
+
+    def committed_at(self, name: str, version: int) -> float | None:
+        with self._lock:
+            return self._committed.get((name, version))
+
+    def to_wire(self, name: str, version: int) -> dict:
+        return self.get(name, version).to_wire(
+            committed_at=self.committed_at(name, version))

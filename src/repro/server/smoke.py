@@ -1,0 +1,133 @@
+"""Smoke client for the risk service: two tenants, full round-trip.
+
+Drives a real HTTP server through the whole lifecycle — create tenant,
+load a parameter table, declare the uncertain table, submit a Monte
+Carlo risk query, poll to completion, read and commit the journaled
+analysis version — for two tenants with *different* data, then asserts
+the tenants stayed isolated (different risk numbers, per-tenant
+journals).
+
+Run against a live server::
+
+    python -m repro.server.smoke --url http://127.0.0.1:8309
+
+or self-hosted (spins up an in-process server on an ephemeral port)::
+
+    python -m repro.server.smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+import urllib.error
+import urllib.request
+
+_TIMEOUT = 30.0
+
+
+def _call(url: str, method: str = "GET", body: dict | None = None) -> dict:
+    data = json.dumps(body).encode() if body is not None else None
+    request = urllib.request.Request(
+        url, data=data, method=method,
+        headers={"Content-Type": "application/json"})
+    try:
+        with urllib.request.urlopen(request, timeout=_TIMEOUT) as response:
+            return json.loads(response.read().decode())
+    except urllib.error.HTTPError as exc:
+        detail = exc.read().decode(errors="replace")
+        raise SystemExit(
+            f"smoke FAILED: {method} {url} -> {exc.code}: {detail}")
+
+
+def _poll(base: str, query_id: str, deadline: float = 60.0) -> dict:
+    end = time.monotonic() + deadline
+    while time.monotonic() < end:
+        record = _call(f"{base}/queries/{query_id}?wait=10")  # long-poll
+        if record["status"] not in ("queued", "running"):
+            return record
+    raise SystemExit(f"smoke FAILED: query {query_id} still "
+                     f"{record['status']} after {deadline}s")
+
+
+def _drive_tenant(base: str, tenant: str, mean: float) -> float:
+    """One tenant's round-trip; returns its estimated expected loss."""
+    created = _call(f"{base}/tenants/{tenant}", "POST",
+                    {"base_seed": 7})
+    assert created["tenant"] == tenant, created
+    _call(f"{base}/tenants/{tenant}/tables", "POST", {
+        "name": "means",
+        "columns": {"CID": [0, 1, 2, 3], "m": [mean] * 4}})
+    _call(f"{base}/tenants/{tenant}/tables/means/rows", "POST", {
+        "columns": {"CID": [4, 5], "m": [mean, mean]}})
+    ddl = _call(f"{base}/tenants/{tenant}/queries", "POST", {"sql": """
+        CREATE TABLE Losses (CID, val) AS
+        FOR EACH CID IN means
+        WITH myVal AS Normal(VALUES(m, 0.1))
+        SELECT CID, myVal.* FROM myVal
+    """})
+    assert _poll(base, ddl["query_id"])["status"] == "done"
+    submitted = _call(f"{base}/tenants/{tenant}/queries", "POST", {
+        "sql": "SELECT SUM(val) FROM Losses "
+               "WITH RESULTDISTRIBUTION MONTECARLO(25)",
+        "analysis": "total-loss"})
+    record = _poll(base, submitted["query_id"])
+    assert record["status"] == "done", record
+    assert record["analysis"]["name"] == "total-loss", record
+    version = record["analysis"]["version"]
+
+    # The journaled version serves the same payload, immutably.
+    stored = _call(f"{base}/tenants/{tenant}/analyses/total-loss"
+                   f"/versions/{version}")
+    assert stored["result"] == record["result"], "journal != live result"
+    assert stored["committed"] is False
+
+    committed = _call(f"{base}/tenants/{tenant}/analyses/total-loss"
+                      f"/versions/{version}/commit", "POST")
+    assert committed["committed"] is True
+    after = _call(f"{base}/tenants/{tenant}/analyses/total-loss"
+                  f"/versions/{version}")
+    assert after["committed"] is True
+
+    listing = _call(f"{base}/tenants/{tenant}/analyses")
+    names = {entry["name"] for entry in listing["analyses"]}
+    assert "total-loss" in names, listing
+
+    groups = record["result"]["montecarlo"]["groups"]
+    return groups[0]["aggregates"]["sum0"]["mean"]
+
+
+def run(base: str) -> None:
+    health = _call(f"{base}/healthz")
+    assert health["ok"] is True
+    mean_a = _drive_tenant(base, "acme", mean=1.0)
+    mean_b = _drive_tenant(base, "globex", mean=10.0)
+    # Isolation: same SQL, same seeds, different data, different answers.
+    assert abs(mean_a - 6.0) < 2.0, mean_a     # 6 customers x mean 1
+    assert abs(mean_b - 60.0) < 6.0, mean_b    # 6 customers x mean 10
+    stats = _call(f"{base}/stats")
+    tenants = {entry["tenant"] for entry in stats["tenants"]}
+    assert {"acme", "globex"} <= tenants, stats
+    print(f"smoke OK: acme mean={mean_a:.3f}, globex mean={mean_b:.3f}, "
+          f"completed={stats['counters']['completed']}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--url", default=None,
+                        help="base URL of a running risk server; "
+                             "omit to self-host one in-process")
+    args = parser.parse_args(argv)
+    if args.url:
+        run(args.url.rstrip("/"))
+        return 0
+    from .app import RiskServer
+    with RiskServer() as server:
+        run(server.url)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

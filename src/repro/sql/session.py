@@ -22,6 +22,7 @@ mirroring Sec. 2 of the paper::
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
@@ -30,7 +31,7 @@ import numpy as np
 from repro.core.gibbs_looper import LooperResult
 from repro.engine.backends import make_backend
 from repro.engine.det_cache import NullDetCache, SessionDetCache
-from repro.engine.errors import PlanError
+from repro.engine.errors import EngineError, PlanError
 from repro.engine.expressions import Col
 from repro.engine.mcdb import MonteCarloResult
 from repro.engine.operators import ExecutionContext
@@ -87,7 +88,13 @@ class Session:
         (``"vectorized"``/``"reference"``), ``n_jobs``/``backend`` shard
         Monte Carlo repetitions and tail-mode candidate windows across
         workers.  Results are identical for every setting; only speed
-        changes.
+        changes.  Assignable after construction — see the
+        :attr:`options` property for what follows the change.
+    shared_backend:
+        A server-owned :class:`~repro.engine.backends.SharedBackend`
+        this session should run its sharded work on instead of spawning
+        its own pool.  The session uses it but never closes it; pool
+        knobs become immutable for the life of the attachment.
 
     With ``n_jobs > 1`` the session owns a persistent shard backend —
     under ``backend="process"`` a pool of worker processes spawned on the
@@ -116,17 +123,24 @@ class Session:
             ...
     """
 
+    #: Knobs that configure the lazily spawned worker pool.  Changing any
+    #: of them through the :attr:`options` setter while a session-owned
+    #: pool is live closes that pool so the next sharded query respawns
+    #: it under the new configuration.
+    _BACKEND_KNOBS = ("backend", "n_jobs", "shm", "join_timeout")
+
     def __init__(self, base_seed: int = 0, registry: VGRegistry | None = None,
                  tail_budget: int = 1000, window: int = 1000,
                  gibbs_steps: int = 1,
-                 options: ExecutionOptions | None = None):
+                 options: ExecutionOptions | None = None,
+                 shared_backend=None):
         self.catalog = Catalog()
         self.registry = registry or default_registry
         self.base_seed = base_seed
         self.tail_budget = tail_budget
         self.window = window
         self.gibbs_steps = gibbs_steps
-        self.options = options or ExecutionOptions()
+        self._options = options or ExecutionOptions()
         #: Cross-query deterministic sub-plan cache (``det_cache="session"``,
         #: the default): materialized deterministic relations keyed by
         #: structural plan fingerprint.  Under
@@ -136,10 +150,63 @@ class Session:
         #: and :meth:`append` refreshes them by splicing the new rows in;
         #: ``"catalog"`` drops everything on any mutation.
         self.det_cache = SessionDetCache(
-            keying=self.options.det_cache_keying)
-        #: Persistent shard backend (``n_jobs > 1``), built lazily on the
-        #: first sharded query and kept until :meth:`close`.
-        self._backend = None
+            keying=self._options.det_cache_keying)
+        #: Persistent shard backend (``n_jobs > 1``).  Session-owned by
+        #: default (built lazily on the first sharded query, kept until
+        #: :meth:`close`); a server injects a *shared* backend instead —
+        #: one pool multiplexed across tenant sessions — which the
+        #: session uses but never closes.
+        self._backend = shared_backend
+        self._owns_backend = shared_backend is None
+        #: Single-flight guard: one statement executes at a time per
+        #: session (see :meth:`execute`).  Re-entrant so close/lifecycle
+        #: helpers can be called from within an executing thread.
+        self._execute_lock = threading.RLock()
+
+    # -- execution policy ------------------------------------------------------
+
+    @property
+    def options(self) -> ExecutionOptions:
+        """The session's :class:`~repro.engine.options.ExecutionOptions`.
+
+        Assignable: dependent state follows the change instead of
+        silently staying frozen at first use.  Switching
+        ``det_cache_keying`` rebuilds (and therefore flushes) the session
+        det-cache under the new keying; changing any pool knob
+        (``backend``/``n_jobs``/``shm``/``join_timeout``) closes a live
+        session-owned pool so the next sharded query respawns it with the
+        new configuration.  A session running on a *shared* backend (a
+        server-owned pool) refuses pool-knob changes with
+        :class:`~repro.engine.errors.EngineError` — it must not
+        reconfigure a pool other tenants are using.
+        """
+        return self._options
+
+    @options.setter
+    def options(self, new: ExecutionOptions) -> None:
+        if not isinstance(new, ExecutionOptions):
+            raise EngineError(
+                f"Session.options must be an ExecutionOptions, got "
+                f"{type(new).__name__}")
+        with self._execute_lock:
+            old = self._options
+            if new.det_cache_keying != old.det_cache_keying:
+                # Rebuild rather than re-key: entries recorded under the
+                # other keying's validity rules cannot be trusted.
+                self.det_cache = SessionDetCache(keying=new.det_cache_keying)
+            pool_moved = any(
+                getattr(new, knob) != getattr(old, knob)
+                for knob in self._BACKEND_KNOBS)
+            if pool_moved and self._backend is not None:
+                if not self._owns_backend:
+                    raise EngineError(
+                        "cannot change backend options "
+                        f"({'/'.join(self._BACKEND_KNOBS)}) on a session "
+                        "using a shared backend; reconfigure the owning "
+                        "server instead")
+                self._backend.close()
+                self._backend = None
+            self._options = new
 
     # -- worker-pool lifecycle -------------------------------------------------
 
@@ -154,6 +221,7 @@ class Session:
             return None
         if self._backend is None:
             self._backend = make_backend(self.options)
+            self._owns_backend = True
         return self._backend
 
     def close(self) -> None:
@@ -163,10 +231,34 @@ class Session:
         before the close can never resolve against the respawned pool.
         On the process backend this also unlinks every shared-memory
         segment of the zero-copy data plane — exiting the session's
-        ``with`` block leaves ``/dev/shm`` clean even on an exception."""
-        if self._backend is not None:
-            self._backend.close()
-            self._backend = None
+        ``with`` block leaves ``/dev/shm`` clean even on an exception.
+
+        A session handed a *shared* backend detaches from it without
+        closing it: the owning server decides when the pool dies.
+
+        The det-cache deliberately survives a close (the session stays
+        usable, and its cached deterministic relations are still valid);
+        call :meth:`reset_cache` to release those relations too — a
+        server evicting a tenant does both.
+        """
+        with self._execute_lock:
+            if self._backend is not None:
+                if self._owns_backend:
+                    self._backend.close()
+                self._backend = None
+
+    def reset_cache(self) -> None:
+        """Drop every cached deterministic relation (idempotent).
+
+        :meth:`close` releases the worker pool but keeps the det-cache —
+        the relations are still valid and a respawned pool benefits from
+        them.  Eviction is different: a server removing a tenant must
+        free that tenant's materialized relations *now*, not when the
+        session object happens to be garbage collected, so its eviction
+        path calls ``close()`` + ``reset_cache()``.
+        """
+        with self._execute_lock:
+            self.det_cache.clear()
 
     def __enter__(self) -> "Session":
         return self
@@ -191,8 +283,14 @@ class Session:
     # -- data definition -------------------------------------------------------
 
     def add_table(self, name: str, columns: Mapping[str, Sequence]) -> Table:
-        """Register a deterministic base table from column data."""
-        return self.catalog.add_table(Table(name, columns))
+        """Register a deterministic base table from column data.
+
+        Serialized against :meth:`execute` (same single-flight lock): a
+        mutation never lands in the middle of a running statement's
+        replenishment re-runs.
+        """
+        with self._execute_lock:
+            return self.catalog.add_table(Table(name, columns))
 
     def append(self, name: str, rows) -> tuple[int, int]:
         """Append rows to a base table (column mapping or row dicts).
@@ -202,17 +300,36 @@ class Session:
         the table are *refreshed* — the new rows spliced into the cached
         relations — rather than recomputed, and entries over other
         tables are untouched.  Returns ``(old_row_count, new_row_count)``.
+        Rejections are typed and transactional
+        (:class:`~repro.engine.errors.CatalogError`, nothing mutated);
+        like :meth:`add_table`, the append serializes against running
+        statements.
         """
-        return self.catalog.append(name, rows)
+        with self._execute_lock:
+            return self.catalog.append(name, rows)
 
     # -- execution ---------------------------------------------------------------
 
     def execute(self, sql: str) -> QueryOutput:
-        """Parse and execute one statement."""
-        statement = parse(sql)
-        if isinstance(statement, CreateRandomTable):
-            return self._execute_create(statement)
-        return self._execute_select(statement)
+        """Parse and execute one statement.
+
+        **Re-entrancy contract**: execution is single-flight per session
+        — a process-wide re-entrant lock serializes concurrent
+        :meth:`execute` calls from multiple threads (the risk server's
+        tenant sessions lean on this), so interleaved callers observe
+        the same results, in the same per-caller order, as any serial
+        schedule of the same statements.  The engine's bit-identity
+        contract makes the remaining schedule freedom invisible: a
+        statement's output depends only on the catalog contents and
+        ``base_seed``, never on which query warmed a cache or pool
+        first.  Statements that *mutate* the catalog (``CREATE TABLE``,
+        ``FTABLE`` registration) are atomic under the same lock.
+        """
+        with self._execute_lock:
+            statement = parse(sql)
+            if isinstance(statement, CreateRandomTable):
+                return self._execute_create(statement)
+            return self._execute_select(statement)
 
     def explain(self, sql: str, det_markers: bool = False) -> str:
         """Return the physical plan for a SELECT, leaf-last like Fig. 2.

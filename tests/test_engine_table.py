@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.engine.errors import CatalogError, EngineError
 from repro.engine.expressions import col, lit
 from repro.engine.random_table import RandomColumnSpec, RandomTableSpec
 from repro.engine.table import Catalog, Table
@@ -113,13 +114,36 @@ class TestTableAppend:
         np.testing.assert_array_equal(table.column("a"), [1, 2, 3])
 
     def test_append_schema_mismatch_rejected(self):
+        # Typed errors: every append rejection is a CatalogError (an
+        # EngineError) naming the table and offending column — never a
+        # bare KeyError/ValueError — so service layers can map data
+        # errors to client responses.
         table = Table("t", {"a": [1], "b": [2]})
-        with pytest.raises(ValueError, match="exactly its"):
+        with pytest.raises(CatalogError, match="'t'.*missing 'b'"):
             table.append_rows({"a": [3]})
-        with pytest.raises(ValueError, match="unknown columns"):
+        with pytest.raises(CatalogError, match="unknown columns.*'t'"):
             table.append_rows([{"a": 3, "b": 4, "c": 5}])
-        with pytest.raises(ValueError, match="expected"):
+        with pytest.raises(CatalogError, match="'b'.*'t'.*expected"):
             table.append_rows({"a": [3, 4], "b": [5]})
+        with pytest.raises(CatalogError, match="missing column 'b'"):
+            table.append_rows([{"a": 3}])
+        with pytest.raises(CatalogError, match="1-D"):
+            table.append_rows({"a": np.zeros((1, 1)), "b": [1]})
+
+    def test_rejected_append_mutates_nothing(self):
+        table = Table("t", {"a": [1], "b": [2]})
+        for bad in ({"a": [3]}, [{"a": 3, "c": 5, "b": 1}],
+                    {"a": [3, 4], "b": [5]}):
+            with pytest.raises(CatalogError):
+                table.append_rows(bad)
+        assert len(table) == 1
+        np.testing.assert_array_equal(table.column("a"), [1])
+        np.testing.assert_array_equal(table.column("b"), [2])
+
+    def test_append_errors_are_engine_errors(self):
+        table = Table("t", {"a": [1]})
+        with pytest.raises(EngineError):
+            table.append_rows({"wrong": [1]})
 
 
 class TestPerNameVersions:
@@ -203,8 +227,28 @@ class TestAppendJournal:
         catalog = Catalog()
         catalog.add_table(Table("means", {"CID": [1], "m": [1.0]}))
         catalog.add_random_table(_losses_spec())
-        with pytest.raises(ValueError, match="parameter table"):
+        with pytest.raises(CatalogError, match="parameter table"):
             catalog.append("Losses", {"CID": [2], "m": [2.0]})
+
+    def test_append_to_missing_table_is_a_typed_error(self):
+        catalog = self._catalog()
+        with pytest.raises(CatalogError, match="unknown table 'nope'"):
+            catalog.append("nope", {"x": [1.0]})
+        # The failure is transactional: nothing was journaled or bumped.
+        assert catalog.table_version("nope") == 0
+
+    def test_failed_append_bumps_no_version_and_journals_nothing(self):
+        catalog = self._catalog()
+        recorded = catalog.table_version("t")
+        version = catalog.version
+        with pytest.raises(CatalogError, match="'t'"):
+            catalog.append("t", {"wrong": [1.0]})
+        with pytest.raises(CatalogError, match="'t'"):
+            catalog.append("t", [{"x": 1.0, "y": 2.0}])
+        assert catalog.version == version
+        assert catalog.table_version("t") == recorded
+        assert catalog.appended_range("t", recorded) is None
+        assert len(catalog.table("t")) == 2
 
 
 class TestRandomTableSpec:

@@ -10,7 +10,8 @@ import pytest
 
 from repro.engine.errors import EngineError
 from repro.engine.options import (
-    ExecutionOptions, env_bool, env_choice, env_float, env_int)
+    ExecutionOptions, ServerOptions, env_bool, env_choice, env_float,
+    env_int)
 
 ALL_KNOBS = (
     "MCDBR_ENGINE", "MCDBR_N_JOBS", "MCDBR_BACKEND", "MCDBR_SHARD_SIZE",
@@ -189,3 +190,69 @@ class TestEnvHelpers:
             ExecutionOptions(sweep_order="random")
         with pytest.raises(ValueError, match="join_timeout"):
             ExecutionOptions(join_timeout=0.0)
+
+
+SERVER_KNOBS = ("MCDBR_SERVER_CONCURRENCY", "MCDBR_SERVER_QUEUE_DEPTH",
+                "MCDBR_SERVER_QUERY_TIMEOUT")
+
+
+class TestServerOptionsFromEnv:
+    """Risk-service admission knobs (``ServerOptions.from_env``)."""
+
+    @pytest.fixture(autouse=True)
+    def _clean_server_env(self, monkeypatch):
+        for name in SERVER_KNOBS:
+            monkeypatch.delenv(name, raising=False)
+
+    def test_defaults(self):
+        options = ServerOptions.from_env()
+        assert options.concurrency == 4
+        assert options.queue_depth == 32
+        assert options.query_timeout == 30.0
+
+    def test_each_knob_flows_through(self, monkeypatch):
+        monkeypatch.setenv("MCDBR_SERVER_CONCURRENCY", "2")
+        monkeypatch.setenv("MCDBR_SERVER_QUEUE_DEPTH", "5")
+        monkeypatch.setenv("MCDBR_SERVER_QUERY_TIMEOUT", "1.5")
+        options = ServerOptions.from_env()
+        assert options.concurrency == 2
+        assert options.queue_depth == 5
+        assert options.query_timeout == 1.5
+
+    def test_overrides_win_over_environment(self, monkeypatch):
+        monkeypatch.setenv("MCDBR_SERVER_CONCURRENCY", "2")
+        options = ServerOptions.from_env(concurrency=8, query_timeout=None)
+        assert options.concurrency == 8
+        assert options.query_timeout is None
+
+    def test_unknown_override_rejected(self):
+        with pytest.raises(EngineError, match="max_tenants"):
+            ServerOptions.from_env(max_tenants=3)
+
+    @pytest.mark.parametrize("name,value", [
+        ("MCDBR_SERVER_CONCURRENCY", "zero"),
+        ("MCDBR_SERVER_QUEUE_DEPTH", "1.5"),
+        ("MCDBR_SERVER_QUERY_TIMEOUT", "soon"),
+    ])
+    def test_invalid_value_names_the_variable(self, monkeypatch, name,
+                                              value):
+        monkeypatch.setenv(name, value)
+        with pytest.raises(EngineError, match=name):
+            ServerOptions.from_env()
+
+    def test_server_knobs_do_not_trip_execution_from_env(self, monkeypatch):
+        # Both parsers run in one server process from one environment:
+        # MCDBR_SERVER_* must not be flagged as a misspelled execution
+        # knob by ExecutionOptions.from_env's unknown-name sweep.
+        for name, value in zip(SERVER_KNOBS, ("2", "5", "1.5")):
+            monkeypatch.setenv(name, value)
+        assert ExecutionOptions.from_env().n_jobs >= 1
+
+    def test_direct_construction_validation(self):
+        with pytest.raises(ValueError, match="concurrency"):
+            ServerOptions(concurrency=0)
+        with pytest.raises(ValueError, match="queue_depth"):
+            ServerOptions(queue_depth=0)
+        with pytest.raises(ValueError, match="query_timeout"):
+            ServerOptions(query_timeout=0.0)
+        assert ServerOptions(query_timeout=None).query_timeout is None
