@@ -1,0 +1,157 @@
+"""Cross-commit benchmark regression gate for the CI bench lane.
+
+The absolute gates inside each benchmark (``record_metric(..., gate=...)``)
+catch *broken* performance; they do not catch *eroding* performance — a
+speedup that decays from 19x to 7x still clears a ``>= 2x`` floor.  This
+tool closes that gap: the bench lane downloads the merged
+``BENCH_<sha>.json`` artifact of the previous main run and fails if any
+gated metric regressed by more than ``--threshold`` percent relative to
+it, even while its absolute gate still passes.
+
+Comparison rules, derived from each record's own gate string:
+
+* ``>=``/``>`` gates are higher-is-better: regression when
+  ``current < previous * (1 - threshold)``;
+* ``<=``/``<`` gates are lower-is-better: regression when
+  ``current > previous * (1 + threshold)``;
+* ``== ...`` gates are exact contracts (bit-identity leg counts and the
+  like) — drift there is a correctness bug for the benchmark's own
+  assertion, not a performance trend — and ``~ ...`` gates are
+  order-of-magnitude sanity pins, so both are skipped here;
+* ungated records are informational and never compared;
+* metrics present on only one side are skipped (benchmarks come and go),
+  as are non-positive baselines (no meaningful relative change).
+
+On the very first run there is no previous artifact; CI falls back to
+the committed ``benchmarks/baseline/BENCH_baseline.json``, which pins
+every gated metric at its absolute gate floor — so the first comparison
+passes exactly when the absolute gates do.
+
+Usage::
+
+    python benchmarks/compare_bench.py \\
+        --current BENCH_<sha>.json --previous BENCH_<prev>.json \\
+        [--threshold 25]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+__all__ = ["compare", "gate_direction", "main"]
+
+
+def gate_direction(gate: str | None) -> str | None:
+    """``"higher"``/``"lower"`` for trend-comparable gates, else ``None``."""
+    if not gate:
+        return None
+    gate = gate.strip()
+    if gate.startswith((">=", ">")):
+        return "higher"
+    if gate.startswith(("<=", "<")):
+        return "lower"
+    return None
+
+
+def _gated(records) -> dict:
+    """``{(benchmark, metric): (value, gate)}`` for trend-comparable records."""
+    out = {}
+    for record in records:
+        direction = gate_direction(record.get("gate"))
+        if direction is None:
+            continue
+        value = record.get("value")
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            continue
+        out[(record["benchmark"], record["metric"])] = (
+            float(value), record["gate"])
+    return out
+
+
+def compare(current, previous, threshold_pct: float = 25.0) -> dict:
+    """Compare two ``BENCH_<sha>.json`` record lists.
+
+    Returns ``{"compared": [...], "regressions": [...], "skipped": [...]}``
+    where each entry carries ``benchmark``/``metric``/``current``/
+    ``previous``/``gate``/``change_pct``.  A metric lands in
+    ``regressions`` when it moved against its gate's direction by more
+    than ``threshold_pct`` percent of the previous value.
+    """
+    if not 0 <= threshold_pct < 100:
+        raise ValueError(
+            f"threshold must be in [0, 100) percent, got {threshold_pct}")
+    fraction = threshold_pct / 100.0
+    prev = _gated(previous)
+    compared, regressions, skipped = [], [], []
+    for key, (value, gate) in sorted(_gated(current).items()):
+        benchmark, metric = key
+        if key not in prev or prev[key][0] <= 0:
+            skipped.append({"benchmark": benchmark, "metric": metric,
+                            "reason": "no comparable baseline"})
+            continue
+        baseline = prev[key][0]
+        direction = gate_direction(gate)
+        change_pct = (value - baseline) / baseline * 100.0
+        entry = {"benchmark": benchmark, "metric": metric, "gate": gate,
+                 "current": value, "previous": baseline,
+                 "change_pct": round(change_pct, 2)}
+        compared.append(entry)
+        if direction == "higher" and value < baseline * (1 - fraction):
+            regressions.append(entry)
+        elif direction == "lower" and value > baseline * (1 + fraction):
+            regressions.append(entry)
+    return {"compared": compared, "regressions": regressions,
+            "skipped": skipped}
+
+
+def _load(path: str):
+    with open(path, encoding="utf-8") as handle:
+        records = json.load(handle)
+    if not isinstance(records, list):
+        raise SystemExit(f"{path}: expected a JSON array of metric records")
+    return records
+
+
+def _format_row(entry: dict) -> str:
+    return (f"  {entry['benchmark']}.{entry['metric']}: "
+            f"{entry['previous']:g} -> {entry['current']:g} "
+            f"({entry['change_pct']:+.1f}%, gate {entry['gate']!r})")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0],
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--current", required=True,
+                        help="merged BENCH_<sha>.json of this run")
+    parser.add_argument("--previous", required=True,
+                        help="merged BENCH_<sha>.json of the baseline run")
+    parser.add_argument("--threshold", type=float, default=25.0,
+                        help="allowed regression, in percent of the "
+                             "baseline value (default: 25)")
+    args = parser.parse_args(argv)
+
+    report = compare(_load(args.current), _load(args.previous),
+                     threshold_pct=args.threshold)
+    print(f"compared {len(report['compared'])} gated metrics against "
+          f"{args.previous} (threshold {args.threshold:g}%)")
+    for entry in report["compared"]:
+        print(_format_row(entry))
+    for entry in report["skipped"]:
+        print(f"  {entry['benchmark']}.{entry['metric']}: skipped "
+              f"({entry['reason']})")
+    if report["regressions"]:
+        print(f"\n{len(report['regressions'])} metric(s) regressed more "
+              f"than {args.threshold:g}% vs the previous run:",
+              file=sys.stderr)
+        for entry in report["regressions"]:
+            print(_format_row(entry), file=sys.stderr)
+        return 1
+    print("no regressions beyond threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

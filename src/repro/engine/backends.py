@@ -776,6 +776,23 @@ class ProcessBackend(ExecutionBackend):
     def _send_shared(self, worker: _WorkerHandle, key: tuple,
                      obj: object) -> None:
         if key not in self._shared_cache:
+            # A versioned catalog key supersedes every older version of
+            # the same catalog uid: nothing will ever request those again
+            # (jobs always carry the current version), so an
+            # append-churning standing session must not ratchet the
+            # parent cache / worker mirrors up to _SHARED_CACHE_LIMIT
+            # dead catalog snapshots before LRU pressure clears them.
+            if key[0] == "catalog":
+                superseded = [
+                    cached for cached in self._shared_cache
+                    if cached[0] == "catalog" and cached[1] == key[1]
+                    and cached != key]
+                for stale in superseded:
+                    del self._shared_cache[stale]
+                    for other in self._workers:
+                        if stale in other.shared_keys:
+                            other.shared_keys.discard(stale)
+                            other.conn.send(("unshare", stale))
             blob, segment, array_bytes = self._shm_dumps(obj)
             self._shared_cache[key] = (obj, blob, segment, array_bytes)
             self.stats["shared_pickles"] += 1

@@ -42,7 +42,38 @@ from __future__ import annotations
 from repro.engine.options import DET_CACHE_KEYINGS
 
 __all__ = ["ContextDetCache", "SessionDetCache", "NullDetCache",
-           "make_det_cache", "DET_CACHE_KEYINGS"]
+           "make_det_cache", "classify_moves", "DET_CACHE_KEYINGS"]
+
+
+def classify_moves(catalog, versions):
+    """Classify recorded dependency versions against the current catalog.
+
+    ``versions`` maps dependency names (lowercased) to the per-name
+    catalog version a consumer last refreshed at.  Returns:
+
+    * ``("clean", {})`` — nothing moved; the consumer is current.
+    * ``("appends", {name: (old_rows, new_rows)})`` — every moved
+      dependency grew purely by journaled appends; the consumer can
+      refresh incrementally by splicing/extending just the new rows.
+    * ``("rebuild", {})`` — some dependency was rewritten, dropped, or
+      its append chain was compacted away; only a full recompute is
+      sound.
+
+    This is the one classification both the det-cache's entry validation
+    and a session's standing queries apply, so the two layers can never
+    disagree about what an append-only move is.
+    """
+    moved = {name: recorded for name, recorded in versions.items()
+             if catalog.table_version(name) != recorded}
+    if not moved:
+        return "clean", {}
+    appends: dict[str, tuple[int, int]] = {}
+    for name, recorded in moved.items():
+        grew = catalog.appended_range(name, recorded)
+        if grew is None:
+            return "rebuild", {}
+        appends[name] = grew
+    return "appends", appends
 
 
 class ContextDetCache:
@@ -148,19 +179,11 @@ class SessionDetCache:
 
     def _validate(self, fingerprint, entry, node, context):
         """Dependency check for one entry: keep, splice-refresh, or drop."""
-        catalog = context.catalog
-        moved = {name: recorded for name, recorded in entry.versions.items()
-                 if catalog.table_version(name) != recorded}
-        if not moved:
+        verdict, appends = classify_moves(context.catalog, entry.versions)
+        if verdict == "clean":
             return entry
-        appends: dict[str, tuple[int, int]] | None = {}
-        for name, recorded in moved.items():
-            grew = catalog.appended_range(name, recorded)
-            if grew is None:
-                appends = None  # rewritten/dropped: not splicable
-                break
-            appends[name] = grew
-        refreshed = self._refresh(node, context, appends) if appends else None
+        refreshed = (self._refresh(node, context, appends)
+                     if verdict == "appends" else None)
         if refreshed is None:
             del self._entries[fingerprint]
             self.partial_invalidations += 1
@@ -197,6 +220,18 @@ class SessionDetCache:
             versions = {name: catalog.table_version(name)
                         for name in node.base_tables()}
         self._entries[node.fingerprint()] = _CacheEntry(relation, versions)
+
+    def low_water(self, name: str):
+        """Smallest recorded version of ``name`` among live entries.
+
+        ``None`` when no entry depends on the name — the caller (the
+        session's append-journal compaction) then treats the name as
+        having no det-cache consumers at all.
+        """
+        key = name.lower()
+        recorded = [entry.versions[key] for entry in self._entries.values()
+                    if key in entry.versions]
+        return min(recorded) if recorded else None
 
     def stats(self) -> dict:
         """Counter snapshot (the ``Session.cache_stats()`` payload)."""

@@ -263,6 +263,111 @@ class MonteCarloExecutor:
             grouped.setdefault(key, []).append(row)
         return {key: np.asarray(rows) for key, rows in grouped.items()}
 
+    # -- incremental (standing-query) accumulation ---------------------------
+
+    def fold_states(self, relation: BundleRelation,
+                    states: dict | None = None, start_row: int = 0) -> dict:
+        """Fold rows ``[start_row:]`` into per-group accumulator states.
+
+        ``states`` maps group key -> aggregate name -> the raw
+        accumulator the strict-order evaluation of that group's rows so
+        far would have produced; folding appended rows in continues the
+        exact accumulation sequence a full :meth:`aggregate` over the
+        grown relation performs, so :meth:`result_from_states` is
+        bit-identical to re-aggregating from scratch.  That holds only
+        when the pre-existing rows kept their indices and values (the
+        append-only prefix-stability the standing-query layer checks
+        before calling with ``start_row > 0``).
+        """
+        presence = relation.combined_presence()
+        states = {} if states is None else states
+        for key, rows in self._group_rows(relation).items():
+            fresh = rows[rows >= start_row] if start_row else rows
+            by_name = states.setdefault(key, {})
+            for aggregate in self.aggregates:
+                by_name[aggregate.name] = self._fold(
+                    relation, presence, fresh, aggregate,
+                    by_name.get(aggregate.name))
+        return states
+
+    def result_from_states(self, states: dict,
+                           repetitions: int) -> MonteCarloResult:
+        """Finalize accumulator states into a :class:`MonteCarloResult`."""
+        groups: dict[tuple, dict[str, ResultDistribution]] = {}
+        for key, by_name in states.items():
+            groups[key] = {
+                aggregate.name: ResultDistribution(self._finalize(
+                    by_name.get(aggregate.name), aggregate, repetitions))
+                for aggregate in self.aggregates}
+        return MonteCarloResult(self.group_by, groups, repetitions)
+
+    def _fold(self, relation, presence, rows, aggregate, state):
+        """Continue one (group, aggregate) accumulator over new rows.
+
+        Mirrors :meth:`_evaluate` operation for operation: sums continue
+        the sequential cumsum from the recorded fold (bit-identical —
+        the next add starts from the exact float the full run would
+        hold), counts stay exact integers, and min/max fold through the
+        same ±inf masking (order-independent, so partition order cannot
+        change the value).
+        """
+        if rows.size == 0:
+            return state
+        width = relation.positions
+        mask = (np.ones((rows.size, width), dtype=bool)
+                if presence is None else presence[rows])
+        if aggregate.kind == "count":
+            counts = mask.sum(axis=0)
+            return {"counts": counts if state is None
+                    else state["counts"] + counts}
+        values = np.broadcast_to(
+            np.asarray(relation.evaluate_positional(aggregate.expr),
+                       dtype=np.float64),
+            (relation.length, width))[rows]
+        if aggregate.kind == "sum":
+            return {"fold": self._continue_sum(
+                None if state is None else state["fold"],
+                np.where(mask, values, 0.0))}
+        if aggregate.kind == "avg":
+            counts = mask.sum(axis=0)
+            return {
+                "counts": counts if state is None
+                else state["counts"] + counts,
+                "fold": self._continue_sum(
+                    None if state is None else state["fold"],
+                    np.where(mask, values, 0.0))}
+        if aggregate.kind == "min":
+            masked = np.where(mask, values, np.inf).min(axis=0)
+            return {"masked": masked if state is None
+                    else np.minimum(state["masked"], masked)}
+        masked = np.where(mask, values, -np.inf).max(axis=0)
+        return {"masked": masked if state is None
+                else np.maximum(state["masked"], masked)}
+
+    @classmethod
+    def _continue_sum(cls, fold: np.ndarray | None,
+                      terms: np.ndarray) -> np.ndarray:
+        """Strict-order column sums continuing from a previous fold."""
+        if fold is None:
+            return cls._ordered_sum(terms)
+        return cls._ordered_sum(np.vstack([fold[None, :], terms]))
+
+    @staticmethod
+    def _finalize(state, aggregate: AggregateSpec, width: int) -> np.ndarray:
+        if state is None:
+            empty = 0.0 if aggregate.kind in ("sum", "count") else np.nan
+            return np.full(width, empty)
+        if aggregate.kind == "count":
+            return state["counts"].astype(np.float64)
+        if aggregate.kind == "sum":
+            return state["fold"].copy()
+        if aggregate.kind == "avg":
+            counts = state["counts"]
+            with np.errstate(invalid="ignore"):
+                return np.where(counts > 0,
+                                state["fold"] / np.maximum(counts, 1), np.nan)
+        return np.where(np.isfinite(state["masked"]), state["masked"], np.nan)
+
     @staticmethod
     def _ordered_sum(matrix: np.ndarray) -> np.ndarray:
         """Strict row-order column sums.

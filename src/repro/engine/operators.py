@@ -47,7 +47,7 @@ from repro.vg.streams import gather_stream_windows
 __all__ = [
     "ExecutionContext", "PlanNode", "Scan", "Seed", "Instantiate",
     "Select", "Project", "Join", "Split", "random_table_pipeline",
-    "refresh_after_append",
+    "refresh_after_append", "appends_keep_prefix",
 ]
 
 
@@ -126,6 +126,12 @@ class ExecutionContext:
         #: the replenishment benchmark).
         self.full_runs = 0
         self.delta_runs = 0
+        #: Tuple-level Instantiate accounting: rows whose window touched
+        #: the streams at all vs. rows served entirely from a previous
+        #: materialization.  Standing queries gate their incremental
+        #: refreshes on these (bench_standing: recomputed-tuple ratio).
+        self.instantiate_rows_computed = 0
+        self.instantiate_rows_reused = 0
         self._labels: dict[int, str] = {}
 
     def register_label(self, label: str) -> int:
@@ -274,11 +280,19 @@ class _Materialization:
     values fill that handle's row in every ``columns[name]`` matrix; a
     delta run copies the overlap from ``columns`` and gathers only
     positions outside it from the streams.
+
+    ``shared_positions`` is set when every row materialized one common
+    window (the no-plan full run and the append fast path): a later
+    append-only delta run whose window is still that vector can then
+    carry the whole row prefix over as one block copy per output and
+    gather only the appended rows — without any per-row position
+    matching.
     """
 
     handles: np.ndarray
     positions: dict[int, np.ndarray]
     columns: dict[str, np.ndarray]
+    shared_positions: np.ndarray | None = None
 
 
 class Scan(PlanNode):
@@ -416,19 +430,30 @@ class Instantiate(PlanNode):
         bases = np.empty(length, dtype=np.int64)
         previous = (context.materialized.get(self.node_id)
                     if context.delta_mode else None)
-        if previous is not None and not np.array_equal(
-                previous.handles, handles):
-            previous = None  # row set changed; delta baseline unusable
+        prev_rows = 0 if previous is None else previous.handles.shape[0]
+        if previous is not None and (
+                prev_rows > length or not np.array_equal(
+                    previous.handles, handles[:prev_rows])):
+            # Rows were rewritten or reordered, not appended; the delta
+            # baseline is unusable.  A pure append keeps the old rows as
+            # an identical prefix (Seed numbers handles by row position),
+            # which is what the prefix check admits.
+            previous = None
+            prev_rows = 0
 
+        shared_positions = None
         if previous is not None:
-            positions_by_handle, fresh_slots = self._merge_delta(
-                context, handles, windows, bases, previous)
+            positions_by_handle, fresh_slots, shared_positions = \
+                self._merge_delta(context, handles, windows, bases,
+                                  previous, prev_rows)
             context.delta_runs += 1
             context.last_fresh_slots.update(fresh_slots)
             out.fresh_slots = fresh_slots
         elif not context.position_plan and not context.window_bases:
             positions_by_handle = self._gather_shared(
                 context, handles, windows, bases)
+            if length:
+                shared_positions = positions_by_handle[int(handles[0])]
             context.full_runs += 1
         else:
             positions_by_handle = self._gather_per_row(
@@ -441,7 +466,8 @@ class Instantiate(PlanNode):
         if context.delta_tracking:
             context.materialized[self.node_id] = _Materialization(
                 handles=handles, positions=positions_by_handle,
-                columns={name: windows[name] for name, _ in self.outputs})
+                columns={name: windows[name] for name, _ in self.outputs},
+                shared_positions=shared_positions)
         return out
 
     def _register_seeds(self, context, relation, handles) -> None:
@@ -490,6 +516,7 @@ class Instantiate(PlanNode):
         length = handles.shape[0]
         if not length:
             return {}
+        context.instantiate_rows_computed += length
         accessors: dict[int, dict[int, object]] = {
             component: {} for _, component in self.outputs}
         shared = context.positions_for(int(handles[0]))
@@ -525,6 +552,7 @@ class Instantiate(PlanNode):
 
     def _gather_per_row(self, context, handles, windows, bases):
         """Full run under a position plan: windows differ per seed."""
+        context.instantiate_rows_computed += handles.shape[0]
         positions_by_handle: dict[int, np.ndarray] = {}
         for row in range(handles.shape[0]):
             handle = int(handles[row])
@@ -538,7 +566,8 @@ class Instantiate(PlanNode):
                 windows[name][row] = info.values_at(positions, component)
         return positions_by_handle
 
-    def _merge_delta(self, context, handles, windows, bases, previous):
+    def _merge_delta(self, context, handles, windows, bases, previous,
+                     prev_rows):
         """Delta replenishment: copy overlap, gather only new positions.
 
         For each row, the new window's positions are matched against the
@@ -546,16 +575,33 @@ class Instantiate(PlanNode):
         values are copied from the recorded windows and only the rest —
         typically just the seeds that actually consumed candidates since
         the last run, everything past their ``max_used`` — touch the
-        streams.
+        streams.  Rows past ``prev_rows`` were appended since the
+        baseline run: their window values come from the streams (their
+        handles are fresh, or — under a self-join — copied from the old
+        row carrying the same handle).
 
         Also returns the merged-position delta per seed handle: the
         new-window slot indices gathered fresh from the streams.  The
         Gibbs delta state re-init ships exactly these slots' values to
         the worker owning the handle, so the delta computed here IS the
-        wire payload's shape.
+        wire payload's shape.  The third return is the one shared
+        position vector when every row materialized it, else ``None``
+        (see :class:`_Materialization`).
         """
+        if prev_rows and previous.shared_positions is not None \
+                and not context.position_plan and not context.window_bases:
+            shared = context.positions_for(int(handles[0]))
+            if np.array_equal(shared, previous.shared_positions):
+                return self._extend_shared(
+                    context, handles, windows, bases, previous, prev_rows,
+                    shared)
         names = [name for name, _ in self.outputs]
         prev_columns = [previous.columns[name] for name in names]
+        prev_row_of: dict[int, int] = {}
+        for row in range(prev_rows):
+            handle = int(previous.handles[row])
+            if handle not in prev_row_of:
+                prev_row_of[handle] = row
         positions_by_handle: dict[int, np.ndarray] = {}
         fresh_slots: dict[int, np.ndarray] = {}
         unchanged_rows: list[int] = []
@@ -567,10 +613,12 @@ class Instantiate(PlanNode):
                 positions_by_handle[handle] = new_positions
             bases[row] = new_positions[0]
             old_positions = previous.positions.get(handle)
-            if old_positions is None:
+            source = prev_row_of.get(handle)
+            if old_positions is None or source is None:
                 info = context.seeds[handle]
                 fresh_slots[handle] = np.arange(new_positions.size,
                                                 dtype=np.int64)
+                context.instantiate_rows_computed += 1
                 for (name, component) in self.outputs:
                     windows[name][row] = info.values_at(
                         new_positions, component)
@@ -580,7 +628,12 @@ class Instantiate(PlanNode):
                 # its memoized padded plan was reused verbatim (see
                 # TSSeed.pad_plan) — the whole window carries over.
                 fresh_slots[handle] = np.empty(0, dtype=np.int64)
-                unchanged_rows.append(row)
+                context.instantiate_rows_reused += 1
+                if source == row:
+                    unchanged_rows.append(row)
+                else:
+                    for name, prev_values in zip(names, prev_columns):
+                        windows[name][row] = prev_values[source]
                 continue
             overlap = min(old_positions.size, new_positions.size)
             if np.array_equal(new_positions[:overlap],
@@ -591,10 +644,14 @@ class Instantiate(PlanNode):
                 # only the contiguous fresh tail.
                 fresh_slots[handle] = np.arange(
                     overlap, new_positions.size, dtype=np.int64)
+                if overlap < new_positions.size:
+                    context.instantiate_rows_computed += 1
+                else:
+                    context.instantiate_rows_reused += 1
                 for (name, component), prev_values in zip(self.outputs,
                                                           prev_columns):
                     target = windows[name][row]
-                    target[:overlap] = prev_values[row][:overlap]
+                    target[:overlap] = prev_values[source][:overlap]
                     if overlap < new_positions.size:
                         target[overlap:] = context.seeds[handle].values_at(
                             new_positions[overlap:], component)
@@ -604,10 +661,14 @@ class Instantiate(PlanNode):
             found = old_positions[index] == new_positions
             missing = np.nonzero(~found)[0]
             fresh_slots[handle] = missing
+            if missing.size:
+                context.instantiate_rows_computed += 1
+            else:
+                context.instantiate_rows_reused += 1
             for (name, component), prev_values in zip(self.outputs,
                                                       prev_columns):
                 target = windows[name][row]
-                target[found] = prev_values[row][index[found]]
+                target[found] = prev_values[source][index[found]]
                 if missing.size:
                     target[missing] = context.seeds[handle].values_at(
                         new_positions[missing], component)
@@ -615,7 +676,38 @@ class Instantiate(PlanNode):
             rows = np.asarray(unchanged_rows, dtype=np.int64)
             for name, prev_values in zip(names, prev_columns):
                 windows[name][rows] = prev_values[rows]
-        return positions_by_handle, fresh_slots
+        return positions_by_handle, fresh_slots, None
+
+    def _extend_shared(self, context, handles, windows, bases, previous,
+                       prev_rows, shared):
+        """Append fast path: same shared window, grown row prefix.
+
+        Every pre-existing row still materializes exactly the recorded
+        shared position vector, so the whole prefix carries over as one
+        block copy per output and only the appended rows — which carry
+        fresh handles, since :class:`Seed` numbers handles by row
+        position — touch the streams, via the same batched gather a full
+        run would use on just those rows.
+        """
+        length = handles.shape[0]
+        bases[:prev_rows] = shared[0]
+        for name, _ in self.outputs:
+            windows[name][:prev_rows] = previous.columns[name]
+        context.instantiate_rows_reused += prev_rows
+        if prev_rows < length:
+            # The tail views write through into the full matrices.
+            tail = {name: windows[name][prev_rows:] for name, _ in self.outputs}
+            self._gather_shared(context, handles[prev_rows:], tail,
+                                bases[prev_rows:])
+        positions_by_handle = {int(handle): shared for handle in handles}
+        no_fresh = np.empty(0, dtype=np.int64)
+        all_fresh = np.arange(shared.size, dtype=np.int64)
+        fresh_slots: dict[int, np.ndarray] = {}
+        for row in range(prev_rows):
+            fresh_slots[int(handles[row])] = no_fresh
+        for row in range(prev_rows, length):
+            fresh_slots.setdefault(int(handles[row]), all_fresh)
+        return positions_by_handle, fresh_slots, shared
 
     def _describe_line(self):
         names = ", ".join(name for name, _ in self.outputs)
@@ -873,6 +965,32 @@ def refresh_after_append(node: PlanNode, context: ExecutionContext,
     """
     spliced = _splice(node, context, appends, stale_of, store_refreshed)
     return None if spliced is None else spliced[0]
+
+
+def appends_keep_prefix(node: PlanNode, appended) -> bool:
+    """Whether append-only growth of ``appended`` tables extends this plan.
+
+    True when the grown plan's output provably keeps every old row —
+    values, order, and row indices — as a prefix, with the rows the
+    appended tuples produce landing strictly after it.  That is the
+    condition a standing query needs to fold only ``rows[prev:]`` into
+    its strict-order accumulators (or re-enter the Gibbs looper over a
+    delta-extended window) and still be bit-identical to a fresh run on
+    the grown table.
+
+    Every operator here is row-local or row-ordered under growth at the
+    end — Scan appends, Seed numbers handles by row position, Select
+    filters in order (presence flags of old rows are pure stream
+    functions), Project/Instantiate are row-preserving, Split fans out in
+    row order — except a Join whose *right* (build) side depends on an
+    appended table: old probe rows would gain interleaved matches, so
+    only a full recompute reproduces the fresh-run row order.
+    """
+    appended = set(appended)
+    if isinstance(node, Join) and node.children[1].base_tables() & appended:
+        return False
+    return all(appends_keep_prefix(child, appended)
+               for child in node.children)
 
 
 def _splice(node, context, appends, stale_of, store_refreshed):

@@ -133,7 +133,7 @@ _ENV_KNOBS = frozenset((
     # ServerOptions.from_env — registered here so ExecutionOptions.from_env
     # running inside the server process doesn't reject them as typos.
     "MCDBR_SERVER_CONCURRENCY", "MCDBR_SERVER_QUEUE_DEPTH",
-    "MCDBR_SERVER_QUERY_TIMEOUT"))
+    "MCDBR_SERVER_QUERY_TIMEOUT", "MCDBR_SERVER_STANDING_AUTOREFRESH"))
 
 
 def env_choice(name: str, default: str, allowed: tuple) -> str:
@@ -547,11 +547,18 @@ class ServerOptions:
         ``"timeout"``; ``None`` disables the limit.  Env
         ``MCDBR_SERVER_QUERY_TIMEOUT`` (a number; ``0`` or less is
         rejected — use unset for no limit).
+    standing_autorefresh:
+        Whether a successful ``POST .../tables/{name}/append`` marks the
+        tenant's standing queries dirty and schedules their refresh
+        immediately (the streaming posture).  ``False`` refreshes only
+        on demand (``POST .../standing/{id}/refresh``).  Env
+        ``MCDBR_SERVER_STANDING_AUTOREFRESH``.
     """
 
     concurrency: int = 4
     queue_depth: int = 32
     query_timeout: float | None = 30.0
+    standing_autorefresh: bool = True
 
     def __post_init__(self):
         if not isinstance(self.concurrency, int) \
@@ -570,6 +577,10 @@ class ServerOptions:
             raise ValueError(
                 f"query_timeout must be > 0 or None, got "
                 f"{self.query_timeout}")
+        if not isinstance(self.standing_autorefresh, bool):
+            raise ValueError(
+                f"standing_autorefresh must be a bool, got "
+                f"{self.standing_autorefresh!r}")
 
     @classmethod
     def from_env(cls, **overrides) -> "ServerOptions":
@@ -585,6 +596,7 @@ class ServerOptions:
         ``MCDBR_SERVER_CONCURRENCY``    integer >= 1 (executor threads)
         ``MCDBR_SERVER_QUEUE_DEPTH``    integer >= 1 (429 past this)
         ``MCDBR_SERVER_QUERY_TIMEOUT``  number > 0 seconds (unset = 30s)
+        ``MCDBR_SERVER_STANDING_AUTOREFRESH``  boolean (default on)
         ==============================  ================================
         """
         values = dict(
@@ -593,6 +605,8 @@ class ServerOptions:
             query_timeout=(
                 env_float("MCDBR_SERVER_QUERY_TIMEOUT", 30.0, 1e-3)
                 if "MCDBR_SERVER_QUERY_TIMEOUT" in os.environ else 30.0),
+            standing_autorefresh=env_bool(
+                "MCDBR_SERVER_STANDING_AUTOREFRESH", True),
         )
         known = {field.name for field in fields(cls)}
         unknown = set(overrides) - known

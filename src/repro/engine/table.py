@@ -182,6 +182,17 @@ class Catalog:
     survives address reuse after garbage collection.
     """
 
+    #: Hard bound on each table's append-journal length.  A long-lived
+    #: session appending indefinitely would otherwise grow the chain one
+    #: link per append; past the bound the two *oldest* links are
+    #: coalesced into one (the chain is linear — each link's
+    #: ``to_version`` is the next link's key — so the merged link reports
+    #: the same row range a two-link walk would).  A walk starting at a
+    #: coalesced-away version gets ``None`` from :meth:`appended_range`
+    #: and falls back to a full recompute — correct, just not
+    #: incremental.
+    APPEND_JOURNAL_LIMIT = 64
+
     def __init__(self) -> None:
         self._tables: dict[str, Table] = {}
         self._random_specs: dict[str, object] = {}  # RandomTableSpec, untyped to avoid cycle
@@ -251,9 +262,42 @@ class Catalog:
         if new == old:
             return old, new  # empty append: no mutation, no version bump
         self._bump(key)
-        self._append_journal.setdefault(key, {})[from_version] = (
-            self._name_versions[key], old, new)
+        journal = self._append_journal.setdefault(key, {})
+        journal[from_version] = (self._name_versions[key], old, new)
+        while len(journal) > self.APPEND_JOURNAL_LIMIT:
+            first, second = sorted(journal)[:2]
+            _, first_old, _ = journal.pop(first)
+            to_version, _, second_new = journal.pop(second)
+            journal[first] = (to_version, first_old, second_new)
         return old, new
+
+    def append_journal_len(self, name: str) -> int:
+        """Number of live append links for ``name`` (diagnostics/tests)."""
+        return len(self._append_journal.get(name.lower(), {}))
+
+    def compact_append_journal(self, name: str, keep_from: int) -> int:
+        """Drop append links no live consumer can walk anymore.
+
+        ``keep_from`` is the consumers' low-water mark: the smallest
+        recorded per-name version any live consumer (det-cache entry,
+        standing query) may still pass to :meth:`appended_range`.  A link
+        whose ``to_version`` is at or below the mark can only be entered
+        from strictly older versions, so no such consumer's walk ever
+        reaches it — it is removed outright.  Walks from ``keep_from`` or
+        newer see exactly the same ranges as before; the session calls
+        this after every append once its det-cache entries and standing
+        queries have all refreshed past old links.  Returns the number of
+        links dropped.
+        """
+        key = name.lower()
+        journal = self._append_journal.get(key)
+        if not journal:
+            return 0
+        dead = [from_version for from_version, (to_version, _, _)
+                in journal.items() if to_version <= keep_from]
+        for from_version in dead:
+            del journal[from_version]
+        return len(dead)
 
     def appended_range(self, name: str, since_version: int):
         """Rows appended since ``since_version``, or ``None``.

@@ -52,9 +52,10 @@ from ..sql.lexer import SqlSyntaxError
 from ..sql.parser import parse as parse_sql
 from .records import UnknownAnalysisError
 from .registry import TenantRegistry
-from .wire import ApiError, columns_from_wire, output_to_wire
+from .wire import (ApiError, columns_from_wire, output_to_wire,
+                   standing_to_wire)
 
-__all__ = ["QueryRecord", "RiskService", "RiskServer"]
+__all__ = ["QueryRecord", "StandingRecord", "RiskService", "RiskServer"]
 
 _STOP = object()  # admission-queue sentinel: one per runner at shutdown
 
@@ -126,6 +127,40 @@ class QueryRecord:
         return payload
 
 
+class StandingRecord:
+    """Service-side registration of one tenant standing query.
+
+    Lifecycle flags (all under the service's query lock): ``dirty`` means
+    data moved since the last refresh started, ``queued`` that a refresh
+    is waiting in the standing queue, ``running`` that one is executing
+    now.  An append during a running refresh sets ``dirty``; the runner
+    re-enqueues on completion, so no append is ever silently skipped and
+    each standing id has at most one queued entry at a time.  Results are
+    never stored here — every refresh journals an immutable
+    ``AnalysisJournal`` version, which is also what the long-poll serves.
+    """
+
+    __slots__ = ("standing_id", "tenant", "sql", "analysis_name", "status",
+                 "created_at", "refreshes", "versions", "last_mode",
+                 "last_error", "query", "dirty", "queued", "running")
+
+    def __init__(self, tenant: str, sql: str, analysis_name: str):
+        self.standing_id = uuid.uuid4().hex
+        self.tenant = tenant
+        self.sql = sql
+        self.analysis_name = analysis_name
+        self.status = "pending"        # pending | live | error
+        self.created_at = time.time()
+        self.refreshes = 0             # journaled runs (initial included)
+        self.versions = 0              # latest journal version
+        self.last_mode = None          # initial | delta | full | noop
+        self.last_error = None
+        self.query = None              # Session.standing_query handle
+        self.dirty = False
+        self.queued = False
+        self.running = False
+
+
 class RiskService:
     """Engine-facing core of the server (HTTP-free, directly testable)."""
 
@@ -148,9 +183,17 @@ class RiskService:
         self._qlock = threading.Lock()
         self._queries: dict[str, QueryRecord] = {}
         self._runners: list[threading.Thread] = []
+        # Standing queries run on their own single drainer thread — a
+        # refresh must never compete with ad-hoc queries for the bounded
+        # admission queue, and one thread per service trivially gives
+        # each tenant's journal strictly ordered standing versions.
+        self._standing: dict[str, StandingRecord] = {}
+        self._standing_queue: queue.Queue = queue.Queue()
+        self._standing_thread: threading.Thread | None = None
         self._started = False
         self.counters = {"submitted": 0, "completed": 0, "rejected": 0,
-                         "timeouts": 0, "errors": 0}
+                         "timeouts": 0, "errors": 0,
+                         "standing_refreshes": 0, "standing_errors": 0}
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -164,6 +207,9 @@ class RiskService:
                 daemon=True)
             thread.start()
             self._runners.append(thread)
+        self._standing_thread = threading.Thread(
+            target=self._standing_loop, name="risk-standing", daemon=True)
+        self._standing_thread.start()
 
     def stop(self) -> None:
         if self._started:
@@ -172,6 +218,10 @@ class RiskService:
             for thread in self._runners:
                 thread.join(timeout=30.0)
             self._runners.clear()
+            if self._standing_thread is not None:
+                self._standing_queue.put(_STOP)
+                self._standing_thread.join(timeout=30.0)
+                self._standing_thread = None
             self._started = False
         self.registry.close()
         if self.pool is not None:
@@ -331,17 +381,185 @@ class RiskService:
                       "admission-to-result deadline",
                 started_mono=started)
 
+    # -- standing queries --------------------------------------------------
+
+    def register_standing(self, tenant_id: str, body) -> StandingRecord:
+        """Register one standing query; its initial run is scheduled
+        immediately on the standing drainer (status flips ``pending`` →
+        ``live`` once the first journal version lands)."""
+        self.registry.get(tenant_id)  # existence check → 404
+        if not isinstance(body, dict) or not isinstance(
+                body.get("sql"), str) or not body["sql"].strip():
+            raise ApiError(400, "body must carry a non-empty 'sql' string")
+        sql = body["sql"]
+        try:
+            statement = parse_sql(sql)  # reject syntax errors at the door
+        except SqlSyntaxError as exc:
+            raise ApiError(400, f"SQL syntax error: {exc}") from None
+        # Shape errors too: a standing query must be a risk SELECT (the
+        # same contract Session.standing_query enforces) — failing async
+        # would park the registration in "error" for a client mistake.
+        spec = getattr(statement, "result_spec", None)
+        if spec is None or spec.frequency_table:
+            raise ApiError(
+                400, "standing queries must be SELECTs with a WITH "
+                     "RESULTDISTRIBUTION MONTECARLO(n) clause and no "
+                     "FREQUENCYTABLE")
+        analysis_name = body.get("analysis") \
+            or f"standing-{_default_analysis_name(sql)[2:]}"
+        if not isinstance(analysis_name, str) or len(analysis_name) > 200:
+            raise ApiError(400, "'analysis' must be a short string")
+        record = StandingRecord(tenant_id, sql, analysis_name)
+        with self._qlock:
+            self._standing[record.standing_id] = record
+            record.queued = True
+        self._standing_queue.put(record.standing_id)
+        return record
+
+    def standing(self, standing_id: str) -> StandingRecord:
+        with self._qlock:
+            record = self._standing.get(standing_id)
+        if record is None:
+            raise ApiError(404, f"unknown standing query {standing_id!r}")
+        return record
+
+    def standing_for(self, tenant_id: str) -> list[StandingRecord]:
+        with self._qlock:
+            return [record for record in self._standing.values()
+                    if record.tenant == tenant_id]
+
+    def drop_standing(self, standing_id: str) -> StandingRecord:
+        with self._qlock:
+            record = self._standing.pop(standing_id, None)
+        if record is None:
+            raise ApiError(404, f"unknown standing query {standing_id!r}")
+        return record
+
+    def poke_standing(self, standing_id: str) -> StandingRecord:
+        """Schedule a refresh of one standing query (manual trigger)."""
+        with self._qlock:
+            record = self._standing.get(standing_id)
+            if record is None:
+                raise ApiError(
+                    404, f"unknown standing query {standing_id!r}")
+            record.dirty = True
+            enqueue = not record.queued and not record.running
+            if enqueue:
+                record.queued = True
+        if enqueue:
+            self._standing_queue.put(standing_id)
+        return record
+
+    def notify_append(self, tenant_id: str) -> int:
+        """Mark a tenant's standing queries dirty after an append.
+
+        Called by the append endpoint *after* the rows landed (the
+        session lock serialized that), so every scheduled refresh
+        observes them.  Returns how many refreshes were enqueued; a
+        record already queued or running is only marked — the drainer
+        re-enqueues a dirty record itself when its run completes.
+        """
+        if not self.server_options.standing_autorefresh:
+            return 0
+        to_queue = []
+        with self._qlock:
+            for record in self._standing.values():
+                if record.tenant != tenant_id:
+                    continue
+                record.dirty = True
+                if not record.queued and not record.running:
+                    record.queued = True
+                    to_queue.append(record.standing_id)
+        for standing_id in to_queue:
+            self._standing_queue.put(standing_id)
+        return len(to_queue)
+
+    def evict_tenant(self, tenant_id: str) -> None:
+        """Evict a tenant: its standing registrations die with it."""
+        with self._qlock:
+            doomed = [standing_id
+                      for standing_id, record in self._standing.items()
+                      if record.tenant == tenant_id]
+            for standing_id in doomed:
+                del self._standing[standing_id]
+        self.registry.evict(tenant_id)
+
+    def _standing_loop(self) -> None:
+        while True:
+            item = self._standing_queue.get()
+            if item is _STOP:
+                return
+            with self._qlock:
+                record = self._standing.get(item)
+                if record is None:
+                    continue  # dropped/evicted while queued
+                record.queued = False
+                record.dirty = False
+                record.running = True
+            requeue = False
+            try:
+                self._run_standing(record)
+            except Exception as exc:  # the drainer must not die
+                with self._qlock:
+                    record.status = "error"
+                    record.last_error = f"{exc}"
+                    self.counters["standing_errors"] += 1
+            finally:
+                with self._qlock:
+                    record.running = False
+                    requeue = (record.dirty
+                               and record.standing_id in self._standing)
+                    if requeue:
+                        record.queued = True
+            if requeue:
+                self._standing_queue.put(record.standing_id)
+
+    def _run_standing(self, record: StandingRecord) -> None:
+        state = self.registry.get(record.tenant)
+        if record.query is None:
+            query = state.session.standing_query(record.sql)
+            record.query = query
+            output = query.result
+        else:
+            output = record.query.refresh()
+            if record.query.last_mode == "noop":
+                # Nothing moved under the query: no new journal version,
+                # the previous one is still exact.
+                with self._qlock:
+                    record.status = "live"
+                    record.last_mode = "noop"
+                return
+        wire = output_to_wire(output)
+        versions = state.table_versions()
+        # Same atomicity as _complete: the journal version and the
+        # record's visible progress land together, so a long-poller woken
+        # by the journal never reads a half-updated registration.
+        with self._qlock:
+            entry = state.journal.record(
+                record.analysis_name, record.standing_id, record.sql,
+                output.kind, wire, versions)
+            record.status = "live"
+            record.refreshes += 1
+            record.versions = entry.version
+            record.last_mode = record.query.last_mode
+            record.last_error = None
+            self.counters["standing_refreshes"] += 1
+
     # -- stats -------------------------------------------------------------
 
     def stats(self) -> dict:
         with self._qlock:
             counters = dict(self.counters)
+            standing_now = len(self._standing)
         payload = {
             "server": {
                 "concurrency": self.server_options.concurrency,
                 "queue_depth": self.server_options.queue_depth,
                 "query_timeout": self.server_options.query_timeout,
+                "standing_autorefresh":
+                    self.server_options.standing_autorefresh,
                 "queued_now": self._queue.qsize(),
+                "standing_now": standing_now,
             },
             "counters": counters,
             "evictions": self.registry.evictions,
@@ -371,6 +589,18 @@ _ROUTES: list[tuple[str, re.Pattern, str]] = [
     ("POST", re.compile(rf"^/tenants/{_TENANT}/queries$"), "submit_query"),
     ("GET", re.compile(r"^/queries/(?P<query_id>[0-9a-f]{32})$"),
      "get_query"),
+    ("POST", re.compile(rf"^/tenants/{_TENANT}/standing$"),
+     "register_standing"),
+    ("GET", re.compile(rf"^/tenants/{_TENANT}/standing$"), "list_standing"),
+    ("GET", re.compile(
+        rf"^/tenants/{_TENANT}/standing/(?P<standing_id>[0-9a-f]{{32}})$"),
+     "get_standing"),
+    ("POST", re.compile(
+        rf"^/tenants/{_TENANT}/standing/(?P<standing_id>[0-9a-f]{{32}})"
+        r"/refresh$"), "refresh_standing"),
+    ("DELETE", re.compile(
+        rf"^/tenants/{_TENANT}/standing/(?P<standing_id>[0-9a-f]{{32}})$"),
+     "drop_standing"),
     ("GET", re.compile(rf"^/tenants/{_TENANT}/analyses$"), "list_analyses"),
     ("GET", re.compile(rf"^/tenants/{_TENANT}/analyses/{_NAME}/versions$"),
      "list_versions"),
@@ -468,7 +698,7 @@ class _Handler(BaseHTTPRequestHandler):
                                            "created": created}
 
     def evict_tenant(self, tenant):
-        self.service.registry.evict(tenant)
+        self.service.evict_tenant(tenant)
         return 200, {"tenant": tenant, "evicted": True}
 
     def create_table(self, tenant):
@@ -496,8 +726,10 @@ class _Handler(BaseHTTPRequestHandler):
         # CatalogError (schema mismatch, random-table target) maps to 400
         # via the dispatcher; the failed append mutated nothing.
         old_rows, new_rows = state.session.append(name, columns)
+        refreshes = self.service.notify_append(tenant)
         return 200, {"tenant": tenant, "table": name,
                      "appended": new_rows - old_rows, "rows": new_rows,
+                     "standing_refreshes_scheduled": refreshes,
                      "table_version":
                          state.session.catalog.table_version(name)}
 
@@ -522,6 +754,67 @@ class _Handler(BaseHTTPRequestHandler):
             if seconds > 0:
                 record.settled.wait(timeout=min(seconds, 30.0))
         return 200, record.to_wire()
+
+    def register_standing(self, tenant):
+        record = self.service.register_standing(
+            tenant, self._read_body() or {})
+        return 202, standing_to_wire(record)
+
+    def list_standing(self, tenant):
+        self.service.registry.get(tenant)  # 404 for unknown tenants
+        return 200, {"tenant": tenant, "standing": [
+            standing_to_wire(record)
+            for record in self.service.standing_for(tenant)]}
+
+    def _tenant_standing(self, tenant, standing_id):
+        record = self.service.standing(standing_id)
+        if record.tenant != tenant:
+            raise ApiError(
+                404, f"tenant {tenant!r} has no standing query "
+                     f"{standing_id!r}")
+        return record
+
+    def get_standing(self, tenant, standing_id):
+        """Registration state; with ``?wait=s[&after=v]`` long-polls the
+        journal for the first version past ``after`` (default 0: any)."""
+        record = self._tenant_standing(tenant, standing_id)
+        state = self.service.registry.get(tenant)
+        wait = self.query_params.get("wait")
+        if wait is None:
+            payload = {"standing": standing_to_wire(record)}
+            if record.versions:
+                payload["record"] = state.journal.to_wire(
+                    record.analysis_name, record.versions)
+            return 200, payload
+        try:
+            seconds = float(wait)
+            after = int(self.query_params.get("after", 0))
+        except ValueError:
+            raise ApiError(
+                400, "'wait' must be a number of seconds and 'after' an "
+                     "integer journal version") from None
+        if seconds < 0 or after < 0:
+            raise ApiError(400, "'wait' and 'after' must be >= 0")
+        entry = state.journal.wait_version(
+            record.analysis_name, after, min(seconds, 30.0))
+        payload = {"standing": standing_to_wire(record)}
+        if entry is None:
+            payload["timed_out"] = True
+        else:
+            payload["record"] = state.journal.to_wire(
+                entry.name, entry.version)
+        return 200, payload
+
+    def refresh_standing(self, tenant, standing_id):
+        self._tenant_standing(tenant, standing_id)
+        record = self.service.poke_standing(standing_id)
+        return 202, standing_to_wire(record)
+
+    def drop_standing(self, tenant, standing_id):
+        self._tenant_standing(tenant, standing_id)
+        self.service.drop_standing(standing_id)
+        return 200, {"tenant": tenant, "standing_id": standing_id,
+                     "dropped": True}
 
     def list_analyses(self, tenant):
         state = self.service.registry.get(tenant)

@@ -80,6 +80,7 @@ class AnalysisJournal:
     def __init__(self, tenant: str):
         self.tenant = tenant
         self._lock = threading.Lock()
+        self._grown = threading.Condition(self._lock)
         self._versions: dict[str, list[AnalysisRecord]] = {}
         self._committed: dict[tuple[str, int], float] = {}
 
@@ -95,7 +96,30 @@ class AnalysisJournal:
                 table_versions=dict(table_versions),
                 created_at=time.time())
             chain.append(entry)
+            self._grown.notify_all()
             return entry
+
+    def wait_version(self, name: str, after: int,
+                     timeout: float) -> AnalysisRecord | None:
+        """Block until ``name`` has a version ``> after``; ``None`` on timeout.
+
+        The long-poll primitive behind ``GET .../standing/{id}?wait=s``:
+        a reader holding version ``after`` parks here and wakes as soon
+        as :meth:`record` appends a newer one (returning the *first*
+        version past ``after``, so a slow poller steps through every
+        refresh in order rather than skipping to the newest).  A name
+        never recorded simply waits — registration and first run race
+        long-polls by design.
+        """
+        deadline = time.monotonic() + max(timeout, 0.0)
+        with self._lock:
+            while True:
+                chain = self._versions.get(name, ())
+                if len(chain) > after >= 0:
+                    return chain[after]
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or not self._grown.wait(remaining):
+                    return None
 
     def names(self) -> list[dict]:
         """Per-analysis summaries (name, version count, committed versions)."""

@@ -23,7 +23,8 @@ from typing import Any, Mapping
 
 import numpy as np
 
-__all__ = ["ApiError", "json_value", "output_to_wire", "columns_from_wire"]
+__all__ = ["ApiError", "json_value", "output_to_wire", "columns_from_wire",
+           "standing_to_wire"]
 
 
 class ApiError(Exception):
@@ -120,6 +121,28 @@ def output_to_wire(output) -> dict:
         payload["tail"] = _tail_to_wire(output.tail)
     # "create" and friends carry no payload beyond the kind.
     return payload
+
+
+def standing_to_wire(record) -> dict:
+    """Render a service-side standing-query registration as JSON.
+
+    The *registration*, not a result: results are immutable
+    ``AnalysisJournal`` versions (one per refresh) fetched through the
+    journal endpoints or the long-poll, so this payload only carries the
+    handle's identity and refresh accounting.
+    """
+    return {
+        "standing_id": record.standing_id,
+        "tenant": record.tenant,
+        "name": record.analysis_name,
+        "sql": record.sql,
+        "status": record.status,
+        "refreshes": int(record.refreshes),
+        "journal_versions": int(record.versions),
+        "last_mode": record.last_mode,
+        "error": record.last_error,
+        "created_at": record.created_at,
+    }
 
 
 def columns_from_wire(body: Mapping, *, field: str = "columns") -> dict:

@@ -23,6 +23,7 @@ mirroring Sec. 2 of the paper::
 from __future__ import annotations
 
 import threading
+import weakref
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
@@ -30,11 +31,13 @@ import numpy as np
 
 from repro.core.gibbs_looper import LooperResult
 from repro.engine.backends import make_backend
-from repro.engine.det_cache import NullDetCache, SessionDetCache
+from repro.engine.det_cache import (
+    ContextDetCache, NullDetCache, SessionDetCache, classify_moves)
 from repro.engine.errors import EngineError, PlanError
 from repro.engine.expressions import Col
 from repro.engine.mcdb import MonteCarloResult
-from repro.engine.operators import ExecutionContext
+from repro.engine.operators import (
+    ExecutionContext, appends_keep_prefix)
 from repro.engine.options import ExecutionOptions
 from repro.engine.random_table import RandomColumnSpec, RandomTableSpec
 from repro.engine.table import Catalog, Table
@@ -44,7 +47,7 @@ from repro.sql.planner import (
     compile_select, describe_compiled, monte_carlo_executor, tail_looper)
 from repro.vg.base import VGRegistry, default_registry
 
-__all__ = ["Session", "QueryOutput"]
+__all__ = ["Session", "QueryOutput", "StandingQuery"]
 
 FTABLE_NAME = "FTABLE"
 
@@ -66,6 +69,201 @@ class QueryOutput:
     def __repr__(self):
         payload = self.rows or self.distributions or self.tail or ""
         return f"QueryOutput({self.kind}, {payload!r})"
+
+
+class StandingQuery:
+    """A registered risk query whose estimate follows the data.
+
+    Created by :meth:`Session.standing_query`.  The statement is parsed
+    and compiled **once**; :attr:`result` always holds the latest
+    :class:`QueryOutput`, and :meth:`refresh` brings it up to date with
+    the catalog.  A refresh is classified exactly like a det-cache entry
+    (:func:`~repro.engine.det_cache.classify_moves`):
+
+    * nothing moved — a no-op;
+    * every moved dependency grew append-only *and* the plan is
+      prefix-stable under that growth
+      (:func:`~repro.engine.operators.appends_keep_prefix`) — an
+      incremental **delta** refresh: the retained execution context
+      extends its materialized stream windows to just the appended
+      tuples' positions, and either the Monte Carlo accumulators fold
+      only ``rows[prev:]`` in or the Gibbs looper re-enters over the
+      delta-extended windows;
+    * anything else — a full re-execution from scratch.
+
+    Every mode returns a result bit-identical to a fresh session running
+    the same statement against the current catalog — streams are pure
+    functions of ``(base_seed, handle, position)`` and appended rows get
+    the exact handles/positions a fresh run would assign them, so
+    incrementality is purely an execution-cost optimization.
+
+    Handles are not thread-safe on their own; :meth:`refresh` serializes
+    on the owning session's single-flight lock like any statement.
+    """
+
+    def __init__(self, session: "Session", sql: str):
+        statement = parse(sql)
+        if not isinstance(statement, SelectStmt):
+            raise PlanError("standing queries must be SELECT statements")
+        spec = statement.result_spec
+        if spec is None:
+            raise PlanError(
+                "standing queries need a WITH RESULTDISTRIBUTION "
+                "MONTECARLO(n) clause; deterministic SELECTs have nothing "
+                "to keep fresh")
+        if spec.frequency_table:
+            raise PlanError(
+                "standing queries cannot register a FREQUENCYTABLE: each "
+                "refresh would mutate the catalog and invalidate every "
+                "other query; issue a one-shot execute() instead")
+        self._session = session
+        self.sql = sql
+        self._spec = spec
+        self._tail_mode = spec.domain is not None
+        self.kind = "tail" if self._tail_mode else "montecarlo"
+        with session._execute_lock:
+            self._compiled = compile_select(
+                statement, session.catalog, tail_mode=self._tail_mode)
+            if not self._tail_mode:
+                # Bound once for its group/aggregate folding helpers; the
+                # plan itself runs on the retained context, never through
+                # executor.run().
+                self._executor = monte_carlo_executor(
+                    self._compiled, session.catalog,
+                    base_seed=session.base_seed, options=session.options)
+            #: Retained across delta refreshes: the context whose
+            #: materialized Instantiate windows the next run extends.
+            self._context: ExecutionContext | None = None
+            self._states: dict | None = None
+            self._relation_length = 0
+            self._versions: dict[str, int] = {}
+            self.result: QueryOutput | None = None
+            self.refreshes = 0
+            self.last_rows_computed = 0
+            self.last_rows_reused = 0
+            self._run(delta=False)
+            self.last_mode = "initial"
+
+    def refresh(self) -> QueryOutput:
+        """Bring :attr:`result` up to date with the catalog."""
+        session = self._session
+        with session._execute_lock:
+            verdict, appends = classify_moves(
+                session.catalog, self._versions)
+            if verdict == "clean":
+                self.last_mode = "noop"
+                self.last_rows_computed = 0
+                self.last_rows_reused = 0
+                return self.result
+            delta = (verdict == "appends"
+                     and appends_keep_prefix(self._compiled.plan, appends))
+            self._run(delta=delta)
+            self.refreshes += 1
+            self.last_mode = "delta" if delta else "full"
+            return self.result
+
+    def stats(self) -> dict:
+        """Refresh accounting: mode of the last refresh and how many
+        relation rows its Instantiates gathered from the streams vs.
+        served from retained windows."""
+        return {
+            "kind": self.kind,
+            "refreshes": self.refreshes,
+            "last_mode": self.last_mode,
+            "last_rows_computed": self.last_rows_computed,
+            "last_rows_reused": self.last_rows_reused,
+        }
+
+    # -- internals --------------------------------------------------------
+
+    def _run(self, delta: bool) -> None:
+        session = self._session
+        if not delta:
+            self._context = None
+            self._states = None
+            self._relation_length = 0
+        self.result = (self._run_tail() if self._tail_mode
+                       else self._run_mc())
+        catalog = session.catalog
+        self._versions = {name: catalog.table_version(name)
+                          for name in self._compiled.plan.base_tables()}
+
+    def _reset_det_cache(self, context: ExecutionContext) -> None:
+        """Re-point a retained context at a current det-cache tier.
+
+        The session tier validates its entries per lookup, so it can be
+        kept; ``"context"``/``"off"`` tiers have no version validation
+        and must not serve pre-append deterministic relations, so they
+        are rebuilt fresh for every refresh.
+        """
+        fresh = self._session._det_cache_for_run()
+        context.det_cache = fresh if fresh is not None else ContextDetCache()
+
+    def _run_mc(self) -> QueryOutput:
+        session = self._session
+        context = self._context
+        if context is None:
+            context = ExecutionContext(
+                session.catalog, positions=self._spec.montecarlo,
+                aligned=True, base_seed=session.base_seed,
+                det_cache=session._det_cache_for_run())
+            context.delta_tracking = True
+            self._context = context
+        else:
+            self._reset_det_cache(context)
+        start_row = self._relation_length
+        computed = context.instantiate_rows_computed
+        reused = context.instantiate_rows_reused
+        context.delta_mode = start_row > 0
+        context.last_fresh_slots = {}
+        try:
+            relation = self._compiled.plan.execute(context)
+        finally:
+            context.delta_mode = False
+        context.plan_runs += 1
+        if relation.length < start_row:
+            raise EngineError(
+                "standing-query delta refresh shrank the relation "
+                f"({relation.length} < {start_row}); the append "
+                "classification admitted a rewrite")
+        self.last_rows_computed = context.instantiate_rows_computed - computed
+        self.last_rows_reused = context.instantiate_rows_reused - reused
+        self._states = self._executor.fold_states(
+            relation, self._states, start_row=start_row)
+        self._relation_length = relation.length
+        result = self._executor.result_from_states(
+            self._states, self._spec.montecarlo)
+        return QueryOutput(kind="montecarlo", distributions=result)
+
+    def _run_tail(self) -> QueryOutput:
+        session = self._session
+        context = self._context
+        if context is None:
+            # positions/aligned are placeholders: the looper re-stamps the
+            # injected context for its own window on entry.
+            context = ExecutionContext(
+                session.catalog, positions=1, aligned=False,
+                base_seed=session.base_seed,
+                det_cache=session._det_cache_for_run())
+            self._context = context
+        else:
+            self._reset_det_cache(context)
+        computed = context.instantiate_rows_computed
+        reused = context.instantiate_rows_reused
+        looper = tail_looper(
+            self._compiled, session.catalog, self._spec,
+            tail_budget=session.tail_budget,
+            window=session.window,
+            gibbs_steps=session.gibbs_steps,
+            base_seed=session.base_seed,
+            options=session.options,
+            det_cache=session._det_cache_for_run(),
+            backend=session._backend_for_run(),
+            context=context)
+        result = looper.run()
+        self.last_rows_computed = context.instantiate_rows_computed - computed
+        self.last_rows_reused = context.instantiate_rows_reused - reused
+        return QueryOutput(kind="tail", tail=result)
 
 
 class Session:
@@ -162,6 +360,11 @@ class Session:
         #: session (see :meth:`execute`).  Re-entrant so close/lifecycle
         #: helpers can be called from within an executing thread.
         self._execute_lock = threading.RLock()
+        #: Live standing queries (weak: dropping the handle unregisters
+        #: it).  Only consulted as a compaction floor — their recorded
+        #: dependency versions keep the catalog's append journal from
+        #: discarding links a pending delta refresh still needs.
+        self._standing: list[weakref.ref] = []
 
     # -- execution policy ------------------------------------------------------
 
@@ -304,9 +507,43 @@ class Session:
         (:class:`~repro.engine.errors.CatalogError`, nothing mutated);
         like :meth:`add_table`, the append serializes against running
         statements.
+
+        After journaling, append-journal links every consumer has already
+        refreshed past are compacted away, so a long-lived session
+        appending forever keeps a bounded journal (satellite of the
+        table-granular invalidation work; see
+        :meth:`~repro.engine.table.Catalog.compact_append_journal`).
         """
         with self._execute_lock:
-            return self.catalog.append(name, rows)
+            result = self.catalog.append(name, rows)
+            self._compact_append_journal(name)
+            return result
+
+    def _compact_append_journal(self, name: str) -> None:
+        """Drop journal links below every consumer's recorded version.
+
+        Consumers are det-cache entries depending on ``name`` and live
+        standing queries; each records the per-name version it last
+        refreshed at, and ``min`` of those is the oldest version any
+        delta path may still splice forward from.  With no consumers the
+        whole journal for the name is droppable — nothing will ever walk
+        it, and a future consumer records the current version.
+        """
+        key = name.lower()
+        floors = []
+        cache_floor = self.det_cache.low_water(key)
+        if cache_floor is not None:
+            floors.append(cache_floor)
+        for ref in list(self._standing):
+            query = ref()
+            if query is None:
+                self._standing.remove(ref)
+                continue
+            recorded = query._versions.get(key)
+            if recorded is not None:
+                floors.append(recorded)
+        keep_from = min(floors) if floors else self.catalog.table_version(key)
+        self.catalog.compact_append_journal(key, keep_from)
 
     # -- execution ---------------------------------------------------------------
 
@@ -330,6 +567,22 @@ class Session:
             if isinstance(statement, CreateRandomTable):
                 return self._execute_create(statement)
             return self._execute_select(statement)
+
+    def standing_query(self, sql: str) -> StandingQuery:
+        """Register a standing risk query and run it once.
+
+        Returns a :class:`StandingQuery` handle: ``handle.result`` holds
+        the latest :class:`QueryOutput` and ``handle.refresh()`` after
+        :meth:`append` recomputes only the delta (a full re-execution
+        only when a dependency was rewritten), always bit-identical to a
+        fresh session running the statement on the current catalog.  The
+        statement must carry a ``WITH RESULTDISTRIBUTION MONTECARLO(n)``
+        clause and no ``FREQUENCYTABLE``.
+        """
+        with self._execute_lock:
+            query = StandingQuery(self, sql)
+            self._standing.append(weakref.ref(query))
+            return query
 
     def explain(self, sql: str, det_markers: bool = False) -> str:
         """Return the physical plan for a SELECT, leaf-last like Fig. 2.

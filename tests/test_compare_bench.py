@@ -1,0 +1,126 @@
+"""The cross-commit bench regression gate (``benchmarks/compare_bench.py``).
+
+The tool is the CI bench lane's trend check: it must flag a gated metric
+that erodes past the threshold even while its absolute gate still
+passes, and must stay quiet on improvements, exact-contract gates, and
+metrics without a comparable baseline.  The committed first-run fixture
+has to stay consistent with the tool's own parsing rules.
+"""
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+_ROOT = pathlib.Path(__file__).resolve().parents[1]
+_SPEC = importlib.util.spec_from_file_location(
+    "compare_bench", _ROOT / "benchmarks" / "compare_bench.py")
+compare_bench = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(compare_bench)
+
+
+def _record(value, gate, metric="speedup", benchmark="bench_x"):
+    return {"benchmark": benchmark, "metric": metric,
+            "value": value, "gate": gate}
+
+
+def test_injected_regression_is_flagged():
+    # 8x decayed to 5x: still clears the absolute ">= 2x" gate, but is a
+    # 37.5% erosion — past the 25% threshold, so it must be flagged.
+    previous = [_record(8.0, ">= 2x")]
+    current = [_record(5.0, ">= 2x")]
+    report = compare_bench.compare(current, previous, threshold_pct=25.0)
+    assert [r["metric"] for r in report["regressions"]] == ["speedup"]
+    entry = report["regressions"][0]
+    assert entry["previous"] == 8.0 and entry["current"] == 5.0
+    assert entry["change_pct"] == -37.5
+    # A looser threshold tolerates the same decay.
+    assert not compare_bench.compare(
+        current, previous, threshold_pct=50.0)["regressions"]
+
+
+def test_threshold_boundary_is_exclusive():
+    previous = [_record(8.0, ">= 2x")]
+    at_boundary = [_record(6.0, ">= 2x")]      # exactly -25%
+    past_boundary = [_record(5.99, ">= 2x")]
+    assert not compare_bench.compare(
+        at_boundary, previous, 25.0)["regressions"]
+    assert compare_bench.compare(
+        past_boundary, previous, 25.0)["regressions"]
+
+
+def test_lower_is_better_gates_compare_inverted():
+    previous = [_record(100.0, "< 200", metric="bytes")]
+    improved = [_record(60.0, "< 200", metric="bytes")]
+    regressed = [_record(140.0, "< 200", metric="bytes")]
+    assert not compare_bench.compare(improved, previous, 25.0)["regressions"]
+    assert compare_bench.compare(regressed, previous, 25.0)["regressions"]
+
+
+def test_improvements_and_exact_gates_are_not_flagged():
+    previous = [_record(2.0, ">= 2x"),
+                _record(4, "== 4", metric="legs"),
+                _record(1.0, None, metric="informational")]
+    current = [_record(19.0, ">= 2x"),
+               _record(3, "== 4", metric="legs"),       # exact-gate drift
+               _record(99.0, None, metric="informational")]
+    report = compare_bench.compare(current, previous, threshold_pct=25.0)
+    assert not report["regressions"]
+    # Only the trend-comparable gate was compared at all.
+    assert [r["metric"] for r in report["compared"]] == ["speedup"]
+
+
+def test_unmatched_and_non_positive_baselines_are_skipped():
+    previous = [_record(0.0, "> 0", metric="zero_floor")]
+    current = [_record(3.0, "> 0", metric="zero_floor"),
+               _record(9.0, ">= 2x", metric="brand_new")]
+    report = compare_bench.compare(current, previous, threshold_pct=25.0)
+    assert not report["regressions"] and not report["compared"]
+    assert {r["metric"] for r in report["skipped"]} == {
+        "zero_floor", "brand_new"}
+
+
+def test_gate_direction_parsing():
+    direction = compare_bench.gate_direction
+    assert direction(">= 5x") == "higher"
+    assert direction("> 100x") == "higher"
+    assert direction("<= 1.2x") == "lower"
+    assert direction("< 65 (no caching)") == "lower"
+    assert direction("== 4") is None
+    assert direction("~ 0.01") is None
+    assert direction(None) is None
+
+
+def test_threshold_validation():
+    with pytest.raises(ValueError):
+        compare_bench.compare([], [], threshold_pct=-1.0)
+    with pytest.raises(ValueError):
+        compare_bench.compare([], [], threshold_pct=100.0)
+
+
+def test_cli_exit_codes(tmp_path, capsys):
+    previous = tmp_path / "prev.json"
+    current = tmp_path / "cur.json"
+    previous.write_text(json.dumps([_record(8.0, ">= 2x")]))
+    current.write_text(json.dumps([_record(7.0, ">= 2x")]))
+    assert compare_bench.main(["--current", str(current),
+                               "--previous", str(previous)]) == 0
+    current.write_text(json.dumps([_record(3.0, ">= 2x")]))
+    assert compare_bench.main(["--current", str(current),
+                               "--previous", str(previous)]) == 1
+    assert "regressed" in capsys.readouterr().err
+
+
+def test_committed_fixture_is_a_valid_gate_floor_baseline():
+    fixture_path = _ROOT / "benchmarks" / "baseline" / "BENCH_baseline.json"
+    records = json.loads(fixture_path.read_text())
+    assert records, "first-run fixture must not be empty"
+    for record in records:
+        assert set(record) == {"benchmark", "metric", "value", "gate"}
+        assert compare_bench.gate_direction(record["gate"]) is not None
+        assert isinstance(record["value"], (int, float))
+    # Comparing the fixture against itself can never regress.
+    report = compare_bench.compare(records, records, threshold_pct=0.0)
+    assert not report["regressions"]
+    assert report["compared"], "fixture metrics must be trend-comparable"

@@ -1,0 +1,413 @@
+"""Standing queries: incremental refresh, journal compaction, server races.
+
+Session level: ``Session.standing_query`` handles must stay bit-identical
+to a fresh session on the grown catalog through delta, noop, and full
+refreshes, and the append journal they pin must stay bounded under
+append-heavy load (the unbounded-growth regression).  Server level: the
+``/standing`` endpoints journal strictly ordered immutable versions even
+while appends race long-polled refreshes on one tenant.
+"""
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.engine.operators import Join, Scan, appends_keep_prefix
+from repro.engine.options import ExecutionOptions, ServerOptions
+from repro.engine.table import Catalog, Table
+from repro.server import RiskServer
+from repro.server.wire import output_to_wire
+from repro.sql import Session
+from repro.sql.planner import PlanError
+
+CREATE_LOSSES = """
+    CREATE TABLE Losses (CID, val) AS
+    FOR EACH CID IN means
+    WITH v AS Normal(VALUES(m, 1.0))
+    SELECT CID, v.* FROM v
+"""
+MC_QUERY = ("SELECT SUM(val) AS loss FROM Losses "
+            "WITH RESULTDISTRIBUTION MONTECARLO(20)")
+TAIL_QUERY = ("SELECT SUM(val) AS loss FROM Losses WHERE CID < 6 "
+              "WITH RESULTDISTRIBUTION MONTECARLO(20) "
+              "DOMAIN loss >= QUANTILE(0.8)")
+BASE_MEANS = {"CID": [0, 1, 2, 3, 4, 5, 6, 7],
+              "m": [1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0, 4.5]}
+APPEND = {"CID": [8, 9], "m": [5.0, 5.5]}
+
+
+def _session(**kwargs):
+    session = Session(base_seed=11, tail_budget=120, window=80, **kwargs)
+    session.add_table("means", {k: list(v) for k, v in BASE_MEANS.items()})
+    session.execute(CREATE_LOSSES)
+    return session
+
+
+def _fresh_samples(sql, *appends):
+    """Sample vector a fresh session produces on the grown table."""
+    with _session() as session:
+        for rows in appends:
+            session.append("means", rows)
+        output = session.execute(sql)
+    if output.kind == "montecarlo":
+        return np.asarray(output.distributions.distribution("loss").samples)
+    return np.asarray(output.tail.samples)
+
+
+# ---------------------------------------------------------------------------
+# Session-level refresh modes
+
+
+def test_mc_delta_refresh_is_bit_identical():
+    with _session() as session:
+        handle = session.standing_query(MC_QUERY)
+        assert handle.last_mode == "initial"
+        before = np.asarray(
+            handle.result.distributions.distribution("loss").samples)
+        np.testing.assert_array_equal(before, _fresh_samples(MC_QUERY))
+
+        session.append("means", APPEND)
+        handle.refresh()
+        stats = handle.stats()
+        assert stats["last_mode"] == "delta"
+        # Only the appended tuples' streams were instantiated.
+        assert stats["last_rows_computed"] == len(APPEND["CID"])
+        assert stats["last_rows_reused"] == len(BASE_MEANS["CID"])
+        after = np.asarray(
+            handle.result.distributions.distribution("loss").samples)
+    np.testing.assert_array_equal(after, _fresh_samples(MC_QUERY, APPEND))
+    assert not np.array_equal(before, after)
+
+
+def test_tail_delta_refresh_is_bit_identical():
+    with _session() as session:
+        handle = session.standing_query(TAIL_QUERY)
+        session.append("means", APPEND)
+        handle.refresh()
+        assert handle.last_mode == "delta"
+        got = np.asarray(handle.result.tail.samples)
+        plan_runs = handle.result.tail.plan_runs
+    np.testing.assert_array_equal(got, _fresh_samples(TAIL_QUERY, APPEND))
+    with _session() as session:
+        session.append("means", APPEND)
+        fresh = session.execute(TAIL_QUERY)
+    assert plan_runs == fresh.tail.plan_runs
+
+
+def test_second_append_refreshes_incrementally_again():
+    extra = {"CID": [10], "m": [6.0]}
+    with _session() as session:
+        handle = session.standing_query(MC_QUERY)
+        session.append("means", APPEND)
+        handle.refresh()
+        session.append("means", extra)
+        handle.refresh()
+        assert handle.last_mode == "delta"
+        assert handle.last_rows_computed == 1
+        got = np.asarray(
+            handle.result.distributions.distribution("loss").samples)
+    np.testing.assert_array_equal(
+        got, _fresh_samples(MC_QUERY, APPEND, extra))
+
+
+def test_untouched_catalog_refresh_is_noop():
+    with _session() as session:
+        handle = session.standing_query(MC_QUERY)
+        first = handle.result
+        assert handle.refresh() is first
+        assert handle.last_mode == "noop"
+        assert handle.last_rows_computed == 0
+        assert handle.stats()["refreshes"] == 0
+
+
+def test_rewrite_forces_full_refresh():
+    grown = {name: list(BASE_MEANS[name]) + list(APPEND[name])
+             for name in BASE_MEANS}
+    with _session() as session:
+        handle = session.standing_query(MC_QUERY)
+        session.add_table("means", grown)  # rewrite, not append
+        handle.refresh()
+        assert handle.last_mode == "full"
+        got = np.asarray(
+            handle.result.distributions.distribution("loss").samples)
+    np.testing.assert_array_equal(got, _fresh_samples(MC_QUERY, APPEND))
+
+
+def test_standing_query_rejects_non_risk_statements():
+    with _session() as session:
+        with pytest.raises(PlanError):
+            session.standing_query("SELECT CID FROM means")
+        with pytest.raises(PlanError):
+            session.standing_query(CREATE_LOSSES)
+        with pytest.raises(PlanError):
+            session.standing_query(
+                "SELECT SUM(val) AS loss FROM Losses WITH "
+                "RESULTDISTRIBUTION MONTECARLO(20) FREQUENCYTABLE loss")
+
+
+def test_appends_keep_prefix_join_build_side():
+    # A join whose build (right) side grows interleaves new matches into
+    # old probe rows — the output is no longer a prefix extension.
+    plan = Join(Scan("probe"), Scan("build"), ["k"], ["k2"])
+    assert appends_keep_prefix(plan, {"probe"})
+    assert not appends_keep_prefix(plan, {"build"})
+    assert not appends_keep_prefix(plan, {"probe", "build"})
+
+
+# ---------------------------------------------------------------------------
+# Append-journal compaction (the unbounded-growth regression)
+
+
+def test_append_journal_stays_bounded_over_10k_appends():
+    # Regression: every append used to add one immortal journal link;
+    # 10k appends meant a 10k-entry chain per table.  With a standing
+    # query pinning old versions (so per-append compaction cannot drop
+    # links) the auto-coalescer must still bound the chain.
+    with _session() as session:
+        session.standing_query(MC_QUERY)  # pins the registration version
+        catalog = session.catalog
+        for index in range(10_000):
+            session.append("means", {"CID": [100 + index], "m": [1.0]})
+            assert (catalog.append_journal_len("means")
+                    <= Catalog.APPEND_JOURNAL_LIMIT)
+
+
+def test_append_journal_empty_without_consumers():
+    # No det-cache entry and no standing query records a version for the
+    # table, so every link is dropped as soon as it is written.
+    with _session(options=ExecutionOptions(det_cache="off")) as session:
+        for index in range(50):
+            session.append("means", {"CID": [100 + index], "m": [1.0]})
+        assert session.catalog.append_journal_len("means") == 0
+
+
+def test_refreshing_consumer_lets_journal_compact():
+    with _session() as session:
+        handle = session.standing_query(MC_QUERY)
+        for index in range(30):
+            session.append("means", {"CID": [100 + index], "m": [1.0]})
+            handle.refresh()
+        # The handle refreshed past every link but the newest; the next
+        # append compacts behind it.
+        assert session.catalog.append_journal_len("means") <= 2
+
+
+def test_catalog_compact_append_journal_unit():
+    catalog = Catalog()
+    catalog.add_table(Table("t", {"x": np.arange(4)}))
+    base_version = catalog.table_version("t")
+    for index in range(5):
+        catalog.append("t", {"x": [10 + index]})
+    assert catalog.append_journal_len("t") == 5
+    mid = catalog.table_version("t")
+    # Every live consumer is current at `mid`, so no walk can reach the
+    # old links — all five get dropped.
+    assert catalog.compact_append_journal("t", mid) == 5
+    assert catalog.append_journal_len("t") == 0
+    # The chain is broken for anyone who recorded a pre-compaction
+    # version — classify_moves must say rebuild, not a wrong splice.
+    assert catalog.appended_range("t", base_version) is None
+    # A consumer at `mid` splices new growth exactly as before.
+    catalog.append("t", {"x": [99]})
+    assert catalog.appended_range("t", mid) == (9, 10)
+
+
+# ---------------------------------------------------------------------------
+# Server: standing endpoints, autorefresh, and the append/refresh race
+
+
+def _call(url, method="GET", body=None):
+    data = json.dumps(body).encode() if body is not None else None
+    request = urllib.request.Request(
+        url, data=data, method=method,
+        headers={"Content-Type": "application/json"})
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, json.loads(response.read().decode())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read().decode())
+
+
+def _load_tenant(base, tenant):
+    assert _call(f"{base}/tenants/{tenant}", "POST",
+                 {"base_seed": 11})[0] == 201
+    assert _call(f"{base}/tenants/{tenant}/tables", "POST",
+                 {"name": "means", "columns": BASE_MEANS})[0] == 201
+    _, ddl = _call(f"{base}/tenants/{tenant}/queries", "POST",
+                   {"sql": CREATE_LOSSES})
+    _, record = _call(f"{base}/queries/{ddl['query_id']}?wait=30")
+    assert record["status"] == "done", record
+
+
+def _wait_version(base, tenant, standing_id, after, deadline=30.0):
+    end = time.monotonic() + deadline
+    while time.monotonic() < end:
+        _, reply = _call(f"{base}/tenants/{tenant}/standing/{standing_id}"
+                         f"?wait=5&after={after}")
+        if "record" in reply:
+            return reply
+    raise AssertionError(f"no journal version > {after}: {reply}")
+
+
+def _fresh_payload(*appends):
+    with _session() as session:
+        for rows in appends:
+            session.append("means", rows)
+        return output_to_wire(session.execute(MC_QUERY))
+
+
+def test_server_standing_lifecycle():
+    with RiskServer() as server:
+        base = server.url
+        _load_tenant(base, "acme")
+        status, registered = _call(f"{base}/tenants/acme/standing", "POST",
+                                   {"sql": MC_QUERY, "analysis": "exposure"})
+        assert status == 202, registered
+        standing_id = registered["standing_id"]
+
+        first = _wait_version(base, "acme", standing_id, after=0)
+        assert first["record"]["version"] == 1
+        assert first["record"]["result"] == _fresh_payload()
+
+        status, appended = _call(f"{base}/tenants/acme/tables/means/rows",
+                                 "POST", {"columns": APPEND})
+        assert status == 200 and appended["appended"] == 2
+        assert appended["standing_refreshes_scheduled"] >= 1
+
+        second = _wait_version(base, "acme", standing_id, after=1)
+        assert second["record"]["version"] == 2
+        assert second["record"]["result"] == _fresh_payload(APPEND)
+        assert second["standing"]["last_mode"] in ("delta", "full")
+
+        status, listing = _call(f"{base}/tenants/acme/standing")
+        assert status == 200 and len(listing["standing"]) == 1
+
+        assert _call(f"{base}/tenants/acme/standing/{standing_id}",
+                     "DELETE")[0] == 200
+        assert _call(f"{base}/tenants/acme/standing/{standing_id}")[0] == 404
+
+
+def test_server_standing_autorefresh_off_and_manual_poke():
+    server_options = ServerOptions(standing_autorefresh=False)
+    with RiskServer(server_options=server_options) as server:
+        base = server.url
+        _load_tenant(base, "acme")
+        _, registered = _call(f"{base}/tenants/acme/standing", "POST",
+                              {"sql": MC_QUERY})
+        standing_id = registered["standing_id"]
+        _wait_version(base, "acme", standing_id, after=0)
+
+        _, appended = _call(f"{base}/tenants/acme/tables/means/rows",
+                            "POST", {"columns": APPEND})
+        assert appended["standing_refreshes_scheduled"] == 0
+
+        # Nothing refreshes on its own ...
+        _, reply = _call(f"{base}/tenants/acme/standing/{standing_id}"
+                         f"?wait=1&after=1")
+        assert reply.get("timed_out") is True
+        # ... until the manual trigger.
+        assert _call(f"{base}/tenants/acme/standing/{standing_id}/refresh",
+                     "POST")[0] == 202
+        second = _wait_version(base, "acme", standing_id, after=1)
+        assert second["record"]["result"] == _fresh_payload(APPEND)
+
+
+def test_server_standing_invalid_requests():
+    with RiskServer() as server:
+        base = server.url
+        _load_tenant(base, "acme")
+        assert _call(f"{base}/tenants/acme/standing", "POST",
+                     {"sql": "SELECT CID FROM means"})[0] == 400
+        assert _call(f"{base}/tenants/acme/standing", "POST", {})[0] == 400
+        _, registered = _call(f"{base}/tenants/acme/standing", "POST",
+                              {"sql": MC_QUERY})
+        standing_id = registered["standing_id"]
+        assert _call(f"{base}/tenants/acme/standing/{standing_id}"
+                     f"?wait=oops")[0] == 400
+        assert _call(f"{base}/tenants/acme/standing/{standing_id}"
+                     f"?wait=1&after=-1")[0] == 400
+        # Another tenant cannot see (or drop) acme's registration.
+        assert _call(f"{base}/tenants/zeta", "POST",
+                     {"base_seed": 1})[0] == 201
+        assert _call(f"{base}/tenants/zeta/standing/{standing_id}")[0] == 404
+        assert _call(f"{base}/tenants/zeta/standing/{standing_id}",
+                     "DELETE")[0] == 404
+
+
+def test_appends_racing_refreshes_keep_journal_ordered():
+    """Satellite: one tenant, appends racing long-polled refreshes.
+
+    A writer thread streams appends over HTTP while a reader thread
+    long-polls every journal version in order.  However the refreshes
+    interleave or coalesce, every journaled version must (a) arrive
+    strictly ordered and dense, (b) equal the fresh-session payload for
+    *some* append prefix — never a torn half-append state — with the
+    matched prefix non-decreasing, and (c) converge on the full table.
+    """
+    total_appends = 5
+    deltas = [{"CID": [50 + i], "m": [1.0 + i]} for i in range(total_appends)]
+    # Fresh-session reference payload for every append prefix.
+    prefix_payloads = [_fresh_payload(*deltas[:k])
+                       for k in range(total_appends + 1)]
+
+    with RiskServer() as server:
+        base = server.url
+        _load_tenant(base, "acme")
+        _, registered = _call(f"{base}/tenants/acme/standing", "POST",
+                              {"sql": MC_QUERY})
+        standing_id = registered["standing_id"]
+        _wait_version(base, "acme", standing_id, after=0)
+
+        records, errors = [], []
+
+        def writer():
+            try:
+                for delta in deltas:
+                    status, reply = _call(
+                        f"{base}/tenants/acme/tables/means/rows", "POST",
+                        {"columns": delta})
+                    assert status == 200, reply
+                    time.sleep(0.02)
+            except Exception as exc:  # surfaced by the main thread
+                errors.append(exc)
+
+        def reader():
+            try:
+                after = 1
+                deadline = time.monotonic() + 60.0
+                while time.monotonic() < deadline:
+                    _, reply = _call(
+                        f"{base}/tenants/acme/standing/{standing_id}"
+                        f"?wait=5&after={after}")
+                    if "record" in reply:
+                        records.append(reply["record"])
+                        after = reply["record"]["version"]
+                        if reply["record"]["result"] == prefix_payloads[-1]:
+                            return
+            except Exception as exc:
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer),
+                   threading.Thread(target=reader)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=90.0)
+        assert not errors, errors
+        assert records, "reader never observed a refreshed version"
+
+    versions = [record["version"] for record in records]
+    assert versions == list(range(2, 2 + len(records))), versions
+    matched = []
+    for record in records:
+        assert record["result"] in prefix_payloads, (
+            "journaled result matches no append prefix — torn read")
+        matched.append(prefix_payloads.index(record["result"]))
+    assert matched == sorted(matched), matched
+    assert matched[-1] == total_appends, (
+        f"final version covers only {matched[-1]}/{total_appends} appends")
